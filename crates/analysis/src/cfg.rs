@@ -1,0 +1,288 @@
+//! Intra-procedural control-flow graphs over IR statements.
+//!
+//! Nodes are statement indices plus one virtual `EXIT` node. Every
+//! [`Inst::Return`] edge targets `EXIT`; statements that cannot reach `EXIT`
+//! (e.g. infinite loops without `break`) receive a virtual exit edge so that
+//! post-dominance stays total — the standard trick for making control
+//! dependence well defined on non-terminating code.
+
+use mcr_lang::{Function, Inst, StmtId};
+
+/// Node index inside a [`Cfg`]; `n` (the statement count) is the virtual
+/// exit node.
+pub type Node = usize;
+
+/// A control-flow edge label: `Some(outcome)` on branch edges, `None` on
+/// fallthrough/jump edges.
+pub type EdgeLabel = Option<bool>;
+
+/// Control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists with edge labels.
+    succs: Vec<Vec<(Node, EdgeLabel)>>,
+    /// Predecessor lists (labels live on the successor side).
+    preds: Vec<Vec<Node>>,
+    /// Number of real statements (the exit node is `stmts`).
+    stmts: usize,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function body.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.body.len();
+        let exit = n;
+        let mut succs: Vec<Vec<(Node, EdgeLabel)>> = vec![Vec::new(); n + 1];
+        for (i, inst) in func.body.iter().enumerate() {
+            match inst {
+                Inst::Branch {
+                    then_to, else_to, ..
+                } => {
+                    succs[i].push((then_to.0 as usize, Some(true)));
+                    succs[i].push((else_to.0 as usize, Some(false)));
+                }
+                Inst::Jump { to } => succs[i].push((to.0 as usize, None)),
+                Inst::Return { .. } => succs[i].push((exit, None)),
+                _ => {
+                    // Fallthrough; a trailing non-control statement exits.
+                    if i + 1 < n {
+                        succs[i].push((i + 1, None));
+                    } else {
+                        succs[i].push((exit, None));
+                    }
+                }
+            }
+        }
+
+        // Give exit-unreachable statements a virtual exit edge so that
+        // post-dominance is total. Compute reachability-to-exit on the
+        // reverse graph first.
+        let mut reaches_exit = vec![false; n + 1];
+        {
+            let mut rpreds: Vec<Vec<Node>> = vec![Vec::new(); n + 1];
+            for (u, ss) in succs.iter().enumerate() {
+                for &(v, _) in ss {
+                    rpreds[v].push(u);
+                }
+            }
+            let mut stack = vec![exit];
+            reaches_exit[exit] = true;
+            while let Some(v) = stack.pop() {
+                for &u in &rpreds[v] {
+                    if !reaches_exit[u] {
+                        reaches_exit[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        for (u, r) in reaches_exit.iter().enumerate().take(n) {
+            if !r {
+                succs[u].push((exit, None));
+            }
+        }
+
+        let mut preds: Vec<Vec<Node>> = vec![Vec::new(); n + 1];
+        for (u, ss) in succs.iter().enumerate() {
+            for &(v, _) in ss {
+                preds[v].push(u);
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            stmts: n,
+        }
+    }
+
+    /// Number of real statements.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts
+    }
+
+    /// The virtual exit node.
+    pub fn exit(&self) -> Node {
+        self.stmts
+    }
+
+    /// Labeled successors of a node.
+    pub fn succs(&self, v: Node) -> &[(Node, EdgeLabel)] {
+        &self.succs[v]
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, v: Node) -> &[Node] {
+        &self.preds[v]
+    }
+
+    /// Iterates over all `(from, to, label)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, EdgeLabel)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ss)| ss.iter().map(move |&(v, l)| (u, v, l)))
+    }
+
+    /// Converts a node to a statement id (`None` for the exit node).
+    pub fn as_stmt(&self, v: Node) -> Option<StmtId> {
+        (v < self.stmts).then_some(StmtId(v as u32))
+    }
+}
+
+/// Computes immediate dominators of `graph` rooted at `root` using the
+/// Cooper–Harvey–Kennedy iterative algorithm.
+///
+/// `succs`/`preds` describe the graph in the direction of domination (pass
+/// the *reverse* CFG with the exit as root to obtain post-dominators).
+/// Returns `idom[v]`, with `idom[root] == root` and unreachable nodes
+/// mapped to `usize::MAX`.
+pub fn immediate_dominators(
+    n: usize,
+    root: Node,
+    succs: impl Fn(Node) -> Vec<Node>,
+    preds: impl Fn(Node) -> Vec<Node>,
+) -> Vec<Node> {
+    const UNDEF: Node = usize::MAX;
+    // Reverse postorder from root.
+    let mut order = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack = vec![(root, 0usize)];
+    state[root] = 1;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        let ss = succs(v);
+        if *i < ss.len() {
+            let w = ss[*i];
+            *i += 1;
+            if state[w] == 0 {
+                state[w] = 1;
+                stack.push((w, 0));
+            }
+        } else {
+            state[v] = 2;
+            order.push(v);
+            stack.pop();
+        }
+    }
+    order.reverse(); // reverse postorder
+
+    let mut rpo_num = vec![UNDEF; n];
+    for (i, &v) in order.iter().enumerate() {
+        rpo_num[v] = i;
+    }
+
+    let mut idom = vec![UNDEF; n];
+    idom[root] = root;
+    let intersect = |idom: &[Node], rpo: &[Node], mut a: Node, mut b: Node| -> Node {
+        while a != b {
+            while rpo[a] > rpo[b] {
+                a = idom[a];
+            }
+            while rpo[b] > rpo[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in order.iter().skip(1) {
+            let mut new_idom = UNDEF;
+            for p in preds(v) {
+                if idom.get(p).copied().unwrap_or(UNDEF) == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    intersect(&idom, &rpo_num, new_idom, p)
+                };
+            }
+            if new_idom != UNDEF && idom[v] != new_idom {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_lang::compile;
+
+    #[test]
+    fn straight_line_cfg() {
+        let p = compile("global x: int; fn main() { x = 1; x = 2; }").unwrap();
+        let cfg = Cfg::build(p.func(p.main));
+        assert_eq!(cfg.stmt_count(), 3); // two assigns + implicit return
+        assert_eq!(cfg.succs(0), &[(1, None)]);
+        assert_eq!(cfg.succs(2), &[(cfg.exit(), None)]);
+    }
+
+    #[test]
+    fn branch_edges_labeled() {
+        let p = compile("global x: int; fn main() { if (x > 0) { x = 1; } }").unwrap();
+        let cfg = Cfg::build(p.func(p.main));
+        let branch = (0..cfg.stmt_count())
+            .find(|&i| cfg.succs(i).len() == 2)
+            .expect("one branch");
+        let labels: Vec<_> = cfg.succs(branch).iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, vec![Some(true), Some(false)]);
+    }
+
+    #[test]
+    fn infinite_loop_gets_virtual_exit_edge() {
+        let p = compile("global x: int; fn main() { while (1) { x = x + 1; } }").unwrap();
+        let cfg = Cfg::build(p.func(p.main));
+        // Some node inside the loop must have a virtual edge to exit.
+        let has_exit_edge =
+            (0..cfg.stmt_count()).any(|i| cfg.succs(i).iter().any(|&(v, _)| v == cfg.exit()));
+        assert!(has_exit_edge);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // 0 -> 1 -> {2,3} -> 4
+        let succs: [Vec<usize>; 5] = [vec![1], vec![2, 3], vec![4], vec![4], vec![]];
+        let mut preds = vec![Vec::new(); 5];
+        for (u, ss) in succs.iter().enumerate() {
+            for &v in ss {
+                preds[v].push(u);
+            }
+        }
+        let idom = immediate_dominators(5, 0, |v| succs[v].clone(), |v| preds[v].clone());
+        assert_eq!(idom[1], 0);
+        assert_eq!(idom[2], 1);
+        assert_eq!(idom[3], 1);
+        assert_eq!(idom[4], 1);
+    }
+
+    #[test]
+    fn postdominators_of_if() {
+        let p =
+            compile("global x: int; fn main() { if (x > 0) { x = 1; } else { x = 2; } x = 3; }")
+                .unwrap();
+        let cfg = Cfg::build(p.func(p.main));
+        let n = cfg.stmt_count() + 1;
+        let ipdom = immediate_dominators(
+            n,
+            cfg.exit(),
+            |v| cfg.preds(v).to_vec(),
+            |v| cfg.succs(v).iter().map(|&(s, _)| s).collect(),
+        );
+        // The branch's immediate postdominator is the merge statement x = 3.
+        let branch = (0..cfg.stmt_count())
+            .find(|&i| cfg.succs(i).len() == 2)
+            .unwrap();
+        let f = p.func(p.main);
+        let merge = ipdom[branch];
+        match &f.body[merge] {
+            mcr_lang::Inst::Assign { src, .. } => {
+                assert_eq!(src, &mcr_lang::Expr::Const(3));
+            }
+            other => panic!("unexpected ipdom {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Criterion micro-benchmarks of the analysis kernels behind the tables.
+//!
+//! * `instrumentation/*` — the overhead story of the paper's §3.2: plain
+//!   execution vs. loop counters vs. full online execution indexing (the
+//!   paper's 1.6% vs 42% motivation).
+//! * `dump/*` — encode/decode/traverse/diff (Tables 3 and 6).
+//! * `index/*` — failure-index reverse engineering and alignment.
+//! * `slice/*` — dependence trace + backward slice (Table 6).
+//! * `search/*` — one end-to-end directed search per algorithm (Table 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcr_analysis::ProgramAnalysis;
+use mcr_core::{find_failure, ReproOptions, Reproducer};
+use mcr_dump::{reachable_vars, CoreDump, DumpDiff, DumpReason, TraverseLimits};
+use mcr_index::{reverse_index, Aligner, OnlineIndexer};
+use mcr_search::Algorithm;
+use mcr_slice::{backward_slice, Strategy, TraceCollector};
+use mcr_vm::{run, run_until, DeterministicScheduler, NullObserver, ThreadId, Vm};
+
+const LOOPY: &str = r#"
+    global n: int;
+    global acc: int;
+    fn work(k) {
+        var i; var v;
+        v = k;
+        while (i < 40) {
+            i = i + 1;
+            v = (v * 31 + i) % 1009;
+        }
+        return v;
+    }
+    fn main() {
+        var r; var j;
+        for (j = 0; j < 50; j = j + 1) {
+            r = work(j);
+            acc = acc + r;
+        }
+    }
+"#;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let program = mcr_lang::compile(LOOPY).unwrap();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let mut g = c.benchmark_group("instrumentation");
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[]);
+            vm.set_count_loop_instr(false);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut NullObserver,
+                1_000_000,
+            );
+            black_box(vm.instrs())
+        })
+    });
+    g.bench_function("loop_counters", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[]);
+            vm.set_count_loop_instr(true);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut NullObserver,
+                1_000_000,
+            );
+            black_box(vm.instrs())
+        })
+    });
+    g.bench_function("online_ei", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[]);
+            let mut indexer = OnlineIndexer::new(&program, &analysis);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut indexer,
+                1_000_000,
+            );
+            black_box(indexer.ops())
+        })
+    });
+    g.finish();
+}
+
+const HEAPY: &str = r#"
+    global roots: [int; 32];
+    global n: int;
+    fn main() {
+        var i; var p;
+        for (i = 0; i < 32; i = i + 1) {
+            p = alloc(16);
+            p[0] = i;
+            p[1] = alloc(4);
+            roots[i] = p;
+        }
+        n = 32;
+    }
+"#;
+
+fn medium_dump() -> (mcr_lang::Program, CoreDump) {
+    let program = mcr_lang::compile(HEAPY).unwrap();
+    let mut vm = Vm::new(&program, &[]);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+    );
+    let dump = CoreDump::capture(&vm, ThreadId(0), DumpReason::Manual);
+    (program, dump)
+}
+
+fn bench_dump(c: &mut Criterion) {
+    let (_program, dump) = medium_dump();
+    let bytes = mcr_dump::encode(&dump);
+    let vars = reachable_vars(&dump, TraverseLimits::default());
+    let mut g = c.benchmark_group("dump");
+    g.bench_function("encode", |b| b.iter(|| black_box(mcr_dump::encode(&dump))));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(mcr_dump::decode(&bytes).unwrap()))
+    });
+    g.bench_function("traverse", |b| {
+        b.iter(|| black_box(reachable_vars(&dump, TraverseLimits::default())))
+    });
+    g.bench_function("diff", |b| {
+        b.iter(|| black_box(DumpDiff::compare_maps(&vars, &vars)))
+    });
+    g.finish();
+}
+
+const CRASHER: &str = r#"
+    global input: [int; 1];
+    fn deep(p, d) {
+        if (d > 0) {
+            deep(p, d - 1);
+        } else {
+            p[0] = 1;
+        }
+    }
+    fn main() {
+        var i; var p;
+        while (i < 20) {
+            i = i + 1;
+            if (i == input[0]) { deep(null, 6); }
+        }
+    }
+"#;
+
+fn bench_index(c: &mut Criterion) {
+    let program = mcr_lang::compile(CRASHER).unwrap();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let mut vm = Vm::new(&program, &[13]);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+    );
+    let dump = CoreDump::capture_failure(&vm).expect("crash");
+    let index = reverse_index(&program, &analysis, &dump).unwrap();
+
+    let mut g = c.benchmark_group("index");
+    g.bench_function("reverse_engineer", |b| {
+        b.iter(|| black_box(reverse_index(&program, &analysis, &dump).unwrap()))
+    });
+    g.bench_function("alignment_scan", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[99]);
+            let mut aligner = Aligner::new(&program, &analysis, dump.focus, &index);
+            run_until(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut aligner,
+                1_000_000,
+                |_| false,
+            );
+            black_box(aligner.finish())
+        })
+    });
+    g.finish();
+}
+
+fn bench_slice(c: &mut Criterion) {
+    let program = mcr_lang::compile(LOOPY).unwrap();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let mut vm = Vm::new(&program, &[]);
+    let mut collector = TraceCollector::new(&program, &analysis, 1_000_000);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut collector,
+        1_000_000,
+    );
+    let trace = collector.finish();
+    let criterion = trace.last().unwrap().serial;
+
+    let mut g = c.benchmark_group("slice");
+    g.bench_function("collect_trace", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[]);
+            let mut tc = TraceCollector::new(&program, &analysis, 1_000_000);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut tc,
+                1_000_000,
+            );
+            black_box(tc.finish().len())
+        })
+    });
+    g.bench_function("backward_slice", |b| {
+        b.iter(|| black_box(backward_slice(&trace, &[criterion]).len()))
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    // A small fig1-scale bug so each iteration is an entire pipeline.
+    let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
+    let program = bug.compile();
+    let input = bug.lengthened_input(10, 42);
+    let sf = find_failure(&program, &input, 0..200_000, bug.max_steps).expect("stress");
+
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    for (name, algorithm, strategy) in [
+        ("chessx_temporal", Algorithm::ChessX, Strategy::Temporal),
+        ("chessx_dep", Algorithm::ChessX, Strategy::Dependence),
+        ("chess", Algorithm::Chess, Strategy::Temporal),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let reproducer = Reproducer::new(
+                    &program,
+                    ReproOptions {
+                        algorithm,
+                        strategy,
+                        ..Default::default()
+                    },
+                );
+                let report = reproducer.reproduce(&sf.dump, &input).unwrap();
+                assert!(report.search.reproduced);
+                black_box(report.search.tries)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instrumentation,
+    bench_dump,
+    bench_index,
+    bench_slice,
+    bench_search
+);
+criterion_main!(benches);

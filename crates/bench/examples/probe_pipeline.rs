@@ -1,0 +1,36 @@
+use mcr_core::{find_failure, ReproOptions, Reproducer};
+use mcr_search::Algorithm;
+use mcr_slice::Strategy;
+
+fn main() {
+    for bug in mcr_workloads::all_bugs() {
+        let p = bug.compile();
+        let input = bug.default_input();
+        let t0 = std::time::Instant::now();
+        let sf = find_failure(&p, &input, 0..500_000, bug.max_steps).expect("stress");
+        let stress_t = t0.elapsed();
+        for (label, strategy, algo) in [
+            ("chessX+temporal", Strategy::Temporal, Algorithm::ChessX),
+            ("chessX+dep", Strategy::Dependence, Algorithm::ChessX),
+            ("chess", Strategy::Temporal, Algorithm::Chess),
+        ] {
+            let opts = ReproOptions {
+                strategy,
+                algorithm: algo,
+                ..Default::default()
+            };
+            let r = Reproducer::new(&p, opts);
+            let t1 = std::time::Instant::now();
+            match r.reproduce(&sf.dump, &input) {
+                Ok(rep) => println!(
+                    "{:9} {:16} repro={} tries={:5} combos={:4} csvs={:2} idx={:?} align={:?} vars={} shared={} diffs={} ({:?}, stress {:?})",
+                    bug.name, label, rep.search.reproduced, rep.search.tries,
+                    rep.search.combinations_tested,
+                    rep.csv_locs.len(), rep.index.as_ref().map(|i| i.len()),
+                    rep.alignment.signal, rep.vars, rep.shared, rep.diffs, t1.elapsed(), stress_t
+                ),
+                Err(e) => println!("{:9} {:16} ERROR: {e}", bug.name, label),
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mcr-bench --bin tables -- all
+//! cargo run --release -p mcr-bench --bin tables -- table1 [--full-scale]
+//! cargo run --release -p mcr-bench --bin tables -- table2 | table3 | table4
+//! cargo run --release -p mcr-bench --bin tables -- table5 | table6 | fig10
+//! ```
+//!
+//! `table1 --full-scale` generates corpora at the paper's statement
+//! counts (105K/892K/521K — takes a few minutes); the default scale is
+//! 40K statements per corpus.
+
+use mcr_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let full_scale = args.iter().any(|a| a == "--full-scale");
+    let t1_scale = if full_scale { None } else { Some(40_000) };
+
+    let run_one = |name: &str| match name {
+        "table1" => {
+            println!("== Table 1: distribution of control dependences ==");
+            println!("{}", render_table1(&table1(t1_scale)));
+        }
+        "table2" => {
+            println!("== Table 2: concurrency bugs studied ==");
+            println!("{}", render_table2(&table2()));
+        }
+        "table3" => {
+            println!("== Table 3: core dump analysis ==");
+            println!("{}", render_table3(&table3()));
+        }
+        "table4" => {
+            println!("== Table 4: failure-inducing schedule production ==");
+            println!("{}", render_table4(&table4()));
+        }
+        "table5" => {
+            println!("== Table 5: chessX+temporal using instruction counts ==");
+            println!("{}", render_table5(&table5()));
+        }
+        "table6" => {
+            println!("== Table 6: other costs ==");
+            println!("{}", render_table6(&table6()));
+        }
+        "fig10" => {
+            println!("== Fig. 10: runtime overhead on production systems ==");
+            println!("{}", render_fig10(&fig10()));
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10] [--full-scale]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig10",
+        ] {
+            run_one(name);
+        }
+    } else {
+        run_one(which);
+    }
+}

@@ -1,0 +1,16 @@
+//! # mcr-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! over the `mcr-workloads` suite; see [`experiments`] for one function
+//! per table and the `tables` binary for the command-line driver:
+//!
+//! ```text
+//! cargo run --release -p mcr-bench --bin tables -- all
+//! ```
+//!
+//! Criterion micro-benchmarks of the hot analysis kernels live under
+//! `benches/` (`cargo bench -p mcr-bench`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;

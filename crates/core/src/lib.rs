@@ -1,0 +1,43 @@
+//! # mcr-core — core-dump-driven concurrency bug reproduction
+//!
+//! The end-to-end implementation of *Analyzing Multicore Dumps to
+//! Facilitate Concurrency Bug Reproduction* (ASPLOS 2010): given a
+//! failure core dump from an uncontrolled multicore-style run and the
+//! failing input, [`Reproducer::reproduce`] reverse-engineers the
+//! failure's execution index, locates the aligned point in a
+//! deterministic re-execution, compares core dumps to find the critical
+//! shared variables, prioritizes their accesses, and runs a directed
+//! CHESS-style search that emits a failure-inducing schedule.
+//!
+//! ```no_run
+//! use mcr_core::{find_failure, ReproOptions, Reproducer};
+//!
+//! let program = mcr_lang::compile(r#"
+//!     global x: int;
+//!     lock l;
+//!     fn t1() { acquire l; x = 1; release l; assert(x == 1); }
+//!     fn t2() { x = 0; }
+//!     fn main() { spawn t1(); spawn t2(); }
+//! "#)?;
+//! let input: Vec<i64> = vec![];
+//! // 1. Stress until the Heisenbug produces a failure core dump.
+//! let failure = mcr_core::find_failure(&program, &input, 0..1_000_000, 1_000_000)
+//!     .expect("bug exposed");
+//! // 2-6. Reverse-engineer, align, diff, prioritize, search.
+//! let reproducer = Reproducer::new(&program, ReproOptions::default());
+//! let report = reproducer.reproduce(&failure.dump, &input).unwrap();
+//! assert!(report.search.reproduced);
+//! # Ok::<(), mcr_lang::LangError>(())
+//! ```
+//!
+//! (See the repository `examples/` for complete, runnable walkthroughs.)
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod stress;
+
+pub use pipeline::{
+    has_sync_points, AlignMode, ReproError, ReproOptions, ReproReport, ReproTimings, Reproducer,
+};
+pub use stress::{find_failure, passes_deterministically, StressFailure};

@@ -1,0 +1,114 @@
+//! Stress testing: producing the failure core dump.
+//!
+//! The paper acquires its failure dumps by stress-testing the buggy
+//! programs on multiple cores until the reported failure appears (§6,
+//! "while stress testing is very expensive, it is not part of our
+//! proposed technique"). The equivalent here: run under the seeded
+//! bursty [`StressScheduler`] over a seed range until the run crashes.
+
+use mcr_dump::CoreDump;
+use mcr_lang::Program;
+use mcr_vm::{run, NullObserver, Outcome, StressScheduler, Vm};
+
+/// Outcome of a stress campaign.
+#[derive(Debug, Clone)]
+pub struct StressFailure {
+    /// The seed that exposed the failure.
+    pub seed: u64,
+    /// Seeds tried before (and including) the failing one.
+    pub seeds_tried: u64,
+    /// The failure core dump.
+    pub dump: CoreDump,
+    /// Steps the failing run executed.
+    pub steps: u64,
+    /// Instructions the failing run retired.
+    pub instrs: u64,
+}
+
+/// Runs the program under random interleavings until it crashes.
+///
+/// Returns `None` when no seed in `seeds` exposes a failure within
+/// `max_steps` per run.
+pub fn find_failure(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+) -> Option<StressFailure> {
+    let start = seeds.start;
+    for seed in seeds {
+        let mut vm = Vm::new(program, input);
+        let mut sched = StressScheduler::new(seed);
+        let outcome = run(&mut vm, &mut sched, &mut NullObserver, max_steps);
+        if let Outcome::Crashed(_) = outcome {
+            let dump = CoreDump::capture_failure(&vm).expect("crashed");
+            return Some(StressFailure {
+                seed,
+                seeds_tried: seed - start + 1,
+                dump,
+                steps: vm.steps(),
+                instrs: vm.instrs(),
+            });
+        }
+    }
+    None
+}
+
+/// Verifies that the program passes deterministically (the Heisenbug
+/// premise: the single-core canonical run does not fail).
+pub fn passes_deterministically(program: &Program, input: &[i64], max_steps: u64) -> bool {
+    let mut vm = Vm::new(program, input);
+    let mut sched = mcr_vm::DeterministicScheduler::new();
+    matches!(
+        run(&mut vm, &mut sched, &mut NullObserver, max_steps),
+        Outcome::Completed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACE: &str = r#"
+        global x: int;
+        lock l;
+        fn F(p) { p[0] = 1; }
+        fn T1() {
+            var i; var p;
+            for (i = 0; i < 2; i = i + 1) {
+                x = 0;
+                p = alloc(2);
+                acquire l;
+                if (i > 0) { x = 1; p = null; }
+                release l;
+                if (!x) { F(p); }
+            }
+        }
+        fn T2() { x = 0; }
+        fn main() { spawn T1(); spawn T2(); }
+    "#;
+
+    #[test]
+    fn heisenbug_premise_holds() {
+        let p = mcr_lang::compile(RACE).unwrap();
+        assert!(passes_deterministically(&p, &[], 100_000));
+        let f = find_failure(&p, &[], 0..100_000, 100_000).expect("stress exposes");
+        assert!(f.dump.failure().is_some());
+        assert!(f.steps > 0);
+    }
+
+    #[test]
+    fn stress_is_replayable() {
+        let p = mcr_lang::compile(RACE).unwrap();
+        let f1 = find_failure(&p, &[], 0..100_000, 100_000).unwrap();
+        let f2 = find_failure(&p, &[], 0..100_000, 100_000).unwrap();
+        assert_eq!(f1.seed, f2.seed);
+        assert_eq!(f1.dump, f2.dump);
+    }
+
+    #[test]
+    fn no_failure_in_clean_program() {
+        let p = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
+        assert!(find_failure(&p, &[], 0..50, 10_000).is_none());
+    }
+}

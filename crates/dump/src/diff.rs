@@ -1,0 +1,195 @@
+//! Dump comparison and critical shared variables.
+//!
+//! The heart of the paper's §4: compare the failure dump against the dump
+//! taken at the aligned point of the passing run, over all variables with
+//! *identical reference paths* in the two dumps. Shared variables whose
+//! values differ are the **critical shared variables (CSVs)** — "they
+//! reflect the outcome of schedule differences \[and\] are also the reason
+//! why a failure occurs in one run but not the other."
+
+use crate::dump::CoreDump;
+use crate::refpath::{reachable_vars, PathValue, RefPath, TraverseLimits, VarMap};
+
+/// One value difference between two dumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueDiff {
+    /// The variable (by reference path).
+    pub path: RefPath,
+    /// Value in the first (failure) dump.
+    pub a: PathValue,
+    /// Value in the second (aligned/passing) dump.
+    pub b: PathValue,
+}
+
+/// Result of comparing two dumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpDiff {
+    /// Number of variables reachable in the first dump (paper Table 3,
+    /// "vars").
+    pub vars_a: usize,
+    /// Number of variables reachable in the second dump.
+    pub vars_b: usize,
+    /// Variables with identical reference paths in both dumps.
+    pub compared: usize,
+    /// Shared variables compared (paper Table 3, "shared").
+    pub shared_compared: usize,
+    /// All value differences (paper Table 3, "diffs").
+    pub diffs: Vec<ValueDiff>,
+    /// The critical shared variables: shared paths with differing values
+    /// (paper Table 3, "CSV").
+    pub csvs: Vec<RefPath>,
+}
+
+impl DumpDiff {
+    /// Compares two dumps with default traversal limits.
+    pub fn compare(a: &CoreDump, b: &CoreDump) -> DumpDiff {
+        Self::compare_with(a, b, TraverseLimits::default())
+    }
+
+    /// Compares two dumps with explicit traversal limits.
+    pub fn compare_with(a: &CoreDump, b: &CoreDump, limits: TraverseLimits) -> DumpDiff {
+        let va = reachable_vars(a, limits);
+        let vb = reachable_vars(b, limits);
+        Self::compare_maps(&va, &vb)
+    }
+
+    /// Compares two precomputed variable maps.
+    pub fn compare_maps(va: &VarMap, vb: &VarMap) -> DumpDiff {
+        let mut compared = 0usize;
+        let mut shared_compared = 0usize;
+        let mut diffs = Vec::new();
+        let mut csvs = Vec::new();
+        for (path, &value_a) in va {
+            let Some(&value_b) = vb.get(path) else {
+                continue;
+            };
+            compared += 1;
+            let shared = path.is_shared();
+            if shared {
+                shared_compared += 1;
+            }
+            if value_a != value_b {
+                if shared {
+                    csvs.push(path.clone());
+                }
+                diffs.push(ValueDiff {
+                    path: path.clone(),
+                    a: value_a,
+                    b: value_b,
+                });
+            }
+        }
+        DumpDiff {
+            vars_a: va.len(),
+            vars_b: vb.len(),
+            compared,
+            shared_compared,
+            diffs,
+            csvs,
+        }
+    }
+
+    /// Number of differing variables.
+    pub fn diff_count(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// Number of critical shared variables.
+    pub fn csv_count(&self) -> usize {
+        self.csvs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::DumpReason;
+    use mcr_vm::{run, DeterministicScheduler, NullObserver, ThreadId, Vm};
+
+    fn dump_with_input(src: &str, input: &[i64]) -> (mcr_lang::Program, CoreDump) {
+        let p = mcr_lang::compile(src).unwrap();
+        let mut vm = Vm::new(&p, input);
+        let mut s = DeterministicScheduler::new();
+        run(&mut vm, &mut s, &mut NullObserver, 100_000);
+        let focus = vm.failure().map(|f| f.thread).unwrap_or(ThreadId(0));
+        let reason = vm
+            .failure()
+            .map(DumpReason::Failure)
+            .unwrap_or(DumpReason::Manual);
+        let d = crate::dump::CoreDump::capture(&vm, focus, reason);
+        (p, d)
+    }
+
+    // Ends in a deterministic crash so the focus thread's frame (and its
+    // locals) are still live in the dump, as in a real failure dump.
+    const PROG: &str = r#"
+        global input: [int; 2];
+        global x: int;
+        global y: int;
+        global q: ptr;
+        fn main() {
+            var local_only;
+            var z;
+            x = input[0];
+            y = 5;
+            local_only = input[0];
+            q = alloc(2);
+            q[0] = input[1];
+            z = null;
+            z[0] = 1;
+        }
+    "#;
+
+    #[test]
+    fn identical_runs_have_no_diffs() {
+        let (_, a) = dump_with_input(PROG, &[1, 2]);
+        let (_, b) = dump_with_input(PROG, &[1, 2]);
+        let d = DumpDiff::compare(&a, &b);
+        assert_eq!(d.diff_count(), 0);
+        assert_eq!(d.csv_count(), 0);
+        assert!(d.compared > 0);
+        assert!(d.shared_compared > 0);
+        assert!(d.shared_compared < d.compared, "locals are compared too");
+    }
+
+    #[test]
+    fn differing_shared_values_are_csvs() {
+        let (p, a) = dump_with_input(PROG, &[1, 2]);
+        let (_, b) = dump_with_input(PROG, &[9, 2]);
+        let d = DumpDiff::compare(&a, &b);
+        // x differs (shared), local_only differs (private), input[0]
+        // differs (shared).
+        assert!(d.diff_count() >= 3, "diffs: {:?}", d.diffs);
+        let x = p.global_by_name("x").unwrap();
+        assert!(d
+            .csvs
+            .iter()
+            .any(|c| c.root == crate::refpath::PathRoot::Global(x)));
+        // Every CSV is shared.
+        assert!(d.csvs.iter().all(|c| c.is_shared()));
+        // The private local difference is a diff but not a CSV.
+        assert!(d.diff_count() > d.csv_count());
+    }
+
+    #[test]
+    fn heap_differences_through_global_pointers_are_csvs() {
+        let (_, a) = dump_with_input(PROG, &[1, 2]);
+        let (_, b) = dump_with_input(PROG, &[1, 7]);
+        let d = DumpDiff::compare(&a, &b);
+        assert!(
+            d.csvs.iter().any(|c| !c.steps.is_empty()),
+            "expected a heap CSV, got {:?}",
+            d.csvs
+        );
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_count() {
+        let (_, a) = dump_with_input(PROG, &[1, 2]);
+        let (_, b) = dump_with_input(PROG, &[3, 4]);
+        let ab = DumpDiff::compare(&a, &b);
+        let ba = DumpDiff::compare(&b, &a);
+        assert_eq!(ab.diff_count(), ba.diff_count());
+        assert_eq!(ab.csv_count(), ba.csv_count());
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution index representation.
+//!
+//! An execution index (paper §3.1, after Xin et al. \[29\]) canonically
+//! names one execution point by its nesting structure: the path from the
+//! root of the index tree to the leaf. Here an index is the list of
+//! enclosing regions — thread-root and called functions, predicate
+//! branches (with short-circuit groups aggregated into one complex
+//! predicate), one entry per loop iteration — ending with the leaf
+//! statement.
+
+use mcr_analysis::PredKey;
+use mcr_lang::{FuncId, Pc, Program};
+use std::fmt;
+
+/// One entry of an execution index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexEntry {
+    /// A function body region (thread root or call).
+    Func(FuncId),
+    /// A predicate branch region.
+    Branch {
+        /// Function containing the predicate.
+        func: FuncId,
+        /// The predicate (plain statement or aggregated cluster).
+        key: PredKey,
+        /// The branch side.
+        outcome: bool,
+    },
+    /// The leaf: the execution point itself.
+    Stmt(Pc),
+}
+
+/// A complete execution index: regions from outermost to innermost,
+/// ending with the leaf statement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutionIndex {
+    /// Entries, outermost first.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl ExecutionIndex {
+    /// Creates an index from entries.
+    pub fn new(entries: Vec<IndexEntry>) -> Self {
+        ExecutionIndex { entries }
+    }
+
+    /// Number of entries — the `len(index)` column of the paper's Table 3.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The leaf statement, if present.
+    pub fn leaf(&self) -> Option<Pc> {
+        match self.entries.last() {
+            Some(IndexEntry::Stmt(pc)) => Some(*pc),
+            _ => None,
+        }
+    }
+
+    /// Renders the index with source-level names, e.g.
+    /// `T1 -> 2T -> 2T -> 11T -> F -> 17`.
+    pub fn display<'a>(&'a self, program: &'a Program) -> IndexDisplay<'a> {
+        IndexDisplay {
+            index: self,
+            program,
+        }
+    }
+}
+
+/// Pretty-printer for [`ExecutionIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexDisplay<'a> {
+    index: &'a ExecutionIndex,
+    program: &'a Program,
+}
+
+impl fmt::Display for IndexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.index.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            match e {
+                IndexEntry::Func(fid) => write!(f, "{}", self.program.func(*fid).name)?,
+                IndexEntry::Branch { func, key, outcome } => {
+                    let fname = &self.program.func(*func).name;
+                    let side = if *outcome { "T" } else { "F" };
+                    match key {
+                        PredKey::Stmt(s) => write!(f, "{fname}:{}{side}", s.0)?,
+                        PredKey::Cluster(g) => write!(f, "{fname}:G{}{side}", g.0)?,
+                    }
+                }
+                IndexEntry::Stmt(pc) => write!(f, "{pc}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_lang::StmtId;
+
+    #[test]
+    fn leaf_extraction() {
+        let pc = Pc::new(FuncId(0), StmtId(3));
+        let idx = ExecutionIndex::new(vec![IndexEntry::Func(FuncId(0)), IndexEntry::Stmt(pc)]);
+        assert_eq!(idx.leaf(), Some(pc));
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let p = mcr_lang::compile("global x: int; fn main() { if (x > 0) { x = 1; } }").unwrap();
+        let branch = p
+            .func(p.main)
+            .body
+            .iter()
+            .position(|i| i.is_branch())
+            .unwrap() as u32;
+        let idx = ExecutionIndex::new(vec![
+            IndexEntry::Func(p.main),
+            IndexEntry::Branch {
+                func: p.main,
+                key: PredKey::Stmt(StmtId(branch)),
+                outcome: true,
+            },
+            IndexEntry::Stmt(Pc::new(p.main, StmtId(branch + 1))),
+        ]);
+        let s = idx.display(&p).to_string();
+        assert!(s.starts_with("main -> main:"), "{s}");
+        assert!(s.contains('T'), "{s}");
+    }
+}

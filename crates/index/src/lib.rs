@@ -1,0 +1,62 @@
+//! # mcr-index — execution indexing for dump-driven bug reproduction
+//!
+//! The paper's central analytical device (§3): a canonical, structural
+//! identification of execution points that survives scheduling changes.
+//!
+//! * [`ExecutionIndex`] — the index representation (paper Fig. 3),
+//! * [`OnlineIndexer`] — the instrumented runtime of Fig. 4; ground truth
+//!   for validation and the overhead comparison that motivates dump
+//!   reverse engineering,
+//! * [`reverse_index`] — Algorithm 1: rebuild the failure index from a
+//!   core dump using static control dependences, the call stack, and the
+//!   loop counters the 1.6%-overhead instrumentation left in the frames,
+//! * [`Aligner`] — the Fig. 7 rules locating the exact or closest
+//!   aligned point in the deterministic passing run.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcr_analysis::ProgramAnalysis;
+//! use mcr_dump::CoreDump;
+//! use mcr_index::{reverse_index, AlignSignal, Aligner};
+//! use mcr_vm::{run, run_until, DeterministicScheduler, NullObserver, Vm};
+//!
+//! let src = r#"
+//!     global input: [int; 1];
+//!     fn main() {
+//!         var i; var p;
+//!         while (i < 4) {
+//!             i = i + 1;
+//!             if (i == input[0]) { p = null; p[0] = 1; }
+//!         }
+//!     }
+//! "#;
+//! let program = mcr_lang::compile(src)?;
+//! let analysis = ProgramAnalysis::analyze(&program);
+//!
+//! // Failing run, dump, reverse-engineered index.
+//! let mut vm = Vm::new(&program, &[2]);
+//! run(&mut vm, &mut DeterministicScheduler::new(), &mut NullObserver, 100_000);
+//! let dump = CoreDump::capture_failure(&vm).unwrap();
+//! let index = reverse_index(&program, &analysis, &dump).unwrap();
+//!
+//! // Align a run that does not crash.
+//! let mut vm2 = Vm::new(&program, &[99]);
+//! let mut aligner = Aligner::new(&program, &analysis, dump.focus, &index);
+//! run_until(&mut vm2, &mut DeterministicScheduler::new(), &mut aligner, 100_000, |_| false);
+//! assert_eq!(aligner.finish().signal, AlignSignal::Closest);
+//! # Ok::<(), mcr_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+#[allow(clippy::module_inception)]
+pub mod index;
+pub mod online;
+pub mod reverse;
+
+pub use align::{AlignSignal, Aligner, Alignment, AlignmentOutcome};
+pub use index::{ExecutionIndex, IndexDisplay, IndexEntry};
+pub use online::OnlineIndexer;
+pub use reverse::{reverse_index, ReverseError};

@@ -1,0 +1,219 @@
+//! Surface syntax tree for MiniCC.
+//!
+//! MiniCC is the small C-like concurrent language the workloads are written
+//! in. It deliberately includes every control-flow construct the paper's
+//! reverse-engineering algorithm distinguishes: plain conditionals (single
+//! control dependence), short-circuit `&&`/`||` conditions (multiple control
+//! dependences aggregatable to one, Fig. 5b), `goto` (non-aggregatable
+//! multiple control dependences, Fig. 6), and `for`/`while` loops (loop
+//! predicates, with and without natural counters).
+
+/// A parsed expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedExpr {
+    /// The expression.
+    pub expr: AExpr,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Surface expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// Integer literal.
+    Int(i64),
+    /// `null`.
+    Null,
+    /// Variable reference (local or global, resolved during lowering).
+    Name(String),
+    /// Indexing: `base[idx]` — global array element or heap load.
+    Index(Box<AExpr>, Box<AExpr>),
+    /// Unary operator.
+    Unary(AUnOp, Box<AExpr>),
+    /// Binary operator. `&&`/`||` short-circuit in `if`/`assert` conditions.
+    Binary(ABinOp, Box<AExpr>, Box<AExpr>),
+}
+
+/// Surface unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AUnOp {
+    /// `-e`.
+    Neg,
+    /// `!e`.
+    Not,
+}
+
+/// Surface binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator/keyword names are self-describing
+pub enum ABinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit conjunction.
+    AndAnd,
+    /// Short-circuit disjunction.
+    OrOr,
+}
+
+/// Assignable surface locations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ALValue {
+    /// Named variable.
+    Name(String),
+    /// `base[idx]`.
+    Index(Box<AExpr>, Box<AExpr>),
+}
+
+/// The right-hand side of an assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ARhs {
+    /// Plain expression.
+    Expr(AExpr),
+    /// Function call `f(args)`.
+    Call(String, Vec<AExpr>),
+    /// `alloc(len)`.
+    Alloc(AExpr),
+    /// `spawn f(args)`, evaluating to the new thread id.
+    Spawn(String, Vec<AExpr>),
+}
+
+/// Surface statements, each tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AStmt {
+    /// Statement payload.
+    pub kind: AStmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmtKind {
+    /// `var x;` or `var x = e;` — declares a local.
+    VarDecl(String, Option<AExpr>),
+    /// `lv = rhs;`.
+    Assign(ALValue, ARhs),
+    /// Expression-statement call `f(args);`.
+    CallStmt(String, Vec<AExpr>),
+    /// `spawn f(args);` with the thread id discarded.
+    SpawnStmt(String, Vec<AExpr>),
+    /// `if (c) { .. } else { .. }`.
+    If {
+        /// Condition (may short-circuit).
+        cond: AExpr,
+        /// Then-block.
+        then_blk: Vec<AStmt>,
+        /// Else-block (possibly empty).
+        else_blk: Vec<AStmt>,
+    },
+    /// `while (c) { .. }` — instrumented loop (no natural counter).
+    While {
+        /// Condition (evaluated eagerly; see lowering docs).
+        cond: AExpr,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `for (init; cond; step) { .. }` — loop with a natural counter.
+    For {
+        /// Initializer statement.
+        init: Option<Box<AStmt>>,
+        /// Condition.
+        cond: AExpr,
+        /// Step statement.
+        step: Option<Box<AStmt>>,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `goto label;`.
+    Goto(String),
+    /// `label name:` — a jump target.
+    Label(String),
+    /// `return;` / `return e;`.
+    Return(Option<AExpr>),
+    /// `acquire lockname;`.
+    Acquire(String),
+    /// `release lockname;`.
+    Release(String),
+    /// `join e;`.
+    Join(AExpr),
+    /// `assert(e);`.
+    Assert(AExpr),
+    /// `output(e);`.
+    Output(AExpr),
+    /// `{ .. }` nested block (scoping is flat; this only groups).
+    Block(Vec<AStmt>),
+}
+
+/// A surface global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AGlobal {
+    /// `global x: int = 3;`
+    Scalar {
+        /// Name.
+        name: String,
+        /// Initial value.
+        init: i64,
+    },
+    /// `global a: [int; 8] = 0;`
+    Array {
+        /// Name.
+        name: String,
+        /// Length.
+        len: usize,
+        /// Initial value of every element.
+        init: i64,
+    },
+    /// `global p: ptr;`
+    Ptr {
+        /// Name.
+        name: String,
+    },
+}
+
+impl AGlobal {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            AGlobal::Scalar { name, .. } | AGlobal::Array { name, .. } | AGlobal::Ptr { name } => {
+                name
+            }
+        }
+    }
+}
+
+/// A surface function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AFunc {
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<AStmt>,
+    /// 1-based source line of the declaration.
+    pub line: u32,
+}
+
+/// A parsed MiniCC compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AProgram {
+    /// Global declarations.
+    pub globals: Vec<AGlobal>,
+    /// Lock declarations.
+    pub locks: Vec<String>,
+    /// Functions.
+    pub funcs: Vec<AFunc>,
+}

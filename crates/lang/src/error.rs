@@ -1,0 +1,89 @@
+//! Error types for MiniCC front-end phases.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by lexing, parsing, or lowering MiniCC source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// Name-resolution or structural error during lowering.
+    Lower {
+        /// 1-based line (0 when not tied to a line).
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl LangError {
+    /// Builds a lexical error.
+    pub fn lex(line: u32, msg: impl Into<String>) -> Self {
+        LangError::Lex {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Builds a syntax error.
+    pub fn parse(line: u32, msg: impl Into<String>) -> Self {
+        LangError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Builds a lowering error.
+    pub fn lower(line: u32, msg: impl Into<String>) -> Self {
+        LangError::Lower {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// The 1-based source line the error refers to.
+    pub fn line(&self) -> u32 {
+        match self {
+            LangError::Lex { line, .. }
+            | LangError::Parse { line, .. }
+            | LangError::Lower { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            LangError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LangError::Lower { line, msg } => write!(f, "lowering error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = LangError::parse(7, "expected ';'");
+        assert_eq!(e.to_string(), "parse error at line 7: expected ';'");
+        assert_eq!(e.line(), 7);
+    }
+}

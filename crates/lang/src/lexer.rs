@@ -1,0 +1,299 @@
+//! Hand-written lexer for MiniCC.
+
+use crate::error::LangError;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator/keyword names are self-describing
+pub enum Kw {
+    Global,
+    Lock,
+    Fn,
+    Var,
+    If,
+    Else,
+    While,
+    For,
+    Break,
+    Continue,
+    Goto,
+    Label,
+    Return,
+    Acquire,
+    Release,
+    Spawn,
+    Join,
+    Assert,
+    Output,
+    Alloc,
+    Null,
+    Int,
+    Ptr,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator/keyword names are self-describing
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Punct(p) => write!(f, "{p:?}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "global" => Kw::Global,
+        "lock" => Kw::Lock,
+        "fn" => Kw::Fn,
+        "var" => Kw::Var,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "goto" => Kw::Goto,
+        "label" => Kw::Label,
+        "return" => Kw::Return,
+        "acquire" => Kw::Acquire,
+        "release" => Kw::Release,
+        "spawn" => Kw::Spawn,
+        "join" => Kw::Join,
+        "assert" => Kw::Assert,
+        "output" => Kw::Output,
+        "alloc" => Kw::Alloc,
+        "null" => Kw::Null,
+        "int" => Kw::Int,
+        "ptr" => Kw::Ptr,
+        _ => return None,
+    })
+}
+
+/// Tokenizes MiniCC source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(SpannedTok { tok: $t, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| {
+                    LangError::lex(line, format!("integer literal too large: {text}"))
+                })?;
+                push!(Tok::Int(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                match keyword(text) {
+                    Some(k) => push!(Tok::Kw(k)),
+                    None => push!(Tok::Ident(text.to_string())),
+                }
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (p, n) = match two {
+                    "==" => (Punct::EqEq, 2),
+                    "!=" => (Punct::NotEq, 2),
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    _ => {
+                        let p = match c {
+                            '(' => Punct::LParen,
+                            ')' => Punct::RParen,
+                            '{' => Punct::LBrace,
+                            '}' => Punct::RBrace,
+                            '[' => Punct::LBracket,
+                            ']' => Punct::RBracket,
+                            ';' => Punct::Semi,
+                            ',' => Punct::Comma,
+                            ':' => Punct::Colon,
+                            '=' => Punct::Assign,
+                            '+' => Punct::Plus,
+                            '-' => Punct::Minus,
+                            '*' => Punct::Star,
+                            '/' => Punct::Slash,
+                            '%' => Punct::Percent,
+                            '<' => Punct::Lt,
+                            '>' => Punct::Gt,
+                            '!' => Punct::Not,
+                            _ => {
+                                return Err(LangError::lex(
+                                    line,
+                                    format!("unexpected character {c:?}"),
+                                ))
+                            }
+                        };
+                        (p, 1)
+                    }
+                };
+                push!(Tok::Punct(p));
+                i += n;
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let t = toks("fn foo while whilex");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Fn),
+                Tok::Ident("foo".into()),
+                Tok::Kw(Kw::While),
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let t = toks("== != <= >= && || = < >");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Punct(Punct::EqEq),
+                Tok::Punct(Punct::NotEq),
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::Ge),
+                Tok::Punct(Punct::AndAnd),
+                Tok::Punct(Punct::OrOr),
+                Tok::Punct(Punct::Assign),
+                Tok::Punct(Punct::Lt),
+                Tok::Punct(Punct::Gt),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // c\nb").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(toks("42 0"), vec![Tok::Int(42), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn overflow_literal_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

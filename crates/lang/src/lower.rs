@@ -1,0 +1,1025 @@
+//! Lowering from the MiniCC AST to the statement-level IR.
+//!
+//! Lowering is where the paper's control-dependence taxonomy is *created*:
+//!
+//! * `if (A || B)` conditions are lowered to short-circuit branch chains
+//!   whose members share a [`CondGroupId`] — these become the "multiple
+//!   control dependences aggregatable to one" class (paper Fig. 5b).
+//! * `goto` produces irreducible joins — the "non-aggregatable" class
+//!   (paper Fig. 6).
+//! * every loop gets a counter slot: `while` loops receive the synthetic
+//!   [`Inst::LoopEnter`]/[`Inst::LoopIter`] instrumentation that the paper's
+//!   GCC pass would add (costing one instruction per iteration), `for` loops
+//!   are marked *natural* (their counter is maintained for free, like the
+//!   splash-2 loops in Fig. 10).
+//!
+//! Loop *conditions* are lowered eagerly (no short-circuit) so that a loop
+//! header is always a single predicate statement, which is what both the
+//! execution-indexing rules and the reverse-engineering algorithm assume.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lower`] on unresolved names, arity mismatches,
+/// duplicate declarations, misplaced `break`/`continue`, or unknown labels.
+///
+/// # Examples
+///
+/// ```
+/// let prog = mcr_lang::compile("global x: int; fn main() { x = 1; }")?;
+/// assert_eq!(prog.funcs.len(), 1);
+/// # Ok::<(), mcr_lang::LangError>(())
+/// ```
+pub fn lower(ast: &AProgram) -> Result<Program, LangError> {
+    let mut globals = Vec::new();
+    let mut global_ids = HashMap::new();
+    for g in &ast.globals {
+        if global_ids.contains_key(g.name()) {
+            return Err(LangError::lower(
+                0,
+                format!("duplicate global `{}`", g.name()),
+            ));
+        }
+        global_ids.insert(g.name().to_string(), GlobalId(globals.len() as u32));
+        globals.push(GlobalDecl {
+            name: g.name().to_string(),
+            kind: match g {
+                AGlobal::Scalar { init, .. } => GlobalKind::Scalar { init: *init },
+                AGlobal::Array { len, init, .. } => GlobalKind::Array {
+                    len: *len,
+                    init: *init,
+                },
+                AGlobal::Ptr { .. } => GlobalKind::Ptr,
+            },
+        });
+    }
+
+    let mut lock_ids = HashMap::new();
+    for (i, l) in ast.locks.iter().enumerate() {
+        if lock_ids.insert(l.clone(), LockId(i as u32)).is_some() {
+            return Err(LangError::lower(0, format!("duplicate lock `{l}`")));
+        }
+    }
+
+    let mut func_ids = HashMap::new();
+    for (i, f) in ast.funcs.iter().enumerate() {
+        if func_ids.insert(f.name.clone(), FuncId(i as u32)).is_some() {
+            return Err(LangError::lower(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    let main = *func_ids
+        .get("main")
+        .ok_or_else(|| LangError::lower(0, "program has no `main` function"))?;
+
+    let env = Env {
+        globals: &global_ids,
+        locks: &lock_ids,
+        funcs: &func_ids,
+        ast,
+    };
+    let mut funcs = Vec::new();
+    for f in &ast.funcs {
+        funcs.push(FuncLowerer::new(&env, f)?.run()?);
+    }
+
+    let prog = Program {
+        globals,
+        locks: ast.locks.clone(),
+        funcs,
+        main,
+    };
+    prog.validate()
+        .map_err(|m| LangError::lower(0, format!("internal lowering bug: {m}")))?;
+    Ok(prog)
+}
+
+struct Env<'a> {
+    globals: &'a HashMap<String, GlobalId>,
+    locks: &'a HashMap<String, LockId>,
+    funcs: &'a HashMap<String, FuncId>,
+    ast: &'a AProgram,
+}
+
+/// Symbolic jump target used during emission; resolved to [`StmtId`] at the
+/// end so that `goto` can target labels that appear later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SymLabel(u32);
+
+/// A branch instruction awaiting target resolution.
+#[derive(Debug, Clone)]
+enum PInst {
+    Done(Inst),
+    Branch {
+        cond: Expr,
+        then_to: SymLabel,
+        else_to: SymLabel,
+        loop_header: Option<LoopId>,
+        cond_group: Option<CondGroupId>,
+    },
+    Jump(SymLabel),
+}
+
+struct FuncLowerer<'a> {
+    env: &'a Env<'a>,
+    src: &'a AFunc,
+    code: Vec<PInst>,
+    lines: Vec<u32>,
+    locals: Vec<String>,
+    local_ids: HashMap<String, LocalId>,
+    labels: Vec<Option<u32>>,
+    user_labels: HashMap<String, SymLabel>,
+    pending_gotos: Vec<(String, u32)>,
+    loops: Vec<LoopInfo>,
+    loop_headers: Vec<(LoopId, SymLabel)>,
+    cond_groups: Vec<PendingGroup>,
+    /// (break_target, continue_target) stack.
+    loop_stack: Vec<(SymLabel, SymLabel)>,
+}
+
+struct PendingGroup {
+    members: Vec<u32>,
+    edges: Vec<((u32, bool), SymLabel)>,
+    t_final: SymLabel,
+    f_final: SymLabel,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(env: &'a Env<'a>, src: &'a AFunc) -> Result<Self, LangError> {
+        let mut me = FuncLowerer {
+            env,
+            src,
+            code: Vec::new(),
+            lines: Vec::new(),
+            locals: Vec::new(),
+            local_ids: HashMap::new(),
+            labels: Vec::new(),
+            user_labels: HashMap::new(),
+            pending_gotos: Vec::new(),
+            loops: Vec::new(),
+            loop_headers: Vec::new(),
+            cond_groups: Vec::new(),
+            loop_stack: Vec::new(),
+        };
+        for p in &src.params {
+            me.declare_local(p, src.line)?;
+        }
+        // Pre-declare every local so nested blocks can forward-reference
+        // within the flat frame (C-style function-scoped declarations).
+        fn collect<'s>(stmts: &'s [AStmt], out: &mut Vec<(&'s str, u32)>) {
+            for s in stmts {
+                match &s.kind {
+                    AStmtKind::VarDecl(n, _) => out.push((n, s.line)),
+                    AStmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        collect(then_blk, out);
+                        collect(else_blk, out);
+                    }
+                    AStmtKind::While { body, .. } => collect(body, out),
+                    AStmtKind::For {
+                        init, step, body, ..
+                    } => {
+                        if let Some(i) = init {
+                            collect(std::slice::from_ref(i), out);
+                        }
+                        if let Some(st) = step {
+                            collect(std::slice::from_ref(st), out);
+                        }
+                        collect(body, out);
+                    }
+                    AStmtKind::Block(b) => collect(b, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut decls = Vec::new();
+        collect(&src.body, &mut decls);
+        for (n, line) in decls {
+            me.declare_local(n, line)?;
+        }
+        Ok(me)
+    }
+
+    fn declare_local(&mut self, name: &str, line: u32) -> Result<(), LangError> {
+        if self.env.globals.contains_key(name) {
+            return Err(LangError::lower(
+                line,
+                format!("local `{name}` shadows a global"),
+            ));
+        }
+        if self.local_ids.contains_key(name) {
+            return Err(LangError::lower(
+                line,
+                format!("duplicate local `{name}` in function `{}`", self.src.name),
+            ));
+        }
+        self.local_ids
+            .insert(name.to_string(), LocalId(self.locals.len() as u32));
+        self.locals.push(name.to_string());
+        Ok(())
+    }
+
+    fn fresh_label(&mut self) -> SymLabel {
+        self.labels.push(None);
+        SymLabel(self.labels.len() as u32 - 1)
+    }
+
+    fn bind(&mut self, l: SymLabel) {
+        debug_assert!(self.labels[l.0 as usize].is_none(), "label bound twice");
+        self.labels[l.0 as usize] = Some(self.code.len() as u32);
+    }
+
+    fn emit(&mut self, inst: Inst, line: u32) -> u32 {
+        self.code.push(PInst::Done(inst));
+        self.lines.push(line);
+        self.code.len() as u32 - 1
+    }
+
+    fn emit_jump(&mut self, to: SymLabel, line: u32) {
+        self.code.push(PInst::Jump(to));
+        self.lines.push(line);
+    }
+
+    fn emit_branch(
+        &mut self,
+        cond: Expr,
+        then_to: SymLabel,
+        else_to: SymLabel,
+        loop_header: Option<LoopId>,
+        line: u32,
+    ) -> u32 {
+        self.code.push(PInst::Branch {
+            cond,
+            then_to,
+            else_to,
+            loop_header,
+            cond_group: None,
+        });
+        self.lines.push(line);
+        self.code.len() as u32 - 1
+    }
+
+    fn run(mut self) -> Result<Function, LangError> {
+        let body = std::mem::take(&mut self.src.body.to_vec());
+        self.stmts(&body)?;
+        // Implicit return; also serves as the landing site for labels bound
+        // at the very end of the function.
+        self.emit(Inst::Return { value: None }, 0);
+
+        // Resolve user gotos: every referenced label must have been bound.
+        for (name, _at) in std::mem::take(&mut self.pending_gotos) {
+            let bound = self
+                .user_labels
+                .get(&name)
+                .is_some_and(|l| self.labels[l.0 as usize].is_some());
+            if !bound {
+                return Err(LangError::lower(
+                    self.src.line,
+                    format!("goto to unknown label `{name}` in `{}`", self.src.name),
+                ));
+            }
+        }
+
+        // Resolve symbolic labels to statement ids.
+        let n = self.code.len() as u32;
+        let resolve = |l: SymLabel, labels: &[Option<u32>]| -> StmtId {
+            StmtId(labels[l.0 as usize].unwrap_or(n - 1).min(n - 1))
+        };
+        let labels = self.labels.clone();
+        let mut body: Vec<Inst> = Vec::with_capacity(self.code.len());
+        for pi in &self.code {
+            body.push(match pi {
+                PInst::Done(i) => i.clone(),
+                PInst::Jump(l) => Inst::Jump {
+                    to: resolve(*l, &labels),
+                },
+                PInst::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                    loop_header,
+                    cond_group,
+                } => Inst::Branch {
+                    cond: cond.clone(),
+                    then_to: resolve(*then_to, &labels),
+                    else_to: resolve(*else_to, &labels),
+                    loop_header: *loop_header,
+                    cond_group: *cond_group,
+                },
+            });
+        }
+
+        // Materialize condition groups, tagging member branches.
+        let mut cond_groups = Vec::new();
+        for g in &self.cond_groups {
+            let gid = CondGroupId(cond_groups.len() as u32);
+            for &m in &g.members {
+                if let Inst::Branch { cond_group, .. } = &mut body[m as usize] {
+                    *cond_group = Some(gid);
+                }
+            }
+            let edge_sides = g
+                .edges
+                .iter()
+                .map(|((m, b), target)| {
+                    let side = if *target == g.t_final {
+                        Some(true)
+                    } else if *target == g.f_final {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                    ((StmtId(*m), *b), side)
+                })
+                .collect();
+            cond_groups.push(CondGroup {
+                members: g.members.iter().map(|&m| StmtId(m)).collect(),
+                edge_sides,
+            });
+        }
+
+        // Record loop headers now that labels are resolved.
+        let mut loops = self.loops.clone();
+        for (lid, header_label) in &self.loop_headers {
+            loops[lid.0 as usize].header = resolve(*header_label, &labels);
+        }
+        for (i, l) in loops.iter().enumerate() {
+            match &mut body[l.header.0 as usize] {
+                Inst::Branch { loop_header, .. } => *loop_header = Some(LoopId(i as u32)),
+                _ => {
+                    return Err(LangError::lower(
+                        self.src.line,
+                        format!(
+                            "internal: loop header of `{}` is not a branch",
+                            self.src.name
+                        ),
+                    ))
+                }
+            }
+        }
+
+        Ok(Function {
+            name: self.src.name.clone(),
+            params: self.src.params.len() as u32,
+            local_names: self.locals,
+            body,
+            loops,
+            cond_groups,
+            lines: self.lines,
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[AStmt]) -> Result<(), LangError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &AStmt) -> Result<(), LangError> {
+        let line = s.line;
+        match &s.kind {
+            AStmtKind::VarDecl(name, init) => {
+                if let Some(e) = init {
+                    let dst = Place::Local(self.local(name, line)?);
+                    let src = self.expr(e, line)?;
+                    self.emit(Inst::Assign { dst, src }, line);
+                }
+            }
+            AStmtKind::Assign(lv, rhs) => self.assign(lv, rhs, line)?,
+            AStmtKind::CallStmt(name, args) => {
+                let (callee, args) = self.call(name, args, line)?;
+                self.emit(
+                    Inst::Call {
+                        callee,
+                        args,
+                        dst: None,
+                    },
+                    line,
+                );
+            }
+            AStmtKind::SpawnStmt(name, args) => {
+                let (callee, args) = self.call(name, args, line)?;
+                self.emit(
+                    Inst::Spawn {
+                        callee,
+                        args,
+                        dst: None,
+                    },
+                    line,
+                );
+            }
+            AStmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let t = self.fresh_label();
+                let f = self.fresh_label();
+                let merge = self.fresh_label();
+                self.cond(cond, t, f, line)?;
+                self.bind(t);
+                self.stmts(then_blk)?;
+                self.emit_jump(merge, line);
+                self.bind(f);
+                self.stmts(else_blk)?;
+                self.bind(merge);
+            }
+            AStmtKind::While { cond, body } => {
+                let lid = LoopId(self.loops.len() as u32);
+                self.loops.push(LoopInfo {
+                    header: StmtId(0), // patched in run()
+                    natural: false,
+                });
+                self.emit(Inst::LoopEnter { loop_id: lid }, line);
+                let header = self.fresh_label();
+                let body_l = self.fresh_label();
+                let exit = self.fresh_label();
+                self.bind(header);
+                self.loop_headers.push((lid, header));
+                let c = self.loop_cond(cond, line)?;
+                self.emit_branch(c, body_l, exit, Some(lid), line);
+                self.bind(body_l);
+                self.emit(Inst::LoopIter { loop_id: lid }, line);
+                self.loop_stack.push((exit, header));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.emit_jump(header, line);
+                self.bind(exit);
+            }
+            AStmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let lid = LoopId(self.loops.len() as u32);
+                self.loops.push(LoopInfo {
+                    header: StmtId(0),
+                    natural: true,
+                });
+                self.emit(Inst::LoopEnter { loop_id: lid }, line);
+                let header = self.fresh_label();
+                let body_l = self.fresh_label();
+                let cont = self.fresh_label();
+                let exit = self.fresh_label();
+                self.bind(header);
+                self.loop_headers.push((lid, header));
+                let c = self.loop_cond(cond, line)?;
+                self.emit_branch(c, body_l, exit, Some(lid), line);
+                self.bind(body_l);
+                self.emit(Inst::LoopIter { loop_id: lid }, line);
+                self.loop_stack.push((exit, cont));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.bind(cont);
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.emit_jump(header, line);
+                self.bind(exit);
+            }
+            AStmtKind::Break => {
+                let (exit, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| LangError::lower(line, "`break` outside of a loop"))?;
+                self.emit_jump(exit, line);
+            }
+            AStmtKind::Continue => {
+                let (_, cont) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| LangError::lower(line, "`continue` outside of a loop"))?;
+                self.emit_jump(cont, line);
+            }
+            AStmtKind::Goto(name) => {
+                let l = self.user_label(name);
+                self.pending_gotos.push((name.clone(), line));
+                self.emit_jump(l, line);
+            }
+            AStmtKind::Label(name) => {
+                let l = self.user_label(name);
+                if self.labels[l.0 as usize].is_some() {
+                    return Err(LangError::lower(line, format!("duplicate label `{name}`")));
+                }
+                self.bind(l);
+            }
+            AStmtKind::Return(v) => {
+                let value = match v {
+                    Some(e) => Some(self.expr(e, line)?),
+                    None => None,
+                };
+                self.emit(Inst::Return { value }, line);
+            }
+            AStmtKind::Acquire(name) => {
+                let lock = self.lock(name, line)?;
+                self.emit(Inst::Acquire { lock }, line);
+            }
+            AStmtKind::Release(name) => {
+                let lock = self.lock(name, line)?;
+                self.emit(Inst::Release { lock }, line);
+            }
+            AStmtKind::Join(e) => {
+                let thread = self.expr(e, line)?;
+                self.emit(Inst::Join { thread }, line);
+            }
+            AStmtKind::Assert(e) => {
+                let cond = self.expr(e, line)?;
+                self.emit(Inst::Assert { cond }, line);
+            }
+            AStmtKind::Output(e) => {
+                let value = self.expr(e, line)?;
+                self.emit(Inst::Output { value }, line);
+            }
+            AStmtKind::Block(b) => self.stmts(b)?,
+        }
+        Ok(())
+    }
+
+    fn user_label(&mut self, name: &str) -> SymLabel {
+        if let Some(&l) = self.user_labels.get(name) {
+            l
+        } else {
+            let l = self.fresh_label();
+            self.user_labels.insert(name.to_string(), l);
+            l
+        }
+    }
+
+    /// Lowers an `if`/condition expression into short-circuit branches.
+    /// Emits one branch for simple conditions; for `&&`/`||` chains, emits a
+    /// branch per primitive test and registers them as one condition group.
+    fn cond(&mut self, c: &AExpr, t: SymLabel, f: SymLabel, line: u32) -> Result<(), LangError> {
+        let mut emitted: Vec<((u32, bool), SymLabel)> = Vec::new();
+        self.cond_rec(c, t, f, line, &mut emitted)?;
+        let members: Vec<u32> = {
+            let mut m: Vec<u32> = emitted.iter().map(|((i, _), _)| *i).collect();
+            m.dedup();
+            m
+        };
+        if members.len() > 1 {
+            self.cond_groups.push(PendingGroup {
+                members,
+                edges: emitted,
+                t_final: t,
+                f_final: f,
+            });
+        }
+        Ok(())
+    }
+
+    fn cond_rec(
+        &mut self,
+        c: &AExpr,
+        t: SymLabel,
+        f: SymLabel,
+        line: u32,
+        emitted: &mut Vec<((u32, bool), SymLabel)>,
+    ) -> Result<(), LangError> {
+        match c {
+            AExpr::Binary(ABinOp::OrOr, a, b) => {
+                let mid = self.fresh_label();
+                self.cond_rec(a, t, mid, line, emitted)?;
+                self.bind(mid);
+                self.cond_rec(b, t, f, line, emitted)?;
+            }
+            AExpr::Binary(ABinOp::AndAnd, a, b) => {
+                let mid = self.fresh_label();
+                self.cond_rec(a, mid, f, line, emitted)?;
+                self.bind(mid);
+                self.cond_rec(b, t, f, line, emitted)?;
+            }
+            AExpr::Unary(AUnOp::Not, inner) => {
+                self.cond_rec(inner, f, t, line, emitted)?;
+            }
+            _ => {
+                let e = self.expr(c, line)?;
+                let idx = self.emit_branch(e, t, f, None, line);
+                emitted.push(((idx, true), t));
+                emitted.push(((idx, false), f));
+            }
+        }
+        Ok(())
+    }
+
+    /// Loop conditions are single predicates: `&&`/`||` are lowered eagerly.
+    fn loop_cond(&mut self, c: &AExpr, line: u32) -> Result<Expr, LangError> {
+        self.expr(c, line)
+    }
+
+    fn assign(&mut self, lv: &ALValue, rhs: &ARhs, line: u32) -> Result<(), LangError> {
+        let dst = self.place(lv, line)?;
+        match rhs {
+            ARhs::Expr(e) => {
+                let src = self.expr(e, line)?;
+                self.emit(Inst::Assign { dst, src }, line);
+            }
+            ARhs::Alloc(e) => {
+                let len = self.expr(e, line)?;
+                self.emit(Inst::Alloc { dst, len }, line);
+            }
+            ARhs::Call(name, args) => {
+                let (callee, args) = self.call(name, args, line)?;
+                self.emit(
+                    Inst::Call {
+                        callee,
+                        args,
+                        dst: Some(dst),
+                    },
+                    line,
+                );
+            }
+            ARhs::Spawn(name, args) => {
+                let (callee, args) = self.call(name, args, line)?;
+                self.emit(
+                    Inst::Spawn {
+                        callee,
+                        args,
+                        dst: Some(dst),
+                    },
+                    line,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[AExpr],
+        line: u32,
+    ) -> Result<(FuncId, Vec<Expr>), LangError> {
+        let callee = *self
+            .env
+            .funcs
+            .get(name)
+            .ok_or_else(|| LangError::lower(line, format!("unknown function `{name}`")))?;
+        let want = self.env.ast.funcs[callee.0 as usize].params.len();
+        if want != args.len() {
+            return Err(LangError::lower(
+                line,
+                format!("`{name}` expects {want} argument(s), got {}", args.len()),
+            ));
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for a in args {
+            out.push(self.expr(a, line)?);
+        }
+        Ok((callee, out))
+    }
+
+    fn lock(&self, name: &str, line: u32) -> Result<LockId, LangError> {
+        self.env
+            .locks
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(line, format!("unknown lock `{name}`")))
+    }
+
+    fn local(&self, name: &str, line: u32) -> Result<LocalId, LangError> {
+        self.local_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(line, format!("unknown variable `{name}`")))
+    }
+
+    fn place(&mut self, lv: &ALValue, line: u32) -> Result<Place, LangError> {
+        match lv {
+            ALValue::Name(n) => {
+                if let Some(&l) = self.local_ids.get(n) {
+                    Ok(Place::Local(l))
+                } else if let Some(&g) = self.env.globals.get(n) {
+                    match self.global_kind(g) {
+                        GlobalKind::Array { .. } => Err(LangError::lower(
+                            line,
+                            format!("global array `{n}` must be indexed"),
+                        )),
+                        _ => Ok(Place::Global(g)),
+                    }
+                } else {
+                    Err(LangError::lower(line, format!("unknown variable `{n}`")))
+                }
+            }
+            ALValue::Index(base, idx) => {
+                let i = self.expr(idx, line)?;
+                if let AExpr::Name(n) = &**base {
+                    if let Some(&g) = self.env.globals.get(n) {
+                        if matches!(self.global_kind(g), GlobalKind::Array { .. }) {
+                            return Ok(Place::GlobalElem(g, i));
+                        }
+                    }
+                }
+                let p = self.expr(base, line)?;
+                Ok(Place::HeapStore { ptr: p, idx: i })
+            }
+        }
+    }
+
+    fn global_kind(&self, g: GlobalId) -> GlobalKind {
+        match &self.env.ast.globals[g.0 as usize] {
+            AGlobal::Scalar { init, .. } => GlobalKind::Scalar { init: *init },
+            AGlobal::Array { len, init, .. } => GlobalKind::Array {
+                len: *len,
+                init: *init,
+            },
+            AGlobal::Ptr { .. } => GlobalKind::Ptr,
+        }
+    }
+
+    fn expr(&mut self, e: &AExpr, line: u32) -> Result<Expr, LangError> {
+        Ok(match e {
+            AExpr::Int(v) => Expr::Const(*v),
+            AExpr::Null => Expr::Null,
+            AExpr::Name(n) => {
+                if let Some(&l) = self.local_ids.get(n) {
+                    Expr::Local(l)
+                } else if let Some(&g) = self.env.globals.get(n) {
+                    if matches!(self.global_kind(g), GlobalKind::Array { .. }) {
+                        return Err(LangError::lower(
+                            line,
+                            format!("global array `{n}` must be indexed"),
+                        ));
+                    }
+                    Expr::Global(g)
+                } else {
+                    return Err(LangError::lower(line, format!("unknown variable `{n}`")));
+                }
+            }
+            AExpr::Index(base, idx) => {
+                let i = self.expr(idx, line)?;
+                if let AExpr::Name(n) = &**base {
+                    if let Some(&g) = self.env.globals.get(n) {
+                        if matches!(self.global_kind(g), GlobalKind::Array { .. }) {
+                            return Ok(Expr::GlobalElem(g, Box::new(i)));
+                        }
+                    }
+                }
+                let p = self.expr(base, line)?;
+                Expr::HeapLoad {
+                    ptr: Box::new(p),
+                    idx: Box::new(i),
+                }
+            }
+            AExpr::Unary(op, a) => {
+                let ir_op = match op {
+                    AUnOp::Neg => UnOp::Neg,
+                    AUnOp::Not => UnOp::Not,
+                };
+                Expr::un(ir_op, self.expr(a, line)?)
+            }
+            AExpr::Binary(op, a, b) => {
+                let ir_op = match op {
+                    ABinOp::Add => BinOp::Add,
+                    ABinOp::Sub => BinOp::Sub,
+                    ABinOp::Mul => BinOp::Mul,
+                    ABinOp::Div => BinOp::Div,
+                    ABinOp::Mod => BinOp::Mod,
+                    ABinOp::Eq => BinOp::Eq,
+                    ABinOp::Ne => BinOp::Ne,
+                    ABinOp::Lt => BinOp::Lt,
+                    ABinOp::Le => BinOp::Le,
+                    ABinOp::Gt => BinOp::Gt,
+                    ABinOp::Ge => BinOp::Ge,
+                    // Eager forms outside `if` conditions.
+                    ABinOp::AndAnd => BinOp::And,
+                    ABinOp::OrOr => BinOp::Or,
+                };
+                Expr::bin(ir_op, self.expr(a, line)?, self.expr(b, line)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Program {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_assignment_lowering() {
+        let p = compile("global x: int; fn main() { x = 1 + 2; }");
+        let f = p.func(p.main);
+        assert!(matches!(f.body[0], Inst::Assign { .. }));
+        assert!(matches!(f.body[1], Inst::Return { value: None }));
+    }
+
+    #[test]
+    fn if_else_lowering_has_one_branch() {
+        let p = compile("global x: int; fn main() { if (x > 0) { x = 1; } else { x = 2; } }");
+        let f = p.func(p.main);
+        let branches: Vec<_> = f.body.iter().filter(|i| i.is_branch()).collect();
+        assert_eq!(branches.len(), 1);
+        assert!(f.cond_groups.is_empty());
+    }
+
+    #[test]
+    fn or_condition_creates_group() {
+        let p =
+            compile("global x: int; global y: int; fn main() { if (x > 0 || y > 0) { x = 1; } }");
+        let f = p.func(p.main);
+        assert_eq!(f.cond_groups.len(), 1);
+        let g = &f.cond_groups[0];
+        assert_eq!(g.members.len(), 2);
+        // First member's false edge is internal, true edge resolves to T.
+        let root = g.root();
+        assert_eq!(g.resolve(root, true), Some(true));
+        assert_eq!(g.resolve(root, false), None);
+        let second = g.members[1];
+        assert_eq!(g.resolve(second, true), Some(true));
+        assert_eq!(g.resolve(second, false), Some(false));
+    }
+
+    #[test]
+    fn and_condition_group_sides() {
+        let p =
+            compile("global x: int; global y: int; fn main() { if (x > 0 && y > 0) { x = 1; } }");
+        let f = p.func(p.main);
+        let g = &f.cond_groups[0];
+        let root = g.root();
+        assert_eq!(g.resolve(root, false), Some(false));
+        assert_eq!(g.resolve(root, true), None);
+    }
+
+    #[test]
+    fn negated_or_swaps_sides() {
+        let p = compile(
+            "global x: int; global y: int; fn main() { if (!(x > 0 || y > 0)) { x = 1; } }",
+        );
+        let f = p.func(p.main);
+        let g = &f.cond_groups[0];
+        let root = g.root();
+        // `x > 0` true means the OR is true, hence the *else* side of the if.
+        assert_eq!(g.resolve(root, true), Some(false));
+        assert_eq!(g.resolve(root, false), None);
+    }
+
+    #[test]
+    fn while_is_instrumented_for_is_natural() {
+        let p = compile(
+            "global n: int; fn main() { var i; while (i < n) { i = i + 1; } for (i = 0; i < n; i = i + 1) { n = n; } }",
+        );
+        let f = p.func(p.main);
+        assert_eq!(f.loops.len(), 2);
+        assert!(!f.loops[0].natural);
+        assert!(f.loops[1].natural);
+        let enters = f
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::LoopEnter { .. }))
+            .count();
+        let iters = f
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::LoopIter { .. }))
+            .count();
+        assert_eq!(enters, 2);
+        assert_eq!(iters, 2);
+        // Headers are marked.
+        for l in &f.loops {
+            assert!(f.loop_header(l.header).is_some());
+        }
+    }
+
+    #[test]
+    fn break_continue_lowering() {
+        let p = compile(
+            "global n: int; fn main() { var i; while (1) { i = i + 1; if (i > 3) { break; } continue; } }",
+        );
+        assert!(p.validate().is_ok());
+        let f = p.func(p.main);
+        // There must be at least two jumps besides the back edge.
+        let jumps = f
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Jump { .. }))
+            .count();
+        assert!(jumps >= 3, "found {jumps} jumps");
+    }
+
+    #[test]
+    fn goto_forward_and_backward() {
+        let p = compile(
+            "global x: int; fn main() { goto skip; x = 1; label skip: x = 2; label back: if (x < 5) { x = x + 1; goto back; } }",
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn goto_unknown_label_fails() {
+        let ast = parse("fn main() { goto nowhere; }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_fails() {
+        let ast = parse("fn main() { break; }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn duplicate_local_fails() {
+        let ast = parse("fn main() { var a; var a; }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn unknown_function_fails() {
+        let ast = parse("fn main() { nope(); }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let ast = parse("fn g(a) {} fn main() { g(); }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn missing_main_fails() {
+        let ast = parse("fn g() {}").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn eager_logic_outside_conditions() {
+        let p = compile("global x: int; fn main() { x = (x > 0) && (x < 5); }");
+        let f = p.func(p.main);
+        assert!(f.cond_groups.is_empty());
+        match &f.body[0] {
+            Inst::Assign { src, .. } => {
+                assert!(matches!(src, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_condition_is_single_predicate() {
+        let p = compile("global x: int; fn main() { while (x > 0 && x < 9) { x = x + 1; } }");
+        let f = p.func(p.main);
+        let branches: Vec<_> = f.body.iter().filter(|i| i.is_branch()).collect();
+        assert_eq!(branches.len(), 1);
+        assert!(f.cond_groups.is_empty());
+    }
+
+    #[test]
+    fn global_array_access_resolves() {
+        let p = compile("global a: [int; 4]; fn main() { a[1] = 7; a[2] = a[1]; }");
+        let f = p.func(p.main);
+        assert!(matches!(
+            f.body[0],
+            Inst::Assign {
+                dst: Place::GlobalElem(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn heap_access_through_local() {
+        let p = compile("fn main() { var p; p = alloc(3); p[0] = 9; var v; v = p[0]; }");
+        let f = p.func(p.main);
+        assert!(matches!(f.body[0], Inst::Alloc { .. }));
+        assert!(matches!(
+            f.body[1],
+            Inst::Assign {
+                dst: Place::HeapStore { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shadowing_global_is_rejected() {
+        let ast = parse("global x: int; fn main() { var x; }").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn three_way_or_group_members() {
+        let p = compile(
+            "global a: int; global b: int; global c: int; fn main() { if (a > 0 || b > 0 || c > 0) { a = 1; } }",
+        );
+        let f = p.func(p.main);
+        assert_eq!(f.cond_groups.len(), 1);
+        assert_eq!(f.cond_groups[0].members.len(), 3);
+    }
+}

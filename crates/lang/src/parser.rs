@@ -1,0 +1,784 @@
+//! Recursive-descent parser for MiniCC.
+//!
+//! Grammar sketch (statements end in `;`, blocks use `{ }`):
+//!
+//! ```text
+//! program   := (global | lockdecl | func)*
+//! global    := "global" ident ":" ("int" ("=" int)? | "[" "int" ";" int "]" ("=" int)? | "ptr") ";"
+//! lockdecl  := "lock" ident ";"
+//! func      := "fn" ident "(" params? ")" block
+//! stmt      := "var" ident ("=" expr)? ";"
+//!            | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//!            | "while" "(" expr ")" block
+//!            | "for" "(" simple? ";" expr ";" simple? ")" block
+//!            | "break" ";" | "continue" ";"
+//!            | "goto" ident ";" | "label" ident ":"
+//!            | "return" expr? ";"
+//!            | "acquire" ident ";" | "release" ident ";"
+//!            | "join" expr ";" | "assert" "(" expr ")" ";"
+//!            | "output" "(" expr ")" ";"
+//!            | "spawn" ident "(" args ")" ";"
+//!            | block
+//!            | simple ";"
+//! simple    := lvalue "=" rhs | ident "(" args ")"
+//! rhs       := "alloc" "(" expr ")" | "spawn" ident "(" args ")"
+//!            | ident "(" args ")"          (when followed by "(")
+//!            | expr
+//! expr      := or ; or := and ("||" and)* ; and := eq ("&&" eq)*
+//! eq        := rel (("=="|"!=") rel)* ; rel := add (("<"|"<="|">"|">=") add)*
+//! add       := mul (("+"|"-") mul)* ; mul := unary (("*"|"/"|"%") unary)*
+//! unary     := ("!"|"-") unary | postfix
+//! postfix   := primary ("[" expr "]")*
+//! primary   := int | "null" | ident | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::{lex, Kw, Punct, SpannedTok, Tok};
+
+/// Parses MiniCC source text into an [`AProgram`].
+///
+/// # Errors
+///
+/// Returns [`LangError`] with the offending line on any lexical or syntax
+/// error.
+///
+/// # Examples
+///
+/// ```
+/// let src = "global x: int; fn main() { x = 1; }";
+/// let prog = mcr_lang::parse(src)?;
+/// assert_eq!(prog.funcs.len(), 1);
+/// # Ok::<(), mcr_lang::LangError>(())
+/// ```
+pub fn parse(src: &str) -> Result<AProgram, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<(), LangError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.line(),
+                format!("expected {what}, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek() == &Tok::Kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw, what: &str) -> Result<(), LangError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.line(),
+                format!("expected {what}, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            t => Err(LangError::parse(
+                self.line(),
+                format!("expected {what}, found `{t}`"),
+            )),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, LangError> {
+        let neg = self.eat_punct(Punct::Minus);
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            t => Err(LangError::parse(
+                self.line(),
+                format!("expected integer literal, found `{t}`"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<AProgram, LangError> {
+        let mut prog = AProgram::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Kw(Kw::Global) => {
+                    self.bump();
+                    prog.globals.push(self.global()?);
+                }
+                Tok::Kw(Kw::Lock) => {
+                    self.bump();
+                    let name = self.ident("lock name")?;
+                    self.expect_punct(Punct::Semi, "`;`")?;
+                    prog.locks.push(name);
+                }
+                Tok::Kw(Kw::Fn) => {
+                    prog.funcs.push(self.func()?);
+                }
+                t => {
+                    return Err(LangError::parse(
+                        self.line(),
+                        format!("expected `global`, `lock` or `fn`, found `{t}`"),
+                    ))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self) -> Result<AGlobal, LangError> {
+        let name = self.ident("global name")?;
+        self.expect_punct(Punct::Colon, "`:`")?;
+        let g = if self.eat_kw(Kw::Int) {
+            let init = if self.eat_punct(Punct::Assign) {
+                self.int_lit()?
+            } else {
+                0
+            };
+            AGlobal::Scalar { name, init }
+        } else if self.eat_kw(Kw::Ptr) {
+            AGlobal::Ptr { name }
+        } else if self.eat_punct(Punct::LBracket) {
+            self.expect_kw(Kw::Int, "`int`")?;
+            self.expect_punct(Punct::Semi, "`;` in array type")?;
+            let len = self.int_lit()?;
+            if len < 0 {
+                return Err(LangError::parse(self.line(), "array length must be >= 0"));
+            }
+            self.expect_punct(Punct::RBracket, "`]`")?;
+            let init = if self.eat_punct(Punct::Assign) {
+                self.int_lit()?
+            } else {
+                0
+            };
+            AGlobal::Array {
+                name,
+                len: len as usize,
+                init,
+            }
+        } else {
+            return Err(LangError::parse(
+                self.line(),
+                "expected `int`, `ptr` or `[int; N]` type",
+            ));
+        };
+        self.expect_punct(Punct::Semi, "`;`")?;
+        Ok(g)
+    }
+
+    fn func(&mut self) -> Result<AFunc, LangError> {
+        let line = self.line();
+        self.expect_kw(Kw::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                params.push(self.ident("parameter name")?);
+                // Optional `: int` annotation on parameters.
+                if self.eat_punct(Punct::Colon) && !(self.eat_kw(Kw::Int) || self.eat_kw(Kw::Ptr)) {
+                    return Err(LangError::parse(self.line(), "expected `int` or `ptr`"));
+                }
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma, "`,`")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(AFunc {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<AStmt>, LangError> {
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(LangError::parse(self.line(), "unclosed block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<AStmt, LangError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::Kw(Kw::Var) => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                if self.eat_punct(Punct::Colon) && !(self.eat_kw(Kw::Int) || self.eat_kw(Kw::Ptr)) {
+                    return Err(LangError::parse(self.line(), "expected `int` or `ptr`"));
+                }
+                let init = if self.eat_punct(Punct::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::VarDecl(name, init)
+            }
+            Tok::Kw(Kw::If) => return self.if_stmt(),
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let body = self.block()?;
+                AStmtKind::While { cond, body }
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let init = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(Box::new(AStmt {
+                        kind: self.simple_stmt()?,
+                        line: self.line(),
+                    }))
+                };
+                self.expect_punct(Punct::Semi, "`;`")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                let step = if self.peek() == &Tok::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(Box::new(AStmt {
+                        kind: self.simple_stmt()?,
+                        line: self.line(),
+                    }))
+                };
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let body = self.block()?;
+                AStmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Break
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Continue
+            }
+            Tok::Kw(Kw::Goto) => {
+                self.bump();
+                let l = self.ident("label name")?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Goto(l)
+            }
+            Tok::Kw(Kw::Label) => {
+                self.bump();
+                let l = self.ident("label name")?;
+                self.expect_punct(Punct::Colon, "`:`")?;
+                AStmtKind::Label(l)
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let v = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Return(v)
+            }
+            Tok::Kw(Kw::Acquire) => {
+                self.bump();
+                let l = self.ident("lock name")?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Acquire(l)
+            }
+            Tok::Kw(Kw::Release) => {
+                self.bump();
+                let l = self.ident("lock name")?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Release(l)
+            }
+            Tok::Kw(Kw::Join) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Join(e)
+            }
+            Tok::Kw(Kw::Assert) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Assert(e)
+            }
+            Tok::Kw(Kw::Output) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Output(e)
+            }
+            Tok::Kw(Kw::Spawn) => {
+                self.bump();
+                let f = self.ident("function name")?;
+                let args = self.call_args()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::SpawnStmt(f, args)
+            }
+            Tok::Punct(Punct::LBrace) => AStmtKind::Block(self.block()?),
+            _ => {
+                let k = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                k
+            }
+        };
+        Ok(AStmt { kind, line })
+    }
+
+    fn if_stmt(&mut self) -> Result<AStmt, LangError> {
+        let line = self.line();
+        self.expect_kw(Kw::If, "`if`")?;
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect_punct(Punct::RParen, "`)`")?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat_kw(Kw::Else) {
+            if self.peek() == &Tok::Kw(Kw::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(AStmt {
+            kind: AStmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            line,
+        })
+    }
+
+    /// `lvalue = rhs` or a bare call `f(args)` — used in statements and in
+    /// `for` init/step positions.
+    fn simple_stmt(&mut self) -> Result<AStmtKind, LangError> {
+        // Bare call: ident followed by `(`.
+        if let (Tok::Ident(name), Tok::Punct(Punct::LParen)) =
+            (self.peek().clone(), self.peek2().clone())
+        {
+            self.bump();
+            let args = self.call_args()?;
+            return Ok(AStmtKind::CallStmt(name, args));
+        }
+        let lv = self.lvalue()?;
+        self.expect_punct(Punct::Assign, "`=`")?;
+        let rhs = self.rhs()?;
+        Ok(AStmtKind::Assign(lv, rhs))
+    }
+
+    fn rhs(&mut self) -> Result<ARhs, LangError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Alloc) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(ARhs::Alloc(e))
+            }
+            Tok::Kw(Kw::Spawn) => {
+                self.bump();
+                let f = self.ident("function name")?;
+                let args = self.call_args()?;
+                Ok(ARhs::Spawn(f, args))
+            }
+            Tok::Ident(name) if self.peek2() == &Tok::Punct(Punct::LParen) => {
+                self.bump();
+                let args = self.call_args()?;
+                Ok(ARhs::Call(name, args))
+            }
+            _ => Ok(ARhs::Expr(self.expr()?)),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<AExpr>, LangError> {
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma, "`,`")?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn lvalue(&mut self) -> Result<ALValue, LangError> {
+        let base = self.postfix()?;
+        match base {
+            AExpr::Name(n) => Ok(ALValue::Name(n)),
+            AExpr::Index(b, i) => Ok(ALValue::Index(b, i)),
+            _ => Err(LangError::parse(
+                self.line(),
+                "left-hand side must be a variable or an indexed location",
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<AExpr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = AExpr::Binary(ABinOp::OrOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.eq_expr()?;
+            lhs = AExpr::Binary(ABinOp::AndAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::EqEq) {
+                ABinOp::Eq
+            } else if self.eat_punct(Punct::NotEq) {
+                ABinOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.rel_expr()?;
+            lhs = AExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Lt) {
+                ABinOp::Lt
+            } else if self.eat_punct(Punct::Le) {
+                ABinOp::Le
+            } else if self.eat_punct(Punct::Gt) {
+                ABinOp::Gt
+            } else if self.eat_punct(Punct::Ge) {
+                ABinOp::Ge
+            } else {
+                break;
+            };
+            let rhs = self.add_expr()?;
+            lhs = AExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Plus) {
+                ABinOp::Add
+            } else if self.eat_punct(Punct::Minus) {
+                ABinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            lhs = AExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<AExpr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Star) {
+                ABinOp::Mul
+            } else if self.eat_punct(Punct::Slash) {
+                ABinOp::Div
+            } else if self.eat_punct(Punct::Percent) {
+                ABinOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = AExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<AExpr, LangError> {
+        if self.eat_punct(Punct::Not) {
+            Ok(AExpr::Unary(AUnOp::Not, Box::new(self.unary_expr()?)))
+        } else if self.eat_punct(Punct::Minus) {
+            Ok(AExpr::Unary(AUnOp::Neg, Box::new(self.unary_expr()?)))
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<AExpr, LangError> {
+        let mut e = self.primary()?;
+        while self.eat_punct(Punct::LBracket) {
+            let idx = self.expr()?;
+            self.expect_punct(Punct::RBracket, "`]`")?;
+            e = AExpr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<AExpr, LangError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(AExpr::Int(v))
+            }
+            Tok::Kw(Kw::Null) => {
+                self.bump();
+                Ok(AExpr::Null)
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(AExpr::Name(s))
+            }
+            Tok::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(e)
+            }
+            t => Err(LangError::parse(
+                self.line(),
+                format!("expected expression, found `{t}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1_shape() {
+        let src = r#"
+            global x: int;
+            global a: [int; 4];
+            lock l;
+            fn F(p) { p[0] = 1; }
+            fn T1() {
+                var i;
+                var p;
+                for (i = 0; i < 2; i = i + 1) {
+                    x = 0;
+                    p = alloc(2);
+                    acquire l;
+                    if (a[i] > 0) { x = 1; p = null; }
+                    release l;
+                    if (!x) { F(p); }
+                }
+            }
+            fn T2() { x = 0; }
+            fn main() { spawn T1(); spawn T2(); }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.locks, vec!["l"]);
+        assert_eq!(prog.funcs.len(), 4);
+        assert_eq!(prog.funcs[1].name, "T1");
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let prog = parse(
+            "fn f(a) { if (a > 1) { return 1; } else if (a > 0) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        match &prog.funcs[0].body[0].kind {
+            AStmtKind::If { else_blk, .. } => {
+                assert_eq!(else_blk.len(), 1);
+                assert!(matches!(else_blk[0].kind, AStmtKind::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_goto_and_labels() {
+        let prog = parse("fn f() { goto out; label out: return; }").unwrap();
+        assert!(matches!(prog.funcs[0].body[0].kind, AStmtKind::Goto(_)));
+        assert!(matches!(prog.funcs[0].body[1].kind, AStmtKind::Label(_)));
+    }
+
+    #[test]
+    fn parses_short_circuit_condition() {
+        let prog = parse("fn f(a, b) { if (a || b && a) { return; } }").unwrap();
+        match &prog.funcs[0].body[0].kind {
+            AStmtKind::If { cond, .. } => {
+                assert!(matches!(cond, AExpr::Binary(ABinOp::OrOr, _, _)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_spawn_with_result() {
+        let prog = parse("fn w() {} fn main() { var t; t = spawn w(); join t; }").unwrap();
+        match &prog.funcs[1].body[1].kind {
+            AStmtKind::Assign(_, ARhs::Spawn(f, _)) => assert_eq!(f, "w"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_call_assignment_and_statement() {
+        let prog = parse("fn g(v) { return v; } fn main() { var r; r = g(3); g(4); }").unwrap();
+        assert!(matches!(
+            prog.funcs[1].body[1].kind,
+            AStmtKind::Assign(_, ARhs::Call(..))
+        ));
+        assert!(matches!(
+            prog.funcs[1].body[2].kind,
+            AStmtKind::CallStmt(..)
+        ));
+    }
+
+    #[test]
+    fn parses_nested_index() {
+        let prog = parse("fn f(p) { p[0][1] = 2; }").unwrap();
+        match &prog.funcs[0].body[0].kind {
+            AStmtKind::Assign(ALValue::Index(base, _), _) => {
+                assert!(matches!(**base, AExpr::Index(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse("fn f() { var x }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_lvalue() {
+        assert!(parse("fn f() { 3 = 4; }").is_err());
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let prog = parse("fn f(a, b, c) { if (a + b * c == 7) { return; } }").unwrap();
+        match &prog.funcs[0].body[0].kind {
+            AStmtKind::If { cond, .. } => match cond {
+                AExpr::Binary(ABinOp::Eq, lhs, _) => match &**lhs {
+                    AExpr::Binary(ABinOp::Add, _, rhs) => {
+                        assert!(matches!(**rhs, AExpr::Binary(ABinOp::Mul, _, _)));
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn global_forms() {
+        let prog = parse("global s: int = 5; global a: [int; 3] = 1; global p: ptr;").unwrap();
+        assert_eq!(
+            prog.globals[0],
+            AGlobal::Scalar {
+                name: "s".into(),
+                init: 5
+            }
+        );
+        assert_eq!(
+            prog.globals[1],
+            AGlobal::Array {
+                name: "a".into(),
+                len: 3,
+                init: 1
+            }
+        );
+        assert_eq!(prog.globals[2], AGlobal::Ptr { name: "p".into() });
+    }
+}

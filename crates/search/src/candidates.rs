@@ -1,0 +1,430 @@
+//! Preemption candidates and their CSV annotations (paper §5, Fig. 9).
+//!
+//! Candidates are the CHESS scheduling points observed in the passing
+//! run: the beginning of each thread, points *before* lock acquisitions
+//! and joins, and points *after* lock releases and spawns. Each candidate
+//! is identified across runs by `(thread, per-thread sync ordinal, kind)`
+//! — a schedule-independent name, unlike step counts.
+//!
+//! The enhanced algorithm annotates every candidate with:
+//!
+//! * the prioritized CSV accesses inside the *schedule block* it leads
+//!   (what injecting the preemption would perturb), and
+//! * the set of CSVs its thread will access from that point on (used by
+//!   the guided `preempt()` thread selection).
+
+use mcr_lang::{GlobalId, Pc};
+use mcr_slice::{RankedAccess, PRIORITY_BOTTOM};
+use mcr_vm::{Event, MemLoc, ObjId, Observer, SyncKind, ThreadId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Variable-granularity location used for CSV overlap tests: array
+/// elements and heap slots collapse to their container. Two threads that
+/// touch *different elements of the same critical shared array* still
+/// contend on the same program variable — the paper's CSV sets are
+/// variable-level ("c→current_size", "cache_cache→pq→size"), so the
+/// `preempt()` overlap test must not be element-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoarseLoc {
+    /// A global variable (scalar or whole array).
+    Global(GlobalId),
+    /// A heap object.
+    Heap(ObjId),
+    /// A private location (never overlaps anything shared).
+    Private,
+}
+
+/// Collapses a memory location to variable granularity.
+pub fn coarse(loc: MemLoc) -> CoarseLoc {
+    match loc {
+        MemLoc::Global(g) | MemLoc::GlobalElem(g, _) => CoarseLoc::Global(g),
+        MemLoc::Heap(o, _) => CoarseLoc::Heap(o),
+        MemLoc::Local { .. } => CoarseLoc::Private,
+    }
+}
+
+/// Where a preemption can be injected relative to its anchor operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// At the first statement of a thread.
+    ThreadStart,
+    /// Before an `acquire` (so other threads can take the lock first).
+    BeforeAcquire,
+    /// After a `release` (so other threads can run inside the gap).
+    AfterRelease,
+    /// After a `spawn` (so the child can run first).
+    AfterSpawn,
+    /// Before a `join`.
+    BeforeJoin,
+}
+
+/// A schedule-independent name for a preemption point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PreemptionPoint {
+    /// The thread to preempt.
+    pub tid: ThreadId,
+    /// The per-thread sync ordinal of the anchor operation (0 for
+    /// `ThreadStart`).
+    pub sync_seq: u32,
+    /// Anchor kind.
+    pub kind: CandidateKind,
+    /// Step at which the anchor executed in the passing run (for
+    /// ordering and block computation only; not used for matching).
+    pub step: u64,
+    /// Statement of the anchor in the passing run.
+    pub pc: Option<Pc>,
+}
+
+impl fmt::Display for PreemptionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:?}#{}", self.tid, self.kind, self.sync_seq)
+    }
+}
+
+/// One shared-memory access observed in the passing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedAccess {
+    /// Step of the access.
+    pub step: u64,
+    /// Accessing thread.
+    pub tid: ThreadId,
+    /// Statement.
+    pub pc: Pc,
+    /// Location.
+    pub loc: MemLoc,
+    /// Whether it was a write.
+    pub is_write: bool,
+}
+
+/// Everything the schedule search needs from the passing run.
+#[derive(Debug, Clone, Default)]
+pub struct PassingRunInfo {
+    /// Preemption candidates in execution order.
+    pub candidates: Vec<PreemptionPoint>,
+    /// Every shared-memory access, in execution order.
+    pub shared_accesses: Vec<SharedAccess>,
+    /// Total steps of the passing run.
+    pub total_steps: u64,
+}
+
+/// Observer collecting [`PassingRunInfo`] during the passing run.
+#[derive(Debug, Default)]
+pub struct SyncLogger {
+    info: PassingRunInfo,
+}
+
+impl SyncLogger {
+    /// Creates an empty logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes collection.
+    pub fn finish(self) -> PassingRunInfo {
+        self.info
+    }
+}
+
+impl Observer for SyncLogger {
+    fn on_event(&mut self, step: u64, event: &Event) {
+        self.info.total_steps = self.info.total_steps.max(step + 1);
+        match event {
+            Event::ThreadStart { tid, .. } if tid.0 != 0 => {
+                self.info.candidates.push(PreemptionPoint {
+                    tid: *tid,
+                    sync_seq: 0,
+                    kind: CandidateKind::ThreadStart,
+                    step,
+                    pc: None,
+                });
+            }
+            Event::Sync { tid, pc, kind, seq } => {
+                let kind = match kind {
+                    SyncKind::Acquire(_) => CandidateKind::BeforeAcquire,
+                    SyncKind::Release(_) => CandidateKind::AfterRelease,
+                    SyncKind::Spawn(_) => CandidateKind::AfterSpawn,
+                    SyncKind::Join(_) => CandidateKind::BeforeJoin,
+                };
+                self.info.candidates.push(PreemptionPoint {
+                    tid: *tid,
+                    sync_seq: *seq,
+                    kind,
+                    step,
+                    pc: Some(*pc),
+                });
+            }
+            Event::Read { tid, pc, loc, .. } if loc.is_shared() => {
+                self.info.shared_accesses.push(SharedAccess {
+                    step,
+                    tid: *tid,
+                    pc: *pc,
+                    loc: *loc,
+                    is_write: false,
+                });
+            }
+            Event::Write { tid, pc, loc, .. } if loc.is_shared() => {
+                self.info.shared_accesses.push(SharedAccess {
+                    step,
+                    tid: *tid,
+                    pc: *pc,
+                    loc: *loc,
+                    is_write: true,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A candidate with its Fig. 9 annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedCandidate {
+    /// The preemption point.
+    pub point: PreemptionPoint,
+    /// Prioritized CSV accesses in the schedule block this candidate
+    /// leads (same thread, up to the thread's next candidate).
+    pub accesses: Vec<RankedAccess>,
+    /// Best (smallest) priority among `accesses`; [`PRIORITY_BOTTOM`]
+    /// when the block touches no CSV.
+    pub best_priority: u32,
+    /// Variable-granularity locations of `accesses` (for overlap tests).
+    pub access_locs: HashSet<CoarseLoc>,
+}
+
+/// For each `(thread, position)` — position = number of syncs executed —
+/// the set of CSVs the thread accesses from that position on in the
+/// passing run (the paper's per-sync-point "CSV set").
+#[derive(Debug, Clone, Default)]
+pub struct FutureCsvMap {
+    map: HashMap<(u32, u32), HashSet<CoarseLoc>>,
+    /// Fallback per thread: all CSVs it ever accesses (used when a test
+    /// run drives a thread past its passing-run sync count).
+    all: HashMap<u32, HashSet<CoarseLoc>>,
+}
+
+impl FutureCsvMap {
+    /// CSVs thread `tid` will access from sync position `pos` on.
+    pub fn future(&self, tid: ThreadId, pos: u32) -> Option<&HashSet<CoarseLoc>> {
+        self.map.get(&(tid.0, pos))
+    }
+
+    /// All CSVs the thread ever accessed in the passing run.
+    pub fn any(&self, tid: ThreadId) -> Option<&HashSet<CoarseLoc>> {
+        self.all.get(&tid.0)
+    }
+}
+
+/// Builds annotated candidates and the future-CSV map from the passing
+/// run info, the CSV locations, and the access priorities computed by
+/// `mcr-slice` (keyed by `(step, loc, is_write)`).
+pub fn annotate(
+    info: &PassingRunInfo,
+    csv_locs: &HashSet<MemLoc>,
+    priorities: &HashMap<(u64, MemLoc, bool), u32>,
+) -> (Vec<AnnotatedCandidate>, FutureCsvMap) {
+    // Next candidate step per thread, for block boundaries.
+    let mut next_step: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // tid -> [(step, next_step)]
+    let mut per_thread: HashMap<u32, Vec<&PreemptionPoint>> = HashMap::new();
+    for c in &info.candidates {
+        per_thread.entry(c.point_tid()).or_default().push(c);
+    }
+    for (tid, list) in &per_thread {
+        let mut spans = Vec::with_capacity(list.len());
+        for (i, c) in list.iter().enumerate() {
+            let end = list.get(i + 1).map(|n| n.step).unwrap_or(u64::MAX);
+            spans.push((c.step, end));
+        }
+        next_step.insert(*tid, spans);
+    }
+
+    // CSV accesses only.
+    let csv_accesses: Vec<&SharedAccess> = info
+        .shared_accesses
+        .iter()
+        .filter(|a| csv_locs.contains(&a.loc))
+        .collect();
+
+    let mut annotated = Vec::with_capacity(info.candidates.len());
+    for c in &info.candidates {
+        let spans = &next_step[&c.point_tid()];
+        let (start, end) = spans
+            .iter()
+            .find(|&&(s, _)| s == c.step)
+            .copied()
+            .unwrap_or((c.step, u64::MAX));
+        let mut accesses = Vec::new();
+        let mut access_locs = HashSet::new();
+        let mut best = PRIORITY_BOTTOM;
+        for a in &csv_accesses {
+            if a.tid.0 != c.point_tid() || a.step < start || a.step >= end {
+                continue;
+            }
+            let priority = priorities
+                .get(&(a.step, a.loc, a.is_write))
+                .copied()
+                .unwrap_or(PRIORITY_BOTTOM);
+            best = best.min(priority);
+            access_locs.insert(coarse(a.loc));
+            accesses.push(RankedAccess {
+                serial: a.step,
+                step: a.step,
+                tid: a.tid,
+                pc: a.pc,
+                loc: a.loc,
+                is_write: a.is_write,
+                priority,
+            });
+        }
+        annotated.push(AnnotatedCandidate {
+            point: *c,
+            accesses,
+            best_priority: best,
+            access_locs,
+        });
+    }
+
+    // Future CSV sets per (thread, sync position).
+    let mut fut = FutureCsvMap::default();
+    for (tid, list) in &per_thread {
+        // Position p corresponds to: before executing sync #p. The step
+        // at which the thread reaches position p is the step of its p-th
+        // sync anchor (ThreadStart is position 0's lower bound).
+        let mut positions: Vec<(u32, u64)> = vec![(0, 0)];
+        for c in list.iter() {
+            match c.kind {
+                CandidateKind::BeforeAcquire | CandidateKind::BeforeJoin => {
+                    positions.push((c.sync_seq, c.step));
+                }
+                CandidateKind::AfterRelease | CandidateKind::AfterSpawn => {
+                    positions.push((c.sync_seq + 1, c.step));
+                }
+                CandidateKind::ThreadStart => {}
+            }
+        }
+        let thread_accesses: Vec<&&SharedAccess> =
+            csv_accesses.iter().filter(|a| a.tid.0 == *tid).collect();
+        let mut all = HashSet::new();
+        for a in &thread_accesses {
+            all.insert(coarse(a.loc));
+        }
+        fut.all.insert(*tid, all);
+        for (pos, from_step) in positions {
+            let set: HashSet<CoarseLoc> = thread_accesses
+                .iter()
+                .filter(|a| a.step >= from_step)
+                .map(|a| coarse(a.loc))
+                .collect();
+            fut.map.insert((*tid, pos), set);
+        }
+    }
+
+    (annotated, fut)
+}
+
+impl PreemptionPoint {
+    fn point_tid(&self) -> u32 {
+        self.tid.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_vm::{run, DeterministicScheduler, Vm};
+
+    const PROG: &str = r#"
+        global x: int;
+        lock l;
+        fn t1() {
+            acquire l;
+            x = 1;
+            release l;
+            acquire l;
+            x = 2;
+            release l;
+        }
+        fn t2() { x = 0; }
+        fn main() {
+            var a; var b;
+            a = spawn t1();
+            b = spawn t2();
+            join a;
+            join b;
+        }
+    "#;
+
+    fn collect() -> (mcr_lang::Program, PassingRunInfo) {
+        let p = mcr_lang::compile(PROG).unwrap();
+        let mut vm = Vm::new(&p, &[]);
+        let mut s = DeterministicScheduler::new();
+        let mut log = SyncLogger::new();
+        run(&mut vm, &mut s, &mut log, 100_000);
+        (p, log.finish())
+    }
+
+    #[test]
+    fn candidate_enumeration() {
+        let (_p, info) = collect();
+        // main: 2 spawns + 2 joins = 4; t1: 2 acquires + 2 releases = 4;
+        // thread starts: t1, t2 = 2. Total 10.
+        assert_eq!(info.candidates.len(), 10, "{:#?}", info.candidates);
+        let starts = info
+            .candidates
+            .iter()
+            .filter(|c| c.kind == CandidateKind::ThreadStart)
+            .count();
+        assert_eq!(starts, 2);
+        // Candidates are in step order.
+        assert!(info.candidates.windows(2).all(|w| w[0].step <= w[1].step));
+    }
+
+    #[test]
+    fn annotation_blocks_and_future_sets() {
+        let (p, info) = collect();
+        let x = p.global_by_name("x").unwrap();
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(x));
+        let (ann, fut) = annotate(&info, &csvs, &HashMap::new());
+        // The block after t1's first acquire contains the write x = 1.
+        let t1 = ThreadId(1);
+        let first_acq = ann
+            .iter()
+            .find(|a| a.point.tid == t1 && a.point.kind == CandidateKind::BeforeAcquire)
+            .unwrap();
+        assert!(
+            first_acq.access_locs.contains(&CoarseLoc::Global(x)),
+            "block accesses: {:?}",
+            first_acq.accesses
+        );
+        // t2 at position 0 will access x in the future.
+        let t2 = ThreadId(2);
+        assert!(fut.future(t2, 0).unwrap().contains(&CoarseLoc::Global(x)));
+        // t1 after all its syncs has no future CSV accesses.
+        let last = fut.future(t1, 4).unwrap();
+        assert!(last.is_empty(), "{last:?}");
+    }
+
+    #[test]
+    fn priorities_flow_into_best() {
+        let (p, info) = collect();
+        let x = p.global_by_name("x").unwrap();
+        let loc = MemLoc::Global(x);
+        let mut csvs = HashSet::new();
+        csvs.insert(loc);
+        // Give the t1 write `x = 2` priority 1.
+        let w = info
+            .shared_accesses
+            .iter()
+            .filter(|a| a.is_write && a.tid == ThreadId(1))
+            .nth(1)
+            .unwrap();
+        let mut prio = HashMap::new();
+        prio.insert((w.step, loc, true), 1u32);
+        let (ann, _) = annotate(&info, &csvs, &prio);
+        let best = ann.iter().map(|a| a.best_priority).min().unwrap();
+        assert_eq!(best, 1);
+        // Candidates whose block has no CSV access stay at bottom.
+        assert!(ann.iter().any(|a| a.best_priority == PRIORITY_BOTTOM));
+    }
+}

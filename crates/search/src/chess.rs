@@ -1,0 +1,382 @@
+//! Schedule search: plain CHESS and the paper's enhanced algorithm.
+//!
+//! Plain CHESS enumerates preemption combinations up to the bound `k` in
+//! execution order and tries every thread selection at each injected
+//! preemption. The enhanced algorithm (paper Algorithm 2):
+//!
+//! 1. weights every combination by the sum of the best CSV-access
+//!    priorities of its members,
+//! 2. sorts the worklist ascending and tests combinations in that order,
+//! 3. restricts `preempt()`'s thread selection to threads whose future
+//!    CSV set overlaps the perturbed block's accesses.
+//!
+//! The paper fixes `k = 2` ("most failures only need two preemptions").
+
+use crate::candidates::{AnnotatedCandidate, FutureCsvMap};
+use crate::runner::{Budget, Guidance, TestRun};
+use mcr_vm::{Failure, Vm};
+use std::time::{Duration, Instant};
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The original CHESS enumeration (execution order, unguided).
+    Chess,
+    /// Enhanced CHESS with priority weights and guided thread selection.
+    ChessX,
+}
+
+/// Configuration of one search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Preemption bound `k` (the paper uses 2).
+    pub preemption_bound: usize,
+    /// Cap on completed test executions (the paper's 18-hour cutoff
+    /// equivalent).
+    pub max_tries: u64,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Per-run step cap.
+    pub max_steps: u64,
+    /// When the candidate list is enormous, pairs are only formed among
+    /// the `pair_pool` best candidates (by priority for ChessX, by
+    /// execution order for CHESS) to bound worklist construction.
+    pub pair_pool: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            preemption_bound: 2,
+            max_tries: 20_000,
+            time_budget: None,
+            max_steps: 10_000_000,
+            pair_pool: 512,
+        }
+    }
+}
+
+/// Result of a schedule search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Whether the failure was reproduced.
+    pub reproduced: bool,
+    /// Completed test executions (the "tries" of Table 4).
+    pub tries: u64,
+    /// Combinations taken from the worklist.
+    pub combinations_tested: u64,
+    /// The winning preemption set, if any.
+    pub winning: Option<Vec<AnnotatedCandidate>>,
+    /// Wall-clock time spent searching.
+    pub wall_time: Duration,
+    /// True when the search stopped on budget rather than success or
+    /// worklist exhaustion.
+    pub cut_off: bool,
+}
+
+/// Searches for a failure-inducing schedule.
+///
+/// `fresh_vm` must be a VM at the initial state for the failing input;
+/// each test clones it. `candidates` come from the passing run (see
+/// [`crate::candidates::annotate`]).
+pub fn find_schedule(
+    fresh_vm: &Vm<'_>,
+    candidates: &[AnnotatedCandidate],
+    future: &FutureCsvMap,
+    target: Failure,
+    algorithm: Algorithm,
+    config: &SearchConfig,
+) -> SearchResult {
+    let start = Instant::now();
+    let mut budget = Budget::with_tries(config.max_tries, config.max_steps);
+    budget.deadline = config.time_budget.map(|d| start + d);
+
+    let worklist = build_worklist(candidates, algorithm, config);
+    let guidance = match algorithm {
+        Algorithm::Chess => Guidance::All,
+        Algorithm::ChessX => Guidance::CsvOverlap,
+    };
+
+    let mut combinations_tested = 0u64;
+    let mut winning = None;
+    let mut reproduced = false;
+    for combo in worklist {
+        if budget.exhausted() {
+            break;
+        }
+        combinations_tested += 1;
+        let set: Vec<AnnotatedCandidate> = combo.iter().map(|&i| candidates[i].clone()).collect();
+        let run = TestRun {
+            fresh_vm,
+            preemptions: &set,
+            target,
+            guidance,
+            future,
+        };
+        if run.execute(&mut budget) {
+            winning = Some(set);
+            reproduced = true;
+            break;
+        }
+    }
+
+    SearchResult {
+        reproduced,
+        tries: budget.tries,
+        combinations_tested,
+        winning,
+        wall_time: start.elapsed(),
+        cut_off: !reproduced && budget.exhausted(),
+    }
+}
+
+/// Builds the ordered worklist of candidate-index combinations.
+fn build_worklist(
+    candidates: &[AnnotatedCandidate],
+    algorithm: Algorithm,
+    config: &SearchConfig,
+) -> Vec<Vec<usize>> {
+    let n = candidates.len();
+    let mut singles: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    // Pair pool: cap quadratic blowup on very long runs.
+    let mut pool: Vec<usize> = (0..n).collect();
+    if n > config.pair_pool {
+        if algorithm == Algorithm::ChessX {
+            pool.sort_by_key(|&i| candidates[i].best_priority);
+        }
+        pool.truncate(config.pair_pool);
+        pool.sort_unstable();
+    }
+    let mut pairs: Vec<Vec<usize>> = Vec::new();
+    if config.preemption_bound >= 2 {
+        for (a, &i) in pool.iter().enumerate() {
+            for &j in pool.iter().skip(a + 1) {
+                pairs.push(vec![i, j]);
+            }
+        }
+    }
+
+    match algorithm {
+        Algorithm::Chess => {
+            // Linear search: single preemptions in execution order, then
+            // pairs in lexicographic execution order.
+            let mut out = singles;
+            out.extend(pairs);
+            out
+        }
+        Algorithm::ChessX => {
+            // Algorithm 2: weight = sum of members' best priorities; sort
+            // the whole worklist ascending.
+            let weight = |combo: &Vec<usize>| -> u64 {
+                combo
+                    .iter()
+                    .map(|&i| candidates[i].best_priority as u64)
+                    .sum()
+            };
+            let mut out: Vec<Vec<usize>> = Vec::with_capacity(singles.len() + pairs.len());
+            out.append(&mut singles);
+            out.append(&mut pairs);
+            out.sort_by_key(|c| (weight(c), c.len(), c.clone()));
+            out
+        }
+    }
+}
+
+/// Convenience: the number of combinations the worklist would hold.
+pub fn worklist_size(n_candidates: usize, bound: usize, pair_pool: usize) -> usize {
+    let n = n_candidates;
+    let pool = n.min(pair_pool);
+    let pairs = if bound >= 2 { pool * (pool - 1) / 2 } else { 0 };
+    n + pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{annotate, SyncLogger};
+    use mcr_slice::PRIORITY_BOTTOM as BOT;
+    use mcr_vm::{run, DeterministicScheduler, MemLoc, NullObserver, StressScheduler, ThreadId};
+    use std::collections::{HashMap, HashSet};
+
+    const FIG1: &str = r#"
+        global x: int;
+        global input: [int; 2];
+        lock l;
+        fn F(p) { p[0] = 1; }
+        fn T1() {
+            var i; var p;
+            for (i = 0; i < 2; i = i + 1) {
+                x = 0;
+                p = alloc(2);
+                acquire l;
+                if (input[i] > 0) {
+                    x = 1;
+                    p = null;
+                }
+                release l;
+                if (!x) { F(p); }
+            }
+        }
+        fn T2() { x = 0; }
+        fn main() {
+            spawn T1();
+            spawn T2();
+        }
+    "#;
+
+    struct Setup {
+        program: mcr_lang::Program,
+        failure: Failure,
+        candidates: Vec<AnnotatedCandidate>,
+        future: FutureCsvMap,
+    }
+
+    fn setup() -> Setup {
+        let program = mcr_lang::compile(FIG1).unwrap();
+        let input = [0i64, 1];
+        let mut failure = None;
+        for seed in 0..50_000 {
+            let mut vm = Vm::new(&program, &input);
+            let mut s = StressScheduler::new(seed);
+            run(&mut vm, &mut s, &mut NullObserver, 1_000_000);
+            if let Some(f) = vm.failure() {
+                failure = Some(f);
+                break;
+            }
+        }
+        let failure = failure.expect("race must be exposed");
+        let mut vm = Vm::new(&program, &input);
+        let mut s = DeterministicScheduler::new();
+        let mut log = SyncLogger::new();
+        run(&mut vm, &mut s, &mut log, 1_000_000);
+        let info = log.finish();
+        let x = program.global_by_name("x").unwrap();
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(x));
+        // Give the second-iteration accesses the top priorities the way
+        // the temporal heuristic would.
+        let mut prio = HashMap::new();
+        for (i, a) in info
+            .shared_accesses
+            .iter()
+            .rev()
+            .filter(|a| a.tid == ThreadId(1) && csvs.contains(&a.loc))
+            .enumerate()
+        {
+            prio.insert((a.step, a.loc, a.is_write), i as u32 + 1);
+        }
+        let (candidates, future) = annotate(&info, &csvs, &prio);
+        Setup {
+            program,
+            failure,
+            candidates,
+            future,
+        }
+    }
+
+    #[test]
+    fn chessx_beats_chess_on_fig1() {
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        let cfg = SearchConfig::default();
+
+        let x = find_schedule(
+            &fresh,
+            &s.candidates,
+            &s.future,
+            s.failure,
+            Algorithm::ChessX,
+            &cfg,
+        );
+        assert!(x.reproduced, "chessx must reproduce: {x:?}");
+
+        let c = find_schedule(
+            &fresh,
+            &s.candidates,
+            &s.future,
+            s.failure,
+            Algorithm::Chess,
+            &cfg,
+        );
+        assert!(c.reproduced, "plain chess eventually reproduces");
+        assert!(
+            x.tries <= c.tries,
+            "guided {} vs plain {}",
+            x.tries,
+            c.tries
+        );
+        // The winning schedule is a single preemption.
+        assert_eq!(x.winning.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn worklist_order_respects_weights() {
+        let s = setup();
+        let cfg = SearchConfig::default();
+        let wl = build_worklist(&s.candidates, Algorithm::ChessX, &cfg);
+        // The first combination's weight is minimal.
+        let weight = |combo: &Vec<usize>| -> u64 {
+            combo
+                .iter()
+                .map(|&i| s.candidates[i].best_priority as u64)
+                .sum()
+        };
+        let w0 = weight(&wl[0]);
+        assert!(wl.iter().all(|c| weight(c) >= w0));
+        // Its sole member's block touches the CSV.
+        assert!(s.candidates[wl[0][0]].best_priority < BOT);
+    }
+
+    #[test]
+    fn chess_worklist_is_execution_ordered() {
+        let s = setup();
+        let cfg = SearchConfig::default();
+        let wl = build_worklist(&s.candidates, Algorithm::Chess, &cfg);
+        // Singles first, in candidate order.
+        for (i, combo) in wl.iter().take(s.candidates.len()).enumerate() {
+            assert_eq!(combo, &vec![i]);
+        }
+        assert_eq!(
+            wl.len(),
+            worklist_size(s.candidates.len(), 2, cfg.pair_pool)
+        );
+    }
+
+    #[test]
+    fn budget_cutoff_reported() {
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        // Impossible target: same kind, nonexistent pc.
+        let impossible = Failure {
+            pc: mcr_lang::Pc::new(mcr_lang::FuncId(0), mcr_lang::StmtId(0)),
+            ..s.failure
+        };
+        let cfg = SearchConfig {
+            max_tries: 5,
+            ..Default::default()
+        };
+        let r = find_schedule(
+            &fresh,
+            &s.candidates,
+            &s.future,
+            impossible,
+            Algorithm::Chess,
+            &cfg,
+        );
+        assert!(!r.reproduced);
+        assert!(r.cut_off);
+        assert!(r.tries <= 5);
+    }
+
+    #[test]
+    fn pair_pool_caps_worklist() {
+        let s = setup();
+        let cfg = SearchConfig {
+            pair_pool: 3,
+            ..Default::default()
+        };
+        let wl = build_worklist(&s.candidates, Algorithm::ChessX, &cfg);
+        assert_eq!(wl.len(), s.candidates.len() + 3);
+    }
+}

@@ -1,0 +1,417 @@
+//! Test execution with injected preemptions (Algorithm 2's `testrun` and
+//! `preempt`).
+//!
+//! A test run replays the program under the deterministic policy, but at
+//! each scheduled preemption point it forces a context switch. Which
+//! thread runs next is a branching choice: the paper's `preempt()`
+//! checkpoints the execution and tries each admissible thread in turn.
+//! Here checkpointing is a [`Vm`] clone, and the exploration is a
+//! depth-first search over those choices; every completed execution
+//! counts as one *try* (the unit of the paper's Table 4).
+
+use crate::candidates::{AnnotatedCandidate, CandidateKind, FutureCsvMap};
+use mcr_lang::Inst;
+use mcr_vm::{Failure, NullObserver, ThreadId, Vm};
+use std::time::Instant;
+
+/// Budget shared across an entire schedule search.
+#[derive(Debug)]
+pub struct Budget {
+    /// Maximum completed executions.
+    pub max_tries: u64,
+    /// Completed executions so far.
+    pub tries: u64,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Per-run step cap.
+    pub max_steps: u64,
+}
+
+impl Budget {
+    /// A budget with the given try cap and no deadline.
+    pub fn with_tries(max_tries: u64, max_steps: u64) -> Budget {
+        Budget {
+            max_tries,
+            tries: 0,
+            deadline: None,
+            max_steps,
+        }
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.tries >= self.max_tries || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// How `preempt()` selects the thread to switch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guidance {
+    /// Plain CHESS: try every other runnable thread.
+    All,
+    /// Enhanced: only threads whose future CSV set overlaps the
+    /// preempted block's CSV accesses (Algorithm 2, line 23).
+    CsvOverlap,
+}
+
+/// One test execution request: a set of preemptions to inject.
+#[derive(Debug)]
+pub struct TestRun<'a, 'p> {
+    /// The VM template (fresh program + input state).
+    pub fresh_vm: &'a Vm<'p>,
+    /// Preemptions to inject.
+    pub preemptions: &'a [AnnotatedCandidate],
+    /// The failure to reproduce.
+    pub target: Failure,
+    /// Thread-selection guidance.
+    pub guidance: Guidance,
+    /// Future-CSV map from the passing run (used by `CsvOverlap`).
+    pub future: &'a FutureCsvMap,
+}
+
+impl TestRun<'_, '_> {
+    /// Runs the test, exploring thread choices at each preemption.
+    /// Returns whether the target failure was reproduced. Increments
+    /// `budget.tries` once per completed execution.
+    pub fn execute(&self, budget: &mut Budget) -> bool {
+        let consumed = vec![false; self.preemptions.len()];
+        self.explore(self.fresh_vm.clone(), None, consumed, budget)
+    }
+
+    /// The deterministic policy: keep the current thread while runnable,
+    /// else the lowest-id runnable thread.
+    fn pick(current: Option<ThreadId>, runnable: &[ThreadId]) -> ThreadId {
+        match current {
+            Some(c) if runnable.contains(&c) => c,
+            _ => runnable[0],
+        }
+    }
+
+    /// Does a pending *before*-anchored preemption fire for `t` now?
+    fn fires_before(&self, vm: &Vm<'_>, t: ThreadId, consumed: &[bool]) -> Option<usize> {
+        let th = vm.thread(t);
+        for (i, pm) in self.preemptions.iter().enumerate() {
+            if consumed[i] || pm.point.tid != t {
+                continue;
+            }
+            let hit = match pm.point.kind {
+                CandidateKind::ThreadStart => th.steps_taken == 0,
+                CandidateKind::BeforeAcquire => {
+                    th.sync_seq == pm.point.sync_seq
+                        && matches!(vm.next_inst(t), Some(Inst::Acquire { .. }))
+                }
+                CandidateKind::BeforeJoin => {
+                    th.sync_seq == pm.point.sync_seq
+                        && matches!(vm.next_inst(t), Some(Inst::Join { .. }))
+                }
+                _ => false,
+            };
+            if hit {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Does a pending *after*-anchored preemption fire after `t` just
+    /// executed sync `seq_before` of kind `was`?
+    fn fires_after(
+        &self,
+        t: ThreadId,
+        seq_before: u32,
+        was: Option<CandidateKind>,
+        consumed: &[bool],
+    ) -> Option<usize> {
+        let was = was?;
+        for (i, pm) in self.preemptions.iter().enumerate() {
+            if consumed[i] || pm.point.tid != t {
+                continue;
+            }
+            if pm.point.kind == was && pm.point.sync_seq == seq_before {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Admissible switch targets at preemption `pm` (Algorithm 2's
+    /// `preempt`): other runnable threads, filtered by CSV overlap under
+    /// guidance.
+    fn choices(&self, vm: &Vm<'_>, preempted: ThreadId, pm: &AnnotatedCandidate) -> Vec<ThreadId> {
+        vm.runnable_threads()
+            .into_iter()
+            .filter(|&t| t != preempted)
+            .filter(|&t| match self.guidance {
+                Guidance::All => true,
+                Guidance::CsvOverlap => {
+                    let pos = vm.thread(t).sync_seq;
+                    let fut = self.future.future(t, pos).or_else(|| self.future.any(t));
+                    match fut {
+                        Some(set) => set.iter().any(|loc| pm.access_locs.contains(loc)),
+                        None => false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Depth-first exploration. Returns true as soon as any completed
+    /// execution reproduces the target.
+    fn explore(
+        &self,
+        mut vm: Vm<'_>,
+        mut current: Option<ThreadId>,
+        mut consumed: Vec<bool>,
+        budget: &mut Budget,
+    ) -> bool {
+        loop {
+            if budget.exhausted() {
+                return false;
+            }
+            if let Some(f) = vm.failure() {
+                budget.tries += 1;
+                return f.same_bug(&self.target);
+            }
+            if vm.steps() >= budget.max_steps {
+                budget.tries += 1;
+                return false;
+            }
+            let runnable = vm.runnable_threads();
+            if runnable.is_empty() {
+                budget.tries += 1;
+                return false;
+            }
+            let t = Self::pick(current, &runnable);
+            current = Some(t);
+
+            // Before-anchored preemption?
+            if let Some(i) = self.fires_before(&vm, t, &consumed) {
+                consumed[i] = true;
+                let pm = &self.preemptions[i];
+                let choices = self.choices(&vm, t, pm);
+                for &c in &choices {
+                    if budget.exhausted() {
+                        return false;
+                    }
+                    if self.explore(vm.clone(), Some(c), consumed.clone(), budget) {
+                        return true;
+                    }
+                }
+                // All selections failed (or none admissible): continue the
+                // original schedule without the preemption, as the paper's
+                // preempt() does after restoring its checkpoint.
+                continue;
+            }
+
+            let seq_before = vm.thread(t).sync_seq;
+            let after_kind = match vm.next_inst(t) {
+                Some(Inst::Release { .. }) => Some(CandidateKind::AfterRelease),
+                Some(Inst::Spawn { .. }) => Some(CandidateKind::AfterSpawn),
+                _ => None,
+            };
+            vm.step(t, &mut NullObserver);
+
+            // After-anchored preemption?
+            if let Some(i) = self.fires_after(t, seq_before, after_kind, &consumed) {
+                consumed[i] = true;
+                let pm = &self.preemptions[i];
+                let choices = self.choices(&vm, t, pm);
+                for &c in &choices {
+                    if budget.exhausted() {
+                        return false;
+                    }
+                    if self.explore(vm.clone(), Some(c), consumed.clone(), budget) {
+                        return true;
+                    }
+                }
+                continue;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{annotate, SyncLogger};
+    use mcr_vm::{run, DeterministicScheduler, MemLoc, StressScheduler, Vm};
+    use std::collections::{HashMap, HashSet};
+
+    /// The paper's Fig. 1 race: passing deterministically, failing when
+    /// T2's `x = 0` lands between T1's release and its `!x` check.
+    const FIG1: &str = r#"
+        global x: int;
+        global input: [int; 2];
+        lock l;
+        fn F(p) { p[0] = 1; }
+        fn T1() {
+            var i; var p;
+            for (i = 0; i < 2; i = i + 1) {
+                x = 0;
+                p = alloc(2);
+                acquire l;
+                if (input[i] > 0) {
+                    x = 1;
+                    p = null;
+                }
+                release l;
+                if (!x) { F(p); }
+            }
+        }
+        fn T2() { x = 0; }
+        fn main() {
+            spawn T1();
+            spawn T2();
+        }
+    "#;
+
+    fn setup(
+        src: &str,
+        input: &[i64],
+    ) -> (
+        mcr_lang::Program,
+        Failure,
+        crate::candidates::PassingRunInfo,
+    ) {
+        let p = mcr_lang::compile(src).unwrap();
+        // Find a failing stress seed to get the target failure.
+        let mut failure = None;
+        for seed in 0..50_000 {
+            let mut vm = Vm::new(&p, input);
+            let mut s = StressScheduler::new(seed);
+            run(&mut vm, &mut s, &mut NullObserver, 1_000_000);
+            if let Some(f) = vm.failure() {
+                failure = Some(f);
+                break;
+            }
+        }
+        let failure = failure.expect("stress must expose the race");
+        // Passing run info.
+        let mut vm = Vm::new(&p, input);
+        let mut s = DeterministicScheduler::new();
+        let mut log = SyncLogger::new();
+        let out = run(&mut vm, &mut s, &mut log, 1_000_000);
+        assert_eq!(out, mcr_vm::Outcome::Completed, "passing run must pass");
+        (p, failure, log.finish())
+    }
+
+    #[test]
+    fn fig1_reproduced_with_one_preemption() {
+        let (p, failure, info) = setup(FIG1, &[0, 1]);
+        let x = p.global_by_name("x").unwrap();
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(x));
+        let (ann, fut) = annotate(&info, &csvs, &HashMap::new());
+
+        // The release in iteration 2 of T1 leads the block reading !x.
+        let t1 = ThreadId(1);
+        let release2 = ann
+            .iter()
+            .find(|a| {
+                a.point.tid == t1
+                    && a.point.kind == CandidateKind::AfterRelease
+                    && a.point.sync_seq == 3
+            })
+            .expect("second release candidate");
+        assert!(release2
+            .access_locs
+            .contains(&crate::candidates::CoarseLoc::Global(x)));
+
+        let fresh = Vm::new(&p, &[0, 1]);
+        let pre = vec![release2.clone()];
+        let tr = TestRun {
+            fresh_vm: &fresh,
+            preemptions: &pre,
+            target: failure,
+            guidance: Guidance::CsvOverlap,
+            future: &fut,
+        };
+        let mut budget = Budget::with_tries(100, 1_000_000);
+        assert!(tr.execute(&mut budget), "failure must be reproduced");
+        assert!(budget.tries <= 3, "took {} tries", budget.tries);
+    }
+
+    #[test]
+    fn wrong_preemption_does_not_reproduce() {
+        let (p, failure, info) = setup(FIG1, &[0, 1]);
+        let x = p.global_by_name("x").unwrap();
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(x));
+        let (ann, fut) = annotate(&info, &csvs, &HashMap::new());
+        // Preempting T1 at its very start cannot create the race.
+        let t1_start = ann
+            .iter()
+            .find(|a| a.point.tid == ThreadId(1) && a.point.kind == CandidateKind::ThreadStart)
+            .unwrap();
+        let fresh = Vm::new(&p, &[0, 1]);
+        let pre = vec![t1_start.clone()];
+        let tr = TestRun {
+            fresh_vm: &fresh,
+            preemptions: &pre,
+            target: failure,
+            guidance: Guidance::All,
+            future: &fut,
+        };
+        let mut budget = Budget::with_tries(100, 1_000_000);
+        assert!(!tr.execute(&mut budget));
+        assert!(budget.tries >= 1);
+    }
+
+    #[test]
+    fn guidance_reduces_choices() {
+        let (p, failure, info) = setup(FIG1, &[0, 1]);
+        let x = p.global_by_name("x").unwrap();
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(x));
+        let (ann, fut) = annotate(&info, &csvs, &HashMap::new());
+        let release2 = ann
+            .iter()
+            .find(|a| {
+                a.point.tid == ThreadId(1)
+                    && a.point.kind == CandidateKind::AfterRelease
+                    && a.point.sync_seq == 3
+            })
+            .unwrap();
+        let fresh = Vm::new(&p, &[0, 1]);
+        let pre = vec![release2.clone()];
+
+        let mut unguided_budget = Budget::with_tries(1000, 1_000_000);
+        let tr_all = TestRun {
+            fresh_vm: &fresh,
+            preemptions: &pre,
+            target: failure,
+            guidance: Guidance::All,
+            future: &fut,
+        };
+        assert!(tr_all.execute(&mut unguided_budget));
+
+        let mut guided_budget = Budget::with_tries(1000, 1_000_000);
+        let tr_guided = TestRun {
+            fresh_vm: &fresh,
+            preemptions: &pre,
+            target: failure,
+            guidance: Guidance::CsvOverlap,
+            future: &fut,
+        };
+        assert!(tr_guided.execute(&mut guided_budget));
+        assert!(guided_budget.tries <= unguided_budget.tries);
+    }
+
+    #[test]
+    fn budget_caps_tries() {
+        let (p, failure, info) = setup(FIG1, &[0, 1]);
+        let (ann, fut) = annotate(&info, &HashSet::new(), &HashMap::new());
+        let fresh = Vm::new(&p, &[0, 1]);
+        // All candidates at once with a tiny budget: must stop.
+        let tr = TestRun {
+            fresh_vm: &fresh,
+            preemptions: &ann,
+            target: failure,
+            guidance: Guidance::All,
+            future: &fut,
+        };
+        let mut budget = Budget::with_tries(2, 1_000_000);
+        let _ = tr.execute(&mut budget);
+        assert!(budget.tries <= 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Backward dynamic slicing and CSV-access prioritization (paper §4).
+//!
+//! Two strategies rank the passing run's accesses to critical shared
+//! variables:
+//!
+//! * **temporal distance** — how close the access is to the aligned
+//!   point in execution order;
+//! * **dependence distance** — how close the access is to the slicing
+//!   criterion along dynamic data/control dependence edges; accesses not
+//!   in the slice get the lowest priority ("they are very likely not
+//!   relevant to the failure").
+
+use crate::trace::{Trace, TraceEvent};
+use mcr_vm::MemLoc;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The lowest priority (the paper's ⊥).
+pub const PRIORITY_BOTTOM: u32 = u32::MAX;
+
+/// A backward dynamic slice with dependence distances.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicSlice {
+    /// Dependence distance (in edges) from the criterion, per event
+    /// serial; events absent from the map are not in the slice.
+    pub distance: HashMap<u64, u32>,
+}
+
+impl DynamicSlice {
+    /// Whether an event is in the slice.
+    pub fn contains(&self, serial: u64) -> bool {
+        self.distance.contains_key(&serial)
+    }
+
+    /// Number of events in the slice.
+    pub fn len(&self) -> usize {
+        self.distance.len()
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.distance.is_empty()
+    }
+}
+
+/// Computes the backward dynamic slice from the given criterion events
+/// (distance 0), following dynamic data and control dependence edges.
+pub fn backward_slice(trace: &Trace, criteria: &[u64]) -> DynamicSlice {
+    let mut slice = DynamicSlice::default();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    for &c in criteria {
+        if trace.by_serial(c).is_some() && !slice.distance.contains_key(&c) {
+            slice.distance.insert(c, 0);
+            queue.push_back(c);
+        }
+    }
+    while let Some(serial) = queue.pop_front() {
+        let d = slice.distance[&serial];
+        let Some(ev) = trace.by_serial(serial) else {
+            continue;
+        };
+        let mut neighbors: Vec<u64> = ev.uses.iter().filter_map(|&(_, writer)| writer).collect();
+        if let Some(cd) = ev.ctrl_dep {
+            neighbors.push(cd);
+        }
+        for n in neighbors {
+            if trace.by_serial(n).is_some() && !slice.distance.contains_key(&n) {
+                slice.distance.insert(n, d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    slice
+}
+
+/// How to prioritize CSV accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// By closeness to the aligned point in execution order.
+    Temporal,
+    /// By dependence distance to the slicing criterion.
+    Dependence,
+}
+
+/// A prioritized access to a critical shared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedAccess {
+    /// Trace serial of the access.
+    pub serial: u64,
+    /// VM step of the access.
+    pub step: u64,
+    /// Accessing thread.
+    pub tid: mcr_vm::ThreadId,
+    /// Statement performing the access.
+    pub pc: mcr_lang::Pc,
+    /// The CSV location touched.
+    pub loc: MemLoc,
+    /// Whether the access writes the location.
+    pub is_write: bool,
+    /// Priority: 1 is highest; [`PRIORITY_BOTTOM`] is the paper's ⊥.
+    pub priority: u32,
+}
+
+/// Finds and prioritizes all accesses to `csv_locs` that occur at or
+/// before the aligned point (`aligned_serial`).
+///
+/// For [`Strategy::Temporal`], rank = closeness to the aligned point.
+/// For [`Strategy::Dependence`], rank = dependence distance in `slice`
+/// (must be provided); off-slice accesses get [`PRIORITY_BOTTOM`].
+pub fn rank_csv_accesses(
+    trace: &Trace,
+    aligned_serial: u64,
+    csv_locs: &HashSet<MemLoc>,
+    strategy: Strategy,
+    slice: Option<&DynamicSlice>,
+) -> Vec<RankedAccess> {
+    let mut accesses: Vec<(&TraceEvent, MemLoc, bool)> = Vec::new();
+    for ev in &trace.events {
+        if ev.serial > aligned_serial {
+            break;
+        }
+        for &(loc, _) in &ev.uses {
+            if csv_locs.contains(&loc) {
+                accesses.push((ev, loc, false));
+            }
+        }
+        for &loc in &ev.defs {
+            if csv_locs.contains(&loc) {
+                accesses.push((ev, loc, true));
+            }
+        }
+    }
+
+    // Order by the strategy's notion of distance, then assign dense
+    // priorities 1..; ties share neither rank nor order stability issues
+    // because the sort is stable on (distance, recency).
+    let keyed: Vec<(u64, usize)> = accesses
+        .iter()
+        .enumerate()
+        .map(|(i, (ev, _, _))| {
+            let key = match strategy {
+                Strategy::Temporal => aligned_serial - ev.serial,
+                Strategy::Dependence => {
+                    let s = slice.expect("dependence strategy requires a slice");
+                    match s.distance.get(&ev.serial) {
+                        Some(&d) => d as u64,
+                        None => u64::MAX,
+                    }
+                }
+            };
+            (key, i)
+        })
+        .collect();
+    let mut order = keyed;
+    order.sort_by_key(|&(key, i)| (key, std::cmp::Reverse(i)));
+
+    let mut out: Vec<RankedAccess> = Vec::with_capacity(accesses.len());
+    let mut ranked: Vec<Option<u32>> = vec![None; accesses.len()];
+    let mut next_priority = 1u32;
+    for &(key, i) in &order {
+        let p = if key == u64::MAX {
+            PRIORITY_BOTTOM
+        } else {
+            let p = next_priority;
+            next_priority += 1;
+            p
+        };
+        ranked[i] = Some(p);
+    }
+    for (i, (ev, loc, is_write)) in accesses.iter().enumerate() {
+        out.push(RankedAccess {
+            serial: ev.serial,
+            step: ev.step,
+            tid: ev.tid,
+            pc: ev.pc,
+            loc: *loc,
+            is_write: *is_write,
+            priority: ranked[i].expect("all accesses ranked"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCollector;
+    use mcr_analysis::ProgramAnalysis;
+    use mcr_lang::GlobalId;
+    use mcr_vm::{run, DeterministicScheduler, Vm};
+
+    fn collect(src: &str, input: &[i64]) -> (mcr_lang::Program, Trace) {
+        let p = mcr_lang::compile(src).unwrap();
+        let a = ProgramAnalysis::analyze(&p);
+        let mut vm = Vm::new(&p, input);
+        let mut s = DeterministicScheduler::new();
+        let mut tc = TraceCollector::new(&p, &a, 1_000_000);
+        run(&mut vm, &mut s, &mut tc, 1_000_000);
+        let t = tc.finish();
+        (p, t)
+    }
+
+    const PROG: &str = r#"
+        global x: int;
+        global y: int;
+        global unrelated: int;
+        fn main() {
+            unrelated = 1;     // not in the slice of y
+            x = 2;             // in the slice (y depends on x)
+            unrelated = 3;
+            y = x + 1;         // criterion
+        }
+    "#;
+
+    fn criterion_serial(t: &Trace) -> u64 {
+        // The `y = x + 1` event: defines y.
+        t.events
+            .iter()
+            .rev()
+            .find(|e| {
+                e.defs
+                    .iter()
+                    .any(|l| matches!(l, MemLoc::Global(GlobalId(1))))
+            })
+            .unwrap()
+            .serial
+    }
+
+    #[test]
+    fn slice_follows_data_deps_only_where_relevant() {
+        let (_p, t) = collect(PROG, &[]);
+        let crit = criterion_serial(&t);
+        let slice = backward_slice(&t, &[crit]);
+        assert!(slice.contains(crit));
+        // `x = 2` is in the slice at distance 1.
+        let x_writer = t
+            .events
+            .iter()
+            .find(|e| {
+                e.defs
+                    .iter()
+                    .any(|l| matches!(l, MemLoc::Global(GlobalId(0))))
+            })
+            .unwrap();
+        assert_eq!(slice.distance.get(&x_writer.serial), Some(&1));
+        // `unrelated = ..` events are not in the slice.
+        for ev in t.events.iter().filter(|e| {
+            e.defs
+                .iter()
+                .any(|l| matches!(l, MemLoc::Global(GlobalId(2))))
+        }) {
+            assert!(!slice.contains(ev.serial), "unrelated in slice");
+        }
+    }
+
+    #[test]
+    fn slice_follows_control_deps() {
+        let src = r#"
+            global input: [int; 1];
+            global x: int;
+            global y: int;
+            fn main() {
+                x = input[0];
+                if (x > 0) { y = 1; } else { y = 2; }
+            }
+        "#;
+        let (_p, t) = collect(src, &[5]);
+        let crit = t
+            .events
+            .iter()
+            .rev()
+            .find(|e| !e.defs.is_empty())
+            .unwrap()
+            .serial;
+        let slice = backward_slice(&t, &[crit]);
+        // The branch, and through it `x = input[0]`, are in the slice.
+        let branch = t
+            .events
+            .iter()
+            .find(|e| e.branch_outcome.is_some())
+            .unwrap();
+        assert!(slice.contains(branch.serial));
+        let x_def = t
+            .events
+            .iter()
+            .find(|e| {
+                e.defs
+                    .iter()
+                    .any(|l| matches!(l, MemLoc::Global(GlobalId(1))))
+            })
+            .unwrap();
+        assert!(slice.contains(x_def.serial));
+    }
+
+    #[test]
+    fn temporal_ranking_prefers_recent() {
+        let (_p, t) = collect(PROG, &[]);
+        let crit = criterion_serial(&t);
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(GlobalId(0)));
+        csvs.insert(MemLoc::Global(GlobalId(2)));
+        let ranked = rank_csv_accesses(&t, crit, &csvs, Strategy::Temporal, None);
+        // Closest to the aligned point: the read of x in `y = x + 1`.
+        let top = ranked.iter().find(|r| r.priority == 1).unwrap();
+        assert_eq!(top.serial, crit);
+        assert!(!top.is_write);
+        // All ranked accesses are at or before the aligned point.
+        assert!(ranked.iter().all(|r| r.serial <= crit));
+        // Priorities strictly order by recency.
+        for w in ranked.iter().filter(|r| r.priority != 1) {
+            assert!(w.serial <= top.serial);
+        }
+    }
+
+    #[test]
+    fn dependence_ranking_excludes_unrelated() {
+        let (_p, t) = collect(PROG, &[]);
+        let crit = criterion_serial(&t);
+        let slice = backward_slice(&t, &[crit]);
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(GlobalId(0))); // x
+        csvs.insert(MemLoc::Global(GlobalId(2))); // unrelated
+        let ranked = rank_csv_accesses(&t, crit, &csvs, Strategy::Dependence, Some(&slice));
+        // Accesses to `unrelated` rank bottom; accesses to x rank high.
+        for r in &ranked {
+            match r.loc {
+                MemLoc::Global(GlobalId(2)) => assert_eq!(r.priority, PRIORITY_BOTTOM),
+                MemLoc::Global(GlobalId(0)) => assert!(r.priority < PRIORITY_BOTTOM),
+                _ => {}
+            }
+        }
+        // This is exactly the paper's argument for the dependence
+        // heuristic: the temporal heuristic cannot exclude `unrelated = 3`
+        // (it is very recent), the dependence heuristic can.
+        let temporal = rank_csv_accesses(&t, crit, &csvs, Strategy::Temporal, None);
+        let unrelated_temporal = temporal
+            .iter()
+            .filter(|r| matches!(r.loc, MemLoc::Global(GlobalId(2))))
+            .map(|r| r.priority)
+            .min()
+            .unwrap();
+        assert!(unrelated_temporal < PRIORITY_BOTTOM);
+    }
+
+    #[test]
+    fn accesses_after_aligned_point_are_ignored() {
+        let (_p, t) = collect(PROG, &[]);
+        let crit = criterion_serial(&t);
+        let mut csvs = HashSet::new();
+        csvs.insert(MemLoc::Global(GlobalId(2)));
+        // Align at the very first event: only accesses before it count.
+        let first = t.events.first().unwrap().serial;
+        let ranked = rank_csv_accesses(&t, first, &csvs, Strategy::Temporal, None);
+        assert!(ranked.len() <= 1);
+        let all = rank_csv_accesses(&t, crit, &csvs, Strategy::Temporal, None);
+        assert!(all.len() > ranked.len());
+    }
+
+    #[test]
+    fn empty_criterion_empty_slice() {
+        let (_p, t) = collect(PROG, &[]);
+        let slice = backward_slice(&t, &[]);
+        assert!(slice.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Failure descriptions — what a crash "is" for reproduction purposes.
+//!
+//! Two runs exhibit *the same failure* when they crash with the same
+//! [`FailureKind`] at the same program counter in the same thread role.
+//! This is the oracle the schedule search uses to decide that a candidate
+//! schedule reproduced the bug.
+
+use crate::value::ThreadId;
+use mcr_lang::Pc;
+use std::fmt;
+
+/// The kind of crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Heap access outside an object's bounds.
+    OutOfBounds,
+    /// Index into a global array outside its bounds.
+    GlobalOutOfBounds,
+    /// `assert(..)` evaluated to false.
+    AssertFailed,
+    /// Integer division or modulo by zero.
+    DivByZero,
+    /// A pointer was used where an integer was required, or vice versa.
+    TypeConfusion,
+    /// `release` of a lock the thread does not hold.
+    LockMisuse,
+    /// `join` on an invalid thread id.
+    JoinInvalid,
+    /// Call stack exceeded the frame limit.
+    StackOverflow,
+    /// Allocation request exceeded the heap object size limit.
+    AllocTooLarge,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::NullDeref => "null pointer dereference",
+            FailureKind::OutOfBounds => "heap access out of bounds",
+            FailureKind::GlobalOutOfBounds => "global array index out of bounds",
+            FailureKind::AssertFailed => "assertion failed",
+            FailureKind::DivByZero => "division by zero",
+            FailureKind::TypeConfusion => "type confusion",
+            FailureKind::LockMisuse => "lock released by non-owner",
+            FailureKind::JoinInvalid => "join on invalid thread id",
+            FailureKind::StackOverflow => "stack overflow",
+            FailureKind::AllocTooLarge => "allocation too large",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete crash: kind, location, and crashing thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Where (the failure PC of the paper).
+    pub pc: Pc,
+    /// Which thread crashed.
+    pub thread: ThreadId,
+}
+
+impl Failure {
+    /// Whether another failure is "the same bug": same kind at the same
+    /// program counter. The thread id is deliberately ignored — thread
+    /// numbering can differ between a stress run and a replay.
+    pub fn same_bug(&self, other: &Failure) -> bool {
+        self.kind == other.kind && self.pc == other.pc
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {} in {}", self.kind, self.pc, self.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_lang::{FuncId, StmtId};
+
+    #[test]
+    fn same_bug_ignores_thread() {
+        let pc = Pc::new(FuncId(1), StmtId(4));
+        let a = Failure {
+            kind: FailureKind::NullDeref,
+            pc,
+            thread: ThreadId(1),
+        };
+        let b = Failure {
+            kind: FailureKind::NullDeref,
+            pc,
+            thread: ThreadId(2),
+        };
+        assert!(a.same_bug(&b));
+        let c = Failure {
+            kind: FailureKind::AssertFailed,
+            ..a
+        };
+        assert!(!a.same_bug(&c));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Failure {
+            kind: FailureKind::NullDeref,
+            pc: Pc::new(FuncId(0), StmtId(2)),
+            thread: ThreadId(1),
+        };
+        let s = f.to_string();
+        assert!(s.contains("null pointer"), "{s}");
+        assert!(s.contains("t1"), "{s}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Memory location identities for traces and shared-variable analysis.
+
+use crate::value::{ObjId, ThreadId};
+use mcr_lang::{GlobalId, LocalId};
+use std::fmt;
+
+/// Identifies one memory slot during a run.
+///
+/// Heap identities use [`ObjId`]s, which are allocation-order dependent and
+/// therefore only meaningful *within* a run — exactly like raw addresses in
+/// a real core dump. Cross-run identification goes through *reference
+/// paths* (see `mcr-dump`), as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLoc {
+    /// A scalar global.
+    Global(GlobalId),
+    /// An element of a global array.
+    GlobalElem(GlobalId, u32),
+    /// A slot of a heap object.
+    Heap(ObjId, u32),
+    /// A local slot of a specific frame activation.
+    Local {
+        /// Owning thread.
+        tid: ThreadId,
+        /// Unique activation serial of the frame.
+        frame: u64,
+        /// The local slot.
+        local: LocalId,
+    },
+}
+
+impl MemLoc {
+    /// Whether this location is shared state (reachable by other threads).
+    pub fn is_shared(self) -> bool {
+        matches!(
+            self,
+            MemLoc::Global(_) | MemLoc::GlobalElem(..) | MemLoc::Heap(..)
+        )
+    }
+}
+
+impl fmt::Display for MemLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemLoc::Global(g) => write!(f, "g{}", g.0),
+            MemLoc::GlobalElem(g, i) => write!(f, "g{}[{}]", g.0, i),
+            MemLoc::Heap(o, i) => write!(f, "obj{}[{}]", o.0, i),
+            MemLoc::Local { tid, frame, local } => {
+                write!(f, "{}#f{}:l{}", tid, frame, local.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharedness() {
+        assert!(MemLoc::Global(GlobalId(0)).is_shared());
+        assert!(MemLoc::Heap(ObjId(1), 0).is_shared());
+        assert!(!MemLoc::Local {
+            tid: ThreadId(0),
+            frame: 0,
+            local: LocalId(0)
+        }
+        .is_shared());
+    }
+}

@@ -1,0 +1,117 @@
+//! Runtime values and identities.
+
+use std::fmt;
+
+/// Identifies a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// Identifies a thread (its spawn order; `main` is thread 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A runtime value: a 64-bit integer or a (possibly null) pointer.
+///
+/// MiniCC is dynamically typed at the slot level, like memory in a core
+/// dump: the same slot may hold an integer in one run and a pointer in
+/// another. Dump comparison treats integers as primitives and pointers by
+/// their null-ness (raw addresses are meaningless across runs — that is
+/// exactly why the paper compares *reference paths*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Pointer to a heap object, or null.
+    Ptr(Option<ObjId>),
+}
+
+impl Value {
+    /// The null pointer.
+    pub const NULL: Value = Value::Ptr(None);
+
+    /// C-style truthiness: zero and null are false.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Ptr(p) => p.is_some(),
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Ptr(_) => None,
+        }
+    }
+
+    /// The pointer payload, if this is a pointer.
+    pub fn as_ptr(self) -> Option<Option<ObjId>> {
+        match self {
+            Value::Ptr(p) => Some(p),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(None) => write!(f, "null"),
+            Value::Ptr(Some(o)) => write!(f, "&obj{}", o.0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::NULL.truthy());
+        assert!(Value::Ptr(Some(ObjId(0))).truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from(true), Value::Int(1));
+        assert_eq!(Value::NULL.as_ptr(), Some(None));
+        assert_eq!(Value::Int(1).as_ptr(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::NULL.to_string(), "null");
+        assert_eq!(Value::Ptr(Some(ObjId(3))).to_string(), "&obj3");
+    }
+}

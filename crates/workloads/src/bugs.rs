@@ -1,0 +1,687 @@
+//! The concurrency bug suite (paper Table 2).
+//!
+//! Seven MiniCC programs engineering the bug classes of the paper's
+//! mysql/apache study: atomicity violations and order races. Each program
+//!
+//! * passes under the deterministic single-core scheduler (the Heisenbug
+//!   premise),
+//! * fails under stressed random interleavings,
+//! * needs one or two preemptions to reproduce (the paper's `k = 2`), and
+//! * accepts *lengthened inputs* — the paper prepends randomly generated
+//!   inputs to the short bug-report inputs to get realistic execution
+//!   lengths; here a warmup section consumes the random prefix, churning
+//!   locks and shared state so the preemption-candidate space grows.
+//!
+//! `apache-1` is a faithful model of the paper's §6 case study: the
+//! mod_mem_cache two-step insertion, eviction under size pressure, the
+//! double size subtraction that underflows the unsigned byte count, and
+//! the eviction loop that then underflows the object queue.
+
+use mcr_vm::SplitMix64;
+
+/// Bug class, as in the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Atomicity violation.
+    Atomicity,
+    /// Order violation / data race.
+    Race,
+}
+
+impl BugClass {
+    /// The paper's Table 2 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugClass::Atomicity => "atom",
+            BugClass::Race => "race",
+        }
+    }
+}
+
+/// One benchmark bug.
+#[derive(Debug, Clone)]
+pub struct BugSpec {
+    /// Short name ("apache-1").
+    pub name: &'static str,
+    /// Upstream bug id the model is patterned after.
+    pub bug_id: &'static str,
+    /// Bug class.
+    pub class: BugClass,
+    /// Worker threads (excluding main), as reported in Table 2.
+    pub threads: u32,
+    /// MiniCC source.
+    pub source: &'static str,
+    /// The bug-triggering tail of the input (the "original input from
+    /// the bug report").
+    pub base_input: &'static [i64],
+    /// Default random-prefix length for lengthened inputs.
+    pub default_warmup: usize,
+    /// Step budget for runs of this program.
+    pub max_steps: u64,
+}
+
+impl BugSpec {
+    /// Compiles the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to compile (a bug in this
+    /// crate, covered by tests).
+    pub fn compile(&self) -> mcr_lang::Program {
+        mcr_lang::compile(self.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+
+    /// Builds a lengthened input: `warmup` random values (the prefix the
+    /// warmup loop consumes) followed by the bug-report tail.
+    pub fn lengthened_input(&self, warmup: usize, seed: u64) -> Vec<i64> {
+        let mut rng = SplitMix64::new(seed ^ 0x5EED_F00D);
+        let mut v: Vec<i64> = (0..warmup).map(|_| rng.next_range(0, 9)).collect();
+        v.extend_from_slice(self.base_input);
+        v
+    }
+
+    /// The default input used by the evaluation harness.
+    pub fn default_input(&self) -> Vec<i64> {
+        self.lengthened_input(self.default_warmup, 42)
+    }
+}
+
+/// The paper's §6 case study: apache bug 21285 (mod_mem_cache).
+///
+/// Cache protocol: `create_entity` inserts an object with DEFAULT_SIZE;
+/// `write_body` later removes it, sets the real size, and re-inserts.
+/// The two steps are individually locked but not atomic. If the object
+/// is evicted in between, `cache_remove` still subtracts its size —
+/// "again", after the eviction already did — and the unsigned byte count
+/// wraps to a huge value; the next insertion's eviction loop then pops
+/// the queue past empty.
+const APACHE1_SRC: &str = r#"
+    // mod_mem_cache model. Sizes are unsigned (20-bit wrap).
+    global input: [int; 256];
+    global input_len: int;
+    global pq: [int; 16];          // object queue (holds pointers)
+    global pq_count: int;
+    global current_size: int;      // total cached bytes (unsigned)
+    global max_size: int = 20;
+    global served: int;
+    lock cl;
+
+    // Unsigned arithmetic helper: wrap into [0, 2^20).
+    fn uwrap(v) {
+        return ((v % 1048576) + 1048576) % 1048576;
+    }
+
+    fn cache_insert(obj) {
+        // Evict under size pressure; a wrapped current_size makes this
+        // loop run the queue below zero: pq[-1] crashes (paper: "the
+        // huge loop count underflows the object queue at line 182").
+        while (current_size + obj[0] > max_size) {
+            pq_count = pq_count - 1;
+            var ev;
+            ev = pq[pq_count];
+            current_size = uwrap(current_size - ev[0]);
+        }
+        pq[pq_count] = obj;
+        pq_count = pq_count + 1;
+        current_size = uwrap(current_size + obj[0]);
+    }
+
+    fn cache_remove(obj) {
+        var i; var j; var found;
+        i = 0;
+        while (i < pq_count) {
+            if (pq[i] == obj) {
+                j = i;
+                while (j + 1 < pq_count) {
+                    pq[j] = pq[j + 1];
+                    j = j + 1;
+                }
+                pq_count = pq_count - 1;
+                found = 1;
+                i = pq_count;
+            }
+            i = i + 1;
+        }
+        // BUG: subtract even when the object was already evicted.
+        current_size = uwrap(current_size - obj[0]);
+    }
+
+    fn handle_request(key) {
+        var obj;
+        obj = alloc(2);
+        obj[0] = 10;               // default size (real size unknown yet)
+        obj[1] = key;
+        // Step 1: create_entity.
+        acquire cl;
+        cache_insert(obj);
+        release cl;
+        // Step 2: write_body — NOT atomic with step 1.
+        acquire cl;
+        cache_remove(obj);
+        obj[0] = 1;                // the real size
+        cache_insert(obj);
+        release cl;
+        served = served + 1;
+    }
+
+    fn warmup_worker() {
+        var i; var n;
+        n = input_len - 1;
+        i = 0;
+        while (i < n) {
+            acquire cl;
+            served = served + input[i] - input[i];
+            release cl;
+            i = i + 1;
+        }
+    }
+
+    fn w1() { handle_request(101); }
+    fn w2() { handle_request(102); }
+    fn w3() { handle_request(103); }
+
+    fn main() {
+        warmup_worker();
+        spawn w1();
+        spawn w2();
+        spawn w3();
+    }
+"#;
+
+/// apache bug 45605: order race on a shared buffer pointer. The writer
+/// retires the buffer in the wrong order: it nulls the pointer *before*
+/// clearing the published `ready` flag (and outside the lock). A reader
+/// scheduled into that window sees `ready == 1` with a null buffer.
+const APACHE2_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global buf: ptr;
+    global ready: int;
+    global sink: int;
+    lock bl;
+
+    fn writer() {
+        var r;
+        acquire bl;
+        buf = alloc(4);
+        buf[0] = 7;
+        ready = 1;
+        release bl;
+        r = 0;
+        while (r < 3) { r = r + 1; }    // simulated work
+        // BUG: the buffer is retired before the flag is withdrawn, and
+        // outside the critical section.
+        buf = null;
+        acquire bl;
+        ready = 0;
+        release bl;
+    }
+
+    fn reader() {
+        if (ready > 0) {
+            sink = buf[0];
+        }
+    }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire bl;
+            sink = sink + input[i] - input[i];
+            release bl;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        warmup();
+        spawn writer();
+        spawn reader();
+    }
+"#;
+
+/// mysql bug 21587: atomicity violation on the (len, data) pair of a
+/// growable buffer. The rebuild destroys the data pointer *before* the
+/// published length is withdrawn — a consumer that reads the stale
+/// length dereferences a null buffer.
+const MYSQL1_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global data: ptr;
+    global len: int;
+    global acc: int;
+    lock ml;
+
+    fn producer() {
+        acquire ml;
+        data = alloc(4);
+        data[3] = 42;
+        len = 4;
+        release ml;
+        // Rebuild. BUG: the old buffer dies outside the critical
+        // section; `len` still advertises 4 valid entries while `data`
+        // is null.
+        data = null;
+        acquire ml;
+        data = alloc(4);
+        data[3] = 7;
+        len = 4;
+        release ml;
+    }
+
+    fn consumer() {
+        var n;
+        n = len;
+        if (n > 0) {
+            acc = data[n - 1];
+        }
+    }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire ml;
+            acc = acc + input[i] - input[i];
+            release ml;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        warmup();
+        spawn producer();
+        spawn consumer();
+    }
+"#;
+
+/// mysql bug 12228: check-then-use of a cached prepared statement that a
+/// concurrent invalidation frees in between.
+const MYSQL2_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global stmt: ptr;
+    global stmt_valid: int;
+    global result: int;
+    lock sl;
+
+    fn prepare() {
+        acquire sl;
+        stmt = alloc(3);
+        stmt[0] = 11;
+        stmt_valid = 1;
+        release sl;
+    }
+
+    fn execute() {
+        if (stmt_valid > 0) {
+            // Window: invalidation may land between check and use.
+            result = stmt[0];
+        }
+    }
+
+    fn invalidate() {
+        // BUG: the statement is freed before its validity flag is
+        // withdrawn, and outside the critical section.
+        stmt = null;
+        acquire sl;
+        stmt_valid = 0;
+        release sl;
+    }
+
+    fn session() {
+        prepare();
+        invalidate();
+    }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire sl;
+            result = result + input[i] - input[i];
+            release sl;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        warmup();
+        spawn session();
+        spawn execute();
+    }
+"#;
+
+/// mysql bug 12212: use-before-init order violation — the init thread
+/// publishes the `initialized` flag before the table pointer.
+const MYSQL3_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global table: ptr;
+    global initialized: int;
+    global lookups: int;
+    lock il;
+
+    fn init_subsystem() {
+        var i;
+        // BUG: flag raised before the table exists.
+        initialized = 1;
+        i = 0;
+        while (i < 2) { i = i + 1; }     // init work
+        acquire il;
+        table = alloc(8);
+        table[0] = 5;
+        release il;
+    }
+
+    fn user() {
+        if (initialized > 0) {
+            lookups = table[0];
+        }
+    }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire il;
+            lookups = lookups + input[i] - input[i];
+            release il;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        warmup();
+        spawn init_subsystem();
+        spawn user();
+    }
+"#;
+
+/// mysql bug 12848: TOCTOU on the connection slot table — the free-slot
+/// scan and the slot assignment sit in different critical sections, so
+/// two admissions can pick the same slot; the double-allocation check in
+/// the assignment section fires.
+const MYSQL4_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global slots: [int; 2];
+    global conn_count: int;
+    global admitted: int;
+    global rejected: int;
+    lock cl;
+
+    fn admit(id) {
+        var idx; var i;
+        idx = 0 - 1;
+        // Step 1: find a free slot.
+        acquire cl;
+        i = 0;
+        while (i < 2) {
+            if (slots[i] == 0) {
+                idx = i;
+                i = 2;
+            }
+            i = i + 1;
+        }
+        release cl;
+        // Step 2: claim it — NOT atomic with the scan.
+        if (idx >= 0) {
+            acquire cl;
+            assert(slots[idx] == 0);     // double allocation detected
+            slots[idx] = id;
+            conn_count = conn_count + 1;
+            release cl;
+            admitted = admitted + 1;
+        } else {
+            rejected = rejected + 1;
+        }
+    }
+
+    fn a1() { admit(71); }
+    fn a2() { admit(72); }
+    fn a3() { admit(73); }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire cl;
+            admitted = admitted + input[i] - input[i];
+            release cl;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        warmup();
+        spawn a1();
+        spawn a2();
+        spawn a3();
+    }
+"#;
+
+/// mysql bug 42419: log-buffer flush atomicity violation — the flusher
+/// retires the active buffer (nulling the shared pointer) and installs
+/// the replacement in a *separate* step outside the critical section; an
+/// append that reserves its slot in between reads a null buffer pointer.
+const MYSQL5_SRC: &str = r#"
+    global input: [int; 256];
+    global input_len: int;
+    global logbuf: ptr;
+    global logpos: int;
+    global flushes: int;
+    global writes: int;
+    lock ll;
+
+    fn append(v) {
+        var b; var p;
+        // Reserve a slot under the lock, write outside it (the standard
+        // log-buffer fast path).
+        acquire ll;
+        b = logbuf;
+        p = logpos;
+        logpos = p + 1;
+        release ll;
+        b[p] = v;
+        writes = writes + 1;
+    }
+
+    fn flush() {
+        var fresh;
+        // Step 1: retire the active buffer.
+        acquire ll;
+        logbuf = null;
+        logpos = 0;
+        flushes = flushes + 1;
+        release ll;
+        // Step 2: install the replacement — NOT atomic with step 1.
+        fresh = alloc(4);
+        logbuf = fresh;
+    }
+
+    fn writer_thread() {
+        append(1);
+        append(2);
+    }
+
+    fn flusher_thread() {
+        flush();
+    }
+
+    fn setup() {
+        logbuf = alloc(4);
+        logpos = 0;
+    }
+
+    fn warmup() {
+        var i;
+        i = 0;
+        while (i < input_len) {
+            acquire ll;
+            writes = writes + input[i] - input[i];
+            release ll;
+            i = i + 1;
+        }
+    }
+
+    fn main() {
+        setup();
+        warmup();
+        spawn writer_thread();
+        spawn flusher_thread();
+    }
+"#;
+
+/// All benchmark bugs, in the paper's Table 2 order.
+pub fn all_bugs() -> Vec<BugSpec> {
+    vec![
+        BugSpec {
+            name: "apache-1",
+            bug_id: "21285",
+            class: BugClass::Atomicity,
+            threads: 3,
+            source: APACHE1_SRC,
+            base_input: &[1],
+            default_warmup: 120,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "apache-2",
+            bug_id: "45605",
+            class: BugClass::Race,
+            threads: 2,
+            source: APACHE2_SRC,
+            base_input: &[1],
+            default_warmup: 150,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "mysql-1",
+            bug_id: "21587",
+            class: BugClass::Atomicity,
+            threads: 2,
+            source: MYSQL1_SRC,
+            base_input: &[1],
+            default_warmup: 200,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "mysql-2",
+            bug_id: "12228",
+            class: BugClass::Atomicity,
+            threads: 2,
+            source: MYSQL2_SRC,
+            base_input: &[1],
+            default_warmup: 180,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "mysql-3",
+            bug_id: "12212",
+            class: BugClass::Race,
+            threads: 2,
+            source: MYSQL3_SRC,
+            base_input: &[1],
+            default_warmup: 100,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "mysql-4",
+            bug_id: "12848",
+            class: BugClass::Atomicity,
+            threads: 3,
+            source: MYSQL4_SRC,
+            base_input: &[1],
+            default_warmup: 160,
+            max_steps: 2_000_000,
+        },
+        BugSpec {
+            name: "mysql-5",
+            bug_id: "42419",
+            class: BugClass::Atomicity,
+            threads: 2,
+            source: MYSQL5_SRC,
+            base_input: &[1],
+            default_warmup: 140,
+            max_steps: 2_000_000,
+        },
+    ]
+}
+
+/// Looks up a bug by name.
+pub fn bug_by_name(name: &str) -> Option<BugSpec> {
+    all_bugs().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_vm::{run, DeterministicScheduler, NullObserver, Outcome, StressScheduler, Vm};
+
+    #[test]
+    fn all_bugs_compile_and_validate() {
+        for bug in all_bugs() {
+            let p = bug.compile();
+            assert!(p.validate().is_ok(), "{}", bug.name);
+            assert!(p.funcs.len() >= 3, "{}", bug.name);
+        }
+    }
+
+    #[test]
+    fn all_bugs_pass_deterministically() {
+        for bug in all_bugs() {
+            let p = bug.compile();
+            let input = bug.default_input();
+            let mut vm = Vm::new(&p, &input);
+            let mut s = DeterministicScheduler::new();
+            let out = run(&mut vm, &mut s, &mut NullObserver, bug.max_steps);
+            assert_eq!(
+                out,
+                Outcome::Completed,
+                "{} must pass on a single core, got {out:?}",
+                bug.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_bugs_fail_under_stress() {
+        for bug in all_bugs() {
+            let p = bug.compile();
+            let input = bug.default_input();
+            let mut found = false;
+            for seed in 0..300_000u64 {
+                let mut vm = Vm::new(&p, &input);
+                let mut s = StressScheduler::new(seed);
+                if let Outcome::Crashed(_) = run(&mut vm, &mut s, &mut NullObserver, bug.max_steps)
+                {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "{}: stress never exposed the bug", bug.name);
+        }
+    }
+
+    #[test]
+    fn lengthened_inputs_keep_the_tail() {
+        let bug = bug_by_name("apache-1").unwrap();
+        let input = bug.lengthened_input(10, 7);
+        assert_eq!(input.len(), 10 + bug.base_input.len());
+        assert_eq!(&input[10..], bug.base_input);
+        // Deterministic per seed.
+        assert_eq!(input, bug.lengthened_input(10, 7));
+        assert_ne!(bug.lengthened_input(10, 7), bug.lengthened_input(10, 8));
+    }
+
+    #[test]
+    fn table2_shape() {
+        let bugs = all_bugs();
+        assert_eq!(bugs.len(), 7);
+        assert_eq!(bugs.iter().filter(|b| b.class == BugClass::Race).count(), 2);
+        assert!(bugs.iter().all(|b| b.threads >= 2));
+    }
+}

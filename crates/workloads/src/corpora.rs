@@ -1,0 +1,439 @@
+//! Synthesized program corpora for the Table 1 census.
+//!
+//! The paper's Table 1 reports, over apache-2.0.46 (105K statements),
+//! mysql-5.1.31 (892K) and postgresql-8.3 (521K), what fraction of
+//! statements fall into each control-dependence class. Since those code
+//! bases cannot be compiled to MiniCC, this module synthesizes corpora
+//! with the same *scale* and comparable *control-flow mix*: each corpus
+//! is generated from a seeded grammar whose weights (plain conditionals,
+//! short-circuit conditions, goto joins, loops) are tuned per corpus.
+//! The census then measures the actual resulting distribution — the
+//! generator sets tendencies, the analysis reports ground truth.
+
+use mcr_lang::ast::*;
+use mcr_lang::Program;
+use mcr_vm::SplitMix64;
+
+/// Control-flow mix of a corpus, as per-mille weights of generated
+/// compound statements.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusProfile {
+    /// Corpus name (Table 1 row).
+    pub name: &'static str,
+    /// Target statement count (the paper's "total" column).
+    pub target_stmts: usize,
+    /// Weight of plain `if` units.
+    pub w_if: u32,
+    /// Weight of `if` with `||`/`&&` conditions (aggregatable class).
+    pub w_or_if: u32,
+    /// Weight of goto-join shapes (non-aggregatable class, Fig. 6).
+    pub w_goto: u32,
+    /// Weight of loops.
+    pub w_loop: u32,
+    /// Weight of straight-line assignments.
+    pub w_plain: u32,
+    /// Statements per conditional body.
+    pub body_len: u32,
+}
+
+/// The three Table 1 corpora at the paper's scale.
+pub fn paper_profiles() -> Vec<CorpusProfile> {
+    vec![
+        CorpusProfile {
+            name: "apache-2.0.46",
+            target_stmts: 105_000,
+            w_if: 200,
+            w_or_if: 135,
+            w_goto: 85,
+            w_loop: 330,
+            w_plain: 250,
+            body_len: 3,
+        },
+        CorpusProfile {
+            name: "mysql-5.1.31",
+            target_stmts: 892_000,
+            w_if: 260,
+            w_or_if: 75,
+            w_goto: 62,
+            w_loop: 210,
+            w_plain: 393,
+            body_len: 3,
+        },
+        CorpusProfile {
+            name: "postgresql-8.3",
+            target_stmts: 521_000,
+            w_if: 210,
+            w_or_if: 90,
+            w_goto: 53,
+            w_loop: 380,
+            w_plain: 267,
+            body_len: 3,
+        },
+    ]
+}
+
+/// Scaled-down profiles for fast tests and benches.
+pub fn small_profiles(target: usize) -> Vec<CorpusProfile> {
+    paper_profiles()
+        .into_iter()
+        .map(|mut p| {
+            p.target_stmts = target;
+            p
+        })
+        .collect()
+}
+
+/// Generates a corpus program for `profile`, deterministically from
+/// `seed`. The result is a single large [`Program`] whose census
+/// approximates the profile's mix.
+pub fn generate(profile: &CorpusProfile, seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0xC0DE_BA5E);
+    let mut gen = Gen {
+        rng: &mut rng,
+        profile,
+        label_counter: 0,
+    };
+
+    let mut funcs: Vec<AFunc> = Vec::new();
+    let mut emitted = 0usize;
+    let mut fidx = 0u32;
+    while emitted < profile.target_stmts {
+        let body_units = 8 + (gen.rng.next_below(10) as usize);
+        let (body, stmts) = gen.function_body(body_units, fidx, funcs.len());
+        emitted += stmts + 1; // + implicit return
+        funcs.push(AFunc {
+            name: format!("f{fidx}"),
+            params: vec!["p0".into()],
+            body,
+            line: 1,
+        });
+        fidx += 1;
+    }
+    // main calls a sample of functions (keeps everything reachable-ish
+    // without running forever; the census is static anyway).
+    let mut main_body = Vec::new();
+    for i in 0..funcs.len().min(4) {
+        main_body.push(AStmt {
+            kind: AStmtKind::CallStmt(format!("f{i}"), vec![AExpr::Int(1)]),
+            line: 1,
+        });
+    }
+    funcs.push(AFunc {
+        name: "main".into(),
+        params: vec![],
+        body: main_body,
+        line: 1,
+    });
+
+    let ast = AProgram {
+        globals: vec![
+            AGlobal::Scalar {
+                name: "g0".into(),
+                init: 1,
+            },
+            AGlobal::Scalar {
+                name: "g1".into(),
+                init: 2,
+            },
+            AGlobal::Array {
+                name: "ga".into(),
+                len: 8,
+                init: 0,
+            },
+        ],
+        locks: vec![],
+        funcs,
+    };
+    mcr_lang::lower::lower(&ast).expect("generated corpus must lower")
+}
+
+struct Gen<'a> {
+    rng: &'a mut SplitMix64,
+    profile: &'a CorpusProfile,
+    label_counter: u64,
+}
+
+impl Gen<'_> {
+    /// Emits `units` statement units; returns (body, statement count).
+    fn function_body(&mut self, units: usize, _fidx: u32, _nfuncs: usize) -> (Vec<AStmt>, usize) {
+        let mut body = Vec::new();
+        let mut count = 0usize;
+        // One local for scratch.
+        body.push(AStmt {
+            kind: AStmtKind::VarDecl("v".into(), Some(AExpr::Int(0))),
+            line: 1,
+        });
+        count += 1;
+        for _ in 0..units {
+            let total = self.profile.w_if
+                + self.profile.w_or_if
+                + self.profile.w_goto
+                + self.profile.w_loop
+                + self.profile.w_plain;
+            let roll = self.rng.next_below(total as u64) as u32;
+            let (stmt, n) = if roll < self.profile.w_plain {
+                self.plain()
+            } else if roll < self.profile.w_plain + self.profile.w_if {
+                self.plain_if()
+            } else if roll < self.profile.w_plain + self.profile.w_if + self.profile.w_or_if {
+                self.or_if()
+            } else if roll
+                < self.profile.w_plain
+                    + self.profile.w_if
+                    + self.profile.w_or_if
+                    + self.profile.w_goto
+            {
+                self.goto_shape()
+            } else {
+                self.loop_shape()
+            };
+            count += n;
+            body.push(stmt);
+        }
+        (body, count)
+    }
+
+    fn assign(&mut self) -> AStmt {
+        let v = self.rng.next_range(0, 99);
+        AStmt {
+            kind: AStmtKind::Assign(
+                ALValue::Name("v".into()),
+                ARhs::Expr(AExpr::Binary(
+                    ABinOp::Add,
+                    Box::new(AExpr::Name("v".into())),
+                    Box::new(AExpr::Int(v)),
+                )),
+            ),
+            line: 1,
+        }
+    }
+
+    fn cond(&mut self) -> AExpr {
+        let k = self.rng.next_range(0, 9);
+        AExpr::Binary(
+            ABinOp::Gt,
+            Box::new(AExpr::Name("v".into())),
+            Box::new(AExpr::Int(k)),
+        )
+    }
+
+    fn block(&mut self, n: u32) -> Vec<AStmt> {
+        (0..n).map(|_| self.assign()).collect()
+    }
+
+    fn plain(&mut self) -> (AStmt, usize) {
+        (self.assign(), 1)
+    }
+
+    fn plain_if(&mut self) -> (AStmt, usize) {
+        let b = self.profile.body_len;
+        let with_else = self.rng.next_below(2) == 0;
+        let then_blk = self.block(b);
+        let else_blk = if with_else { self.block(b) } else { Vec::new() };
+        let n = 1 + then_blk.len() + else_blk.len() + 1; // branch + bodies + merge jump
+        (
+            AStmt {
+                kind: AStmtKind::If {
+                    cond: self.cond(),
+                    then_blk,
+                    else_blk,
+                },
+                line: 1,
+            },
+            n,
+        )
+    }
+
+    fn or_if(&mut self) -> (AStmt, usize) {
+        let b = self.profile.body_len;
+        let c1 = self.cond();
+        let c2 = self.cond();
+        let cond = if self.rng.next_below(2) == 0 {
+            AExpr::Binary(ABinOp::OrOr, Box::new(c1), Box::new(c2))
+        } else {
+            AExpr::Binary(ABinOp::AndAnd, Box::new(c1), Box::new(c2))
+        };
+        let then_blk = self.block(b);
+        let n = 2 + then_blk.len() + 1;
+        (
+            AStmt {
+                kind: AStmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk: Vec::new(),
+                },
+                line: 1,
+            },
+            n,
+        )
+    }
+
+    /// The Fig. 6 shape: a goto from one branch into another branch's
+    /// then-region, making the target's dependences non-aggregatable.
+    fn goto_shape(&mut self) -> (AStmt, usize) {
+        self.label_counter += 1;
+        let label = format!("L{}", self.label_counter);
+        let inner = vec![
+            AStmt {
+                kind: AStmtKind::If {
+                    cond: self.cond(),
+                    then_blk: vec![AStmt {
+                        kind: AStmtKind::Goto(label.clone()),
+                        line: 1,
+                    }],
+                    else_blk: Vec::new(),
+                },
+                line: 1,
+            },
+            self.assign(),
+            AStmt {
+                kind: AStmtKind::If {
+                    cond: self.cond(),
+                    then_blk: vec![
+                        AStmt {
+                            kind: AStmtKind::Label(label),
+                            line: 1,
+                        },
+                        self.assign(),
+                        self.assign(),
+                    ],
+                    else_blk: vec![self.assign()],
+                },
+                line: 1,
+            },
+        ];
+        // Statements: outer branch, goto, assign, inner branch, 2 target
+        // assigns, else assign, plus merge jumps (~3).
+        let n = 10;
+        (
+            AStmt {
+                kind: AStmtKind::If {
+                    cond: self.cond(),
+                    then_blk: inner,
+                    else_blk: Vec::new(),
+                },
+                line: 1,
+            },
+            n,
+        )
+    }
+
+    fn loop_shape(&mut self) -> (AStmt, usize) {
+        let b = self.profile.body_len;
+        let body = self.block(b);
+        let use_for = self.rng.next_below(10) < 7; // splash-like mix
+        let n = 1 + body.len() + 2;
+        let stmt = if use_for {
+            AStmt {
+                kind: AStmtKind::For {
+                    init: Some(Box::new(AStmt {
+                        kind: AStmtKind::Assign(
+                            ALValue::Name("v".into()),
+                            ARhs::Expr(AExpr::Int(0)),
+                        ),
+                        line: 1,
+                    })),
+                    cond: AExpr::Binary(
+                        ABinOp::Lt,
+                        Box::new(AExpr::Name("v".into())),
+                        Box::new(AExpr::Int(3)),
+                    ),
+                    step: Some(Box::new(AStmt {
+                        kind: AStmtKind::Assign(
+                            ALValue::Name("v".into()),
+                            ARhs::Expr(AExpr::Binary(
+                                ABinOp::Add,
+                                Box::new(AExpr::Name("v".into())),
+                                Box::new(AExpr::Int(1)),
+                            )),
+                        ),
+                        line: 1,
+                    })),
+                    body,
+                },
+                line: 1,
+            }
+        } else {
+            let mut body = body;
+            body.push(AStmt {
+                kind: AStmtKind::Assign(
+                    ALValue::Name("v".into()),
+                    ARhs::Expr(AExpr::Binary(
+                        ABinOp::Add,
+                        Box::new(AExpr::Name("v".into())),
+                        Box::new(AExpr::Int(1)),
+                    )),
+                ),
+                line: 1,
+            });
+            AStmt {
+                kind: AStmtKind::While {
+                    cond: AExpr::Binary(
+                        ABinOp::Lt,
+                        Box::new(AExpr::Name("v".into())),
+                        Box::new(AExpr::Int(3)),
+                    ),
+                    body,
+                },
+                line: 1,
+            }
+        };
+        (stmt, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_analysis::ProgramAnalysis;
+
+    #[test]
+    fn corpora_generate_and_validate() {
+        for profile in small_profiles(3_000) {
+            let p = generate(&profile, 1);
+            assert!(p.validate().is_ok(), "{}", profile.name);
+            let total = p.stmt_count();
+            assert!(
+                total >= profile.target_stmts,
+                "{}: {total} < {}",
+                profile.name,
+                profile.target_stmts
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profile = &small_profiles(2_000)[0];
+        let a = generate(profile, 7);
+        let b = generate(profile, 7);
+        assert_eq!(a, b);
+        let c = generate(profile, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn census_shape_matches_table1_bands() {
+        // Loose bands: the generator is tuned toward the paper's
+        // distribution; the census must land in the right neighborhoods.
+        for profile in small_profiles(8_000) {
+            let p = generate(&profile, 3);
+            let analysis = ProgramAnalysis::analyze(&p);
+            let census = analysis.census(&p);
+            let one = census.pct_one_cd();
+            let aggr = census.pct_aggr_to_one();
+            let na = census.pct_not_aggr();
+            let lp = census.pct_loop();
+            assert!(
+                (78.0..95.0).contains(&one),
+                "{}: one-CD {one}",
+                profile.name
+            );
+            assert!((0.5..9.0).contains(&aggr), "{}: aggr {aggr}", profile.name);
+            assert!((0.5..9.0).contains(&na), "{}: not-aggr {na}", profile.name);
+            assert!((1.0..12.0).contains(&lp), "{}: loop {lp}", profile.name);
+            let sum = one + aggr + na + lp;
+            assert!((sum - 100.0).abs() < 1e-6, "{}: sum {sum}", profile.name);
+        }
+    }
+}

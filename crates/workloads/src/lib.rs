@@ -1,0 +1,18 @@
+//! # mcr-workloads — benchmark programs for the evaluation
+//!
+//! * [`bugs`] — the seven concurrency bugs of the paper's Table 2
+//!   (apache-1/2, mysql-1..5), including the §6 mod_mem_cache case study,
+//! * [`splash`] — loop-intensive kernels standing in for splash-2 in the
+//!   Fig. 10 overhead measurement,
+//! * [`corpora`] — synthesized program corpora with apache/mysql/postgres
+//!   control-flow statistics for the Table 1 census.
+
+#![warn(missing_docs)]
+
+pub mod bugs;
+pub mod corpora;
+pub mod splash;
+
+pub use bugs::{all_bugs, bug_by_name, BugClass, BugSpec};
+pub use corpora::{generate, paper_profiles, small_profiles, CorpusProfile};
+pub use splash::{measure_overhead, overhead_workloads, OverheadResult, OverheadWorkload};

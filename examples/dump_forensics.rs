@@ -1,0 +1,149 @@
+//! Core dump forensics, piece by piece: capture a failure dump, encode
+//! and reparse it, reverse-engineer the failure index, locate the
+//! aligned point, and diff the two dumps — without running the schedule
+//! search. Useful for understanding what each phase of the paper's
+//! analysis actually produces.
+//!
+//! ```text
+//! cargo run --release --example dump_forensics
+//! ```
+
+use mcr_analysis::ProgramAnalysis;
+use mcr_dump::{reachable_vars, CoreDump, DumpDiff, DumpReason, TraverseLimits};
+use mcr_index::{reverse_index, Aligner};
+use mcr_vm::{run, run_until, DeterministicScheduler, NullObserver, StressScheduler, Vm};
+
+const PROGRAM: &str = r#"
+    global input: [int; 4];
+    global inventory: ptr;
+    global count: int;
+    global audits: int;
+    lock inv;
+
+    fn restock(n) {
+        var fresh; var k;
+        fresh = alloc(8);
+        for (k = 0; k < n; k = k + 1) {
+            fresh[k] = k * 10;
+        }
+        // BUG: the swap publishes the count before the new inventory is
+        // installed (and the install happens outside the lock).
+        inventory = null;
+        acquire inv;
+        count = n;
+        release inv;
+        inventory = fresh;
+    }
+
+    fn audit() {
+        var i; var total;
+        if (count > 0) {
+            total = 0;
+            for (i = 0; i < count; i = i + 1) {
+                total = total + inventory[i];
+            }
+            audits = audits + 1;
+        }
+    }
+
+    fn stocker() { restock(5); }
+    fn auditor() { audit(); }
+
+    fn main() {
+        count = 3;
+        inventory = alloc(8);
+        spawn stocker();
+        spawn auditor();
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = mcr_lang::compile(PROGRAM)?;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let input: [i64; 0] = [];
+
+    // 1. Produce a failure dump under random interleavings.
+    let mut failure_dump = None;
+    for seed in 0..1_000_000u64 {
+        let mut vm = Vm::new(&program, &input);
+        let mut sched = StressScheduler::new(seed);
+        run(&mut vm, &mut sched, &mut NullObserver, 1_000_000);
+        if let Some(d) = CoreDump::capture_failure(&vm) {
+            println!("seed {seed} crashed: {}", d.failure().unwrap());
+            failure_dump = Some(d);
+            break;
+        }
+    }
+    let failure_dump = failure_dump.expect("race fires");
+
+    // 2. The dump as an artifact: encode, measure, reparse.
+    let bytes = mcr_dump::encode(&failure_dump);
+    println!("failure dump: {} bytes on disk", bytes.len());
+    let reparsed = mcr_dump::decode(&bytes)?;
+    assert_eq!(reparsed, failure_dump);
+    let ctx = failure_dump.focus_context();
+    println!("calling context depth {} (outer -> inner):", ctx.len());
+    for (func, stmt) in &ctx {
+        println!("  {}:{}", program.func(*func).name, stmt.0);
+    }
+    println!(
+        "live loop counters of the innermost frame: {:?}",
+        failure_dump.focus_thread().top().unwrap().loop_counters
+    );
+
+    // 3. Reverse-engineer the failure index (Algorithm 1).
+    let index = reverse_index(&program, &analysis, &failure_dump)?;
+    println!("failure index: {}", index.display(&program));
+
+    // 4. Locate the aligned point in the deterministic passing run.
+    let mut vm = Vm::new(&program, &input);
+    let mut aligner = Aligner::new(&program, &analysis, failure_dump.focus, &index);
+    run_until(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut aligner,
+        1_000_000,
+        |_| false,
+    );
+    let alignment = aligner.finish();
+    println!(
+        "aligned point: {:?} at step {} ({} index entries unmatched)",
+        alignment.signal, alignment.step, alignment.remaining
+    );
+
+    // 5. Dump at the aligned point and compare.
+    let mut replay = Vm::new(&program, &input);
+    run_until(
+        &mut replay,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+        |vm| vm.steps() > alignment.step,
+    );
+    let aligned_dump = CoreDump::capture(&replay, failure_dump.focus, DumpReason::Aligned);
+    let diff = DumpDiff::compare(&failure_dump, &aligned_dump);
+    println!(
+        "compared {} variables ({} shared): {} diffs, {} CSVs",
+        diff.compared,
+        diff.shared_compared,
+        diff.diff_count(),
+        diff.csv_count()
+    );
+    for d in &diff.diffs {
+        println!(
+            "  {} : failing={:?} aligned={:?}{}",
+            d.path.display(&program),
+            d.a,
+            d.b,
+            if d.path.is_shared() { "  <- CSV" } else { "" }
+        );
+    }
+
+    // The traversal itself is also inspectable.
+    let vars = reachable_vars(&failure_dump, TraverseLimits::default());
+    println!(
+        "total reachable variables in the failure dump: {}",
+        vars.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Quickstart: reproduce a Heisenbug from nothing but a core dump.
+//!
+//! This walks the entire pipeline of the paper on its running example
+//! (Fig. 1): a racy flag/pointer pair guarded by a lock that is released
+//! too early.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcr_core::{find_failure, passes_deterministically, ReproOptions, Reproducer};
+
+/// The paper's Fig. 1, in MiniCC. `x` flags whether `p` is null; the
+/// critical section ends before the flag is consulted, so T2's `x = 0`
+/// can land between `x = 1` and `if (!x)`.
+const FIG1: &str = r#"
+    global x: int;
+    global input: [int; 2];
+    lock l;
+
+    fn F(p) { p[0] = 1; }
+
+    fn T1() {
+        var i; var p;
+        for (i = 0; i < 2; i = i + 1) {
+            x = 0;
+            p = alloc(2);
+            acquire l;
+            if (input[i] > 0) {
+                x = 1;
+                p = null;
+            }
+            release l;
+            if (!x) { F(p); }        // should be inside the lock
+        }
+    }
+
+    fn T2() { x = 0; }
+
+    fn main() { spawn T1(); spawn T2(); }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = mcr_lang::compile(FIG1)?;
+    let input = [0i64, 1];
+
+    // The Heisenbug premise: the single-core canonical run passes.
+    assert!(passes_deterministically(&program, &input, 1_000_000));
+    println!("deterministic single-core run: passes");
+
+    // Production: random multicore-style interleavings until it crashes.
+    // All we keep is the core dump — no logs, no traces.
+    let stress = find_failure(&program, &input, 0..1_000_000, 1_000_000)
+        .expect("the race must eventually fire");
+    println!(
+        "stress run crashed with seed {}: {}",
+        stress.seed,
+        stress.dump.failure().unwrap()
+    );
+
+    // Debugging: dump -> index -> aligned point -> CSVs -> schedule.
+    let reproducer = Reproducer::new(&program, ReproOptions::default());
+    let report = reproducer.reproduce(&stress.dump, &input)?;
+
+    let index = report.index.as_ref().expect("EI mode");
+    println!(
+        "reverse-engineered failure index ({} entries): {}",
+        index.len(),
+        index.display(&program)
+    );
+    println!(
+        "aligned point: {:?} at step {}",
+        report.alignment.signal, report.alignment.step
+    );
+    println!(
+        "dump comparison: {} vars, {} diffs, {} shared, {} CSVs",
+        report.vars,
+        report.diffs,
+        report.shared,
+        report.csv_paths.len()
+    );
+    for path in &report.csv_paths {
+        println!("  critical shared variable: {}", path.display(&program));
+    }
+    assert!(report.search.reproduced);
+    println!(
+        "failure reproduced after {} schedule tries; winning preemption(s):",
+        report.search.tries
+    );
+    for pm in report.search.winning.as_ref().unwrap() {
+        println!("  preempt {}", pm.point);
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! Ablation studies called out in DESIGN.md §5: what each ingredient of
+//! the technique buys, measured on the bug suite.
+
+use mcr_core::{find_failure, AlignMode, ReproOptions, Reproducer};
+use mcr_search::{Algorithm, SearchConfig};
+use mcr_slice::Strategy;
+
+fn reproduce(
+    bug: &mcr_workloads::BugSpec,
+    sf: &mcr_core::StressFailure,
+    opts: ReproOptions,
+) -> mcr_core::ReproReport {
+    let program = bug.compile();
+    let input = bug.default_input();
+    Reproducer::new(&program, opts)
+        .reproduce(&sf.dump, &input)
+        .unwrap()
+}
+
+fn stress(bug: &mcr_workloads::BugSpec) -> mcr_core::StressFailure {
+    let program = bug.compile();
+    let input = bug.default_input();
+    find_failure(&program, &input, 0..2_000_000, bug.max_steps)
+        .unwrap_or_else(|| panic!("{}: stress failed", bug.name))
+}
+
+fn with(algorithm: Algorithm, strategy: Strategy, align: AlignMode) -> ReproOptions {
+    ReproOptions {
+        algorithm,
+        strategy,
+        align_mode: align,
+        search: SearchConfig {
+            max_tries: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Ablation 1 — prioritization strategy. The two heuristics are
+/// incomparable (the paper reports dep winning on 2/7): dependence wins
+/// where recent-but-irrelevant accesses mislead the temporal ranking
+/// (apache-1), temporal wins where the slice under-approximates
+/// (mysql-4); on the simple bugs they tie.
+#[test]
+fn ablation_prioritization_strategies() {
+    let apache1 = mcr_workloads::bug_by_name("apache-1").unwrap();
+    let sf = stress(&apache1);
+    let dep = reproduce(
+        &apache1,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Dependence,
+            AlignMode::ExecutionIndex,
+        ),
+    );
+    let temporal = reproduce(
+        &apache1,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Temporal,
+            AlignMode::ExecutionIndex,
+        ),
+    );
+    assert!(dep.search.reproduced && temporal.search.reproduced);
+    assert!(
+        dep.search.tries * 5 < temporal.search.tries,
+        "apache-1: dep {} vs temporal {} — slicing must exclude the warmup churn",
+        dep.search.tries,
+        temporal.search.tries
+    );
+
+    let mysql4 = mcr_workloads::bug_by_name("mysql-4").unwrap();
+    let sf = stress(&mysql4);
+    let dep = reproduce(
+        &mysql4,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Dependence,
+            AlignMode::ExecutionIndex,
+        ),
+    );
+    let temporal = reproduce(
+        &mysql4,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Temporal,
+            AlignMode::ExecutionIndex,
+        ),
+    );
+    assert!(dep.search.reproduced && temporal.search.reproduced);
+    assert!(
+        temporal.search.tries < dep.search.tries,
+        "mysql-4: temporal {} vs dep {}",
+        temporal.search.tries,
+        dep.search.tries
+    );
+}
+
+/// Ablation 2 — execution-index vs instruction-count alignment
+/// (Table 5). On mysql-5 the count-aligned dump produces a larger,
+/// noisier CSV set and an order-of-magnitude search penalty.
+#[test]
+fn ablation_alignment_mode() {
+    let bug = mcr_workloads::bug_by_name("mysql-5").unwrap();
+    let sf = stress(&bug);
+    let ei = reproduce(
+        &bug,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Temporal,
+            AlignMode::ExecutionIndex,
+        ),
+    );
+    let ic = reproduce(
+        &bug,
+        &sf,
+        with(
+            Algorithm::ChessX,
+            Strategy::Temporal,
+            AlignMode::InstructionCount,
+        ),
+    );
+    assert!(ei.search.reproduced);
+    // The count-aligned comparison sees a different (larger) diff.
+    assert!(
+        ic.diffs >= ei.diffs,
+        "count alignment should not see fewer diffs: {} vs {}",
+        ic.diffs,
+        ei.diffs
+    );
+    // And pays for it in the search (when it succeeds at all).
+    if ic.search.reproduced {
+        assert!(
+            ei.search.tries * 5 <= ic.search.tries,
+            "mysql-5: EI {} vs instruction-count {}",
+            ei.search.tries,
+            ic.search.tries
+        );
+    }
+}
+
+/// Ablation 3 — guided preempt() thread selection. With identical
+/// worklists (same strategy), the guided selection explores no more
+/// executions than exhaustive selection on every bug.
+#[test]
+fn ablation_guided_thread_selection() {
+    for name in ["apache-2", "mysql-2", "mysql-3"] {
+        let bug = mcr_workloads::bug_by_name(name).unwrap();
+        let sf = stress(&bug);
+        let guided = reproduce(
+            &bug,
+            &sf,
+            with(
+                Algorithm::ChessX,
+                Strategy::Temporal,
+                AlignMode::ExecutionIndex,
+            ),
+        );
+        let plain = reproduce(
+            &bug,
+            &sf,
+            with(
+                Algorithm::Chess,
+                Strategy::Temporal,
+                AlignMode::ExecutionIndex,
+            ),
+        );
+        assert!(guided.search.reproduced, "{name}");
+        assert!(
+            guided.search.tries <= plain.search.tries,
+            "{name}: guided {} vs unguided {}",
+            guided.search.tries,
+            plain.search.tries
+        );
+    }
+}
+
+/// Ablation 4 — preemption bound. With k = 1 the single-preemption bugs
+/// still reproduce; the worklist is linear instead of quadratic.
+#[test]
+fn ablation_preemption_bound() {
+    let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
+    let sf = stress(&bug);
+    let program = bug.compile();
+    let input = bug.default_input();
+    let mut opts = with(
+        Algorithm::ChessX,
+        Strategy::Temporal,
+        AlignMode::ExecutionIndex,
+    );
+    opts.search.preemption_bound = 1;
+    let report = Reproducer::new(&program, opts)
+        .reproduce(&sf.dump, &input)
+        .unwrap();
+    assert!(report.search.reproduced, "k=1 suffices for mysql-3");
+    assert_eq!(report.search.winning.unwrap().len(), 1);
+}
+
+/// Ablation 5 — lengthened inputs grow the candidate space (the reason
+/// plain CHESS degrades) without changing the directed search's cost.
+#[test]
+fn ablation_input_lengthening() {
+    let bug = mcr_workloads::bug_by_name("apache-2").unwrap();
+    let program = bug.compile();
+
+    let mut tries = Vec::new();
+    for warmup in [20usize, 150] {
+        let input = bug.lengthened_input(warmup, 42);
+        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+        let guided = Reproducer::new(
+            &program,
+            with(
+                Algorithm::ChessX,
+                Strategy::Temporal,
+                AlignMode::ExecutionIndex,
+            ),
+        )
+        .reproduce(&sf.dump, &input)
+        .unwrap();
+        let plain = Reproducer::new(
+            &program,
+            with(
+                Algorithm::Chess,
+                Strategy::Temporal,
+                AlignMode::ExecutionIndex,
+            ),
+        )
+        .reproduce(&sf.dump, &input)
+        .unwrap();
+        assert!(guided.search.reproduced);
+        tries.push((guided.search.tries, plain.search.tries));
+    }
+    let (g_short, p_short) = tries[0];
+    let (g_long, p_long) = tries[1];
+    // Plain CHESS pays for the longer run; the directed search does not.
+    assert!(p_long > p_short, "plain: {p_short} -> {p_long}");
+    assert!(
+        g_long <= g_short + 2,
+        "guided: {g_short} -> {g_long} should stay flat"
+    );
+}

@@ -1,0 +1,206 @@
+//! The paper's worked examples, §2–§5, executed end to end.
+//!
+//! Each test follows one numbered walkthrough of the paper and asserts
+//! the artifacts the prose describes: the Fig. 3 index tree shape, the
+//! §3.3 alignment examples, the Fig. 9 annotation/priority structure,
+//! and the overview reproduction of Fig. 2(c).
+
+use mcr_analysis::ProgramAnalysis;
+use mcr_core::{find_failure, passes_deterministically, ReproOptions, Reproducer};
+use mcr_dump::CoreDump;
+use mcr_index::{reverse_index, AlignSignal, Aligner, IndexEntry};
+use mcr_search::CandidateKind;
+use mcr_vm::{run, run_until, DeterministicScheduler, NullObserver, ThreadId, Vm};
+
+/// The paper's Fig. 1 program. `input[i]` plays the role of `a[i]`.
+const FIG1: &str = r#"
+    global x: int;
+    global input: [int; 2];
+    lock l;
+    fn F(p) { p[0] = 1; }
+    fn T1() {
+        var i; var p;
+        for (i = 0; i < 2; i = i + 1) {
+            x = 0;
+            p = alloc(2);
+            acquire l;
+            if (input[i] > 0) {
+                x = 1;
+                p = null;
+            }
+            release l;
+            if (!x) { F(p); }
+        }
+    }
+    fn T2() { x = 0; }
+    fn main() { spawn T1(); spawn T2(); }
+"#;
+
+const FIG1_INPUT: [i64; 2] = [0, 1];
+
+fn fig1_failure() -> (mcr_lang::Program, mcr_core::StressFailure) {
+    let program = mcr_lang::compile(FIG1).unwrap();
+    let sf = find_failure(&program, &FIG1_INPUT, 0..1_000_000, 1_000_000)
+        .expect("fig1 race fires under stress");
+    (program, sf)
+}
+
+/// §2 overview, Fig. 2(a): the failure occurs in T1's *second* loop
+/// iteration, inside F — and the failure index records exactly that
+/// nesting (Fig. 3's shaded path: T1 -> 2T -> 2T -> 11T/12 -> F -> 17).
+#[test]
+fn fig3_failure_index_tree_path() {
+    let (program, sf) = fig1_failure();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let index = reverse_index(&program, &analysis, &sf.dump).unwrap();
+
+    let t1 = program.func_by_name("T1").unwrap();
+    let f = program.func_by_name("F").unwrap();
+    let loop_header = program.func(t1).loops[0].header;
+
+    // Two copies of the loop-predicate entry: the crash is in iteration 2.
+    let loop_entries = index
+        .entries
+        .iter()
+        .filter(|e| {
+            matches!(e, IndexEntry::Branch { func, key, .. }
+            if *func == t1 && *key == mcr_analysis::PredKey::Stmt(loop_header))
+        })
+        .count();
+    assert_eq!(loop_entries, 2, "index: {}", index.display(&program));
+
+    // Function nesting: T1's thread root, then F.
+    let funcs: Vec<_> = index
+        .entries
+        .iter()
+        .filter_map(|e| match e {
+            IndexEntry::Func(fid) => Some(*fid),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(funcs, vec![t1, f], "index: {}", index.display(&program));
+
+    // The leaf is the crash statement inside F.
+    assert_eq!(index.leaf().unwrap().func, f);
+}
+
+/// §2 / §3.3: the failure point does not occur in the passing run — the
+/// runs diverge at the `!x` predicate in iteration 2 (the paper's F̄
+/// point), which is the *closest* alignment.
+#[test]
+fn fig2b_closest_alignment_at_the_flag_predicate() {
+    let (program, sf) = fig1_failure();
+    let analysis = ProgramAnalysis::analyze(&program);
+    let index = reverse_index(&program, &analysis, &sf.dump).unwrap();
+
+    let mut vm = Vm::new(&program, &FIG1_INPUT);
+    let mut aligner = Aligner::new(&program, &analysis, sf.dump.focus, &index);
+    run_until(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut aligner,
+        1_000_000,
+        |_| false,
+    );
+    let alignment = aligner.finish();
+    assert_eq!(alignment.signal, AlignSignal::Closest);
+
+    // Replay to the aligned point: the diverging statement is T1's
+    // `if (!x)` branch (the predicate reading the flag).
+    let mut replay = Vm::new(&program, &FIG1_INPUT);
+    run_until(
+        &mut replay,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+        |vm| vm.steps() > alignment.step,
+    );
+    let t1 = program.func_by_name("T1").unwrap();
+    let focus = replay.thread(sf.dump.focus);
+    assert_eq!(focus.pc().map(|pc| pc.func), Some(t1));
+}
+
+/// §2 / §4: "the salient value difference is on x" — the dump comparison
+/// finds exactly the flag variable as the CSV.
+#[test]
+fn fig2_core_dump_comparison_finds_x() {
+    let (program, sf) = fig1_failure();
+    let reproducer = Reproducer::new(&program, ReproOptions::default());
+    let report = reproducer.reproduce(&sf.dump, &FIG1_INPUT).unwrap();
+    let x = program.global_by_name("x").unwrap();
+    assert_eq!(report.csv_paths.len(), 1, "csvs: {:?}", report.csv_paths);
+    assert_eq!(report.csv_paths[0].root, mcr_dump::PathRoot::Global(x));
+}
+
+/// §5 / Fig. 2(c): the winning schedule preempts T1 right after the
+/// second lock release (the paper's Ē point) so T2's `x = 0` lands
+/// before the `!x` check; one preemption suffices.
+#[test]
+fn fig2c_reproduction_via_release_preemption() {
+    let (program, sf) = fig1_failure();
+    let reproducer = Reproducer::new(&program, ReproOptions::default());
+    let report = reproducer.reproduce(&sf.dump, &FIG1_INPUT).unwrap();
+    assert!(report.search.reproduced);
+    let winning = report.search.winning.unwrap();
+    assert_eq!(winning.len(), 1);
+    let pm = &winning[0].point;
+    assert_eq!(pm.kind, CandidateKind::AfterRelease);
+    assert_eq!(pm.tid, ThreadId(1), "T1 is preempted");
+    // The second release: T1's sync ops are acquire(0) release(1)
+    // acquire(2) release(3).
+    assert_eq!(pm.sync_seq, 3);
+    // And it is found essentially immediately.
+    assert!(report.search.tries <= 3, "tries = {}", report.search.tries);
+}
+
+/// §2's precision argument: in the first iteration the call to F has the
+/// same calling context (main -> T1 -> F) as the failure, but a
+/// different index. Executing with input that calls F in iteration 1 and
+/// crashes in iteration 2 still aligns exactly at iteration 2.
+#[test]
+fn calling_context_aliases_are_distinguished() {
+    // input[0] = 0 makes iteration 1 call F with a valid pointer (the
+    // paper's benign first-iteration call); crash in iteration 2 needs
+    // the race, so instead force it deterministically via a variant
+    // program where iteration 2's flag is cleared by T1 itself.
+    let src = FIG1.replace("fn T2() { x = 0; }", "fn T2() { }").replace(
+        "release l;\n            if (!x) { F(p); }",
+        "release l;\n            x = 0;\n            if (!x) { F(p); }",
+    );
+    let program = mcr_lang::compile(&src).unwrap();
+    let analysis = ProgramAnalysis::analyze(&program);
+    // Deterministic crash: iteration 2 nulls p and x is reset.
+    let mut vm = Vm::new(&program, &FIG1_INPUT);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+    );
+    let dump = CoreDump::capture_failure(&vm).expect("deterministic crash");
+    let index = reverse_index(&program, &analysis, &dump).unwrap();
+
+    // Align against an identical re-execution: exact, in iteration 2 —
+    // even though iteration 1 entered F with the same calling context.
+    let mut vm2 = Vm::new(&program, &FIG1_INPUT);
+    let mut aligner = Aligner::new(&program, &analysis, dump.focus, &index);
+    run_until(
+        &mut vm2,
+        &mut DeterministicScheduler::new(),
+        &mut aligner,
+        1_000_000,
+        |_| false,
+    );
+    let alignment = aligner.finish();
+    assert_eq!(alignment.signal, AlignSignal::Exact);
+    // The aligned step is the crash step of the original run.
+    assert_eq!(alignment.step + 1, vm.steps());
+}
+
+/// The Heisenbug premise of the whole §2 overview, for the record.
+#[test]
+fn fig1_is_a_heisenbug() {
+    let program = mcr_lang::compile(FIG1).unwrap();
+    assert!(passes_deterministically(&program, &FIG1_INPUT, 1_000_000));
+    assert!(find_failure(&program, &FIG1_INPUT, 0..1_000_000, 1_000_000).is_some());
+}

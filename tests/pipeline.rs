@@ -1,0 +1,176 @@
+//! End-to-end integration tests: the full reproduction pipeline across
+//! all crates, run on the complete bug suite.
+
+use mcr_core::{find_failure, passes_deterministically, ReproOptions, Reproducer};
+use mcr_search::{Algorithm, SearchConfig};
+use mcr_slice::Strategy;
+use mcr_workloads::all_bugs;
+
+fn options(algorithm: Algorithm, strategy: Strategy) -> ReproOptions {
+    ReproOptions {
+        algorithm,
+        strategy,
+        search: SearchConfig {
+            max_tries: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The central claim of the paper, end to end: every bug in the suite is
+/// a Heisenbug (passes deterministically), produces a failure dump under
+/// stress, and is reproduced by the dump-directed search.
+#[test]
+fn every_bug_reproduces_with_chessx_temporal() {
+    for bug in all_bugs() {
+        let program = bug.compile();
+        let input = bug.default_input();
+        assert!(
+            passes_deterministically(&program, &input, bug.max_steps),
+            "{}: not a Heisenbug",
+            bug.name
+        );
+        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps)
+            .unwrap_or_else(|| panic!("{}: stress failed", bug.name));
+        let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
+        let report = reproducer.reproduce(&sf.dump, &input).unwrap();
+        assert!(
+            report.search.reproduced,
+            "{}: not reproduced (tries {})",
+            bug.name, report.search.tries
+        );
+        // The winning schedule respects the paper's preemption bound.
+        assert!(report.search.winning.as_ref().unwrap().len() <= 2);
+    }
+}
+
+#[test]
+fn every_bug_reproduces_with_chessx_dependence() {
+    for bug in all_bugs() {
+        let program = bug.compile();
+        let input = bug.default_input();
+        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+        let reproducer =
+            Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Dependence));
+        let report = reproducer.reproduce(&sf.dump, &input).unwrap();
+        assert!(
+            report.search.reproduced,
+            "{}: not reproduced with dependence strategy",
+            bug.name
+        );
+    }
+}
+
+/// The paper's headline comparison on a representative subset: the
+/// directed search needs no more tries than plain CHESS.
+#[test]
+fn directed_search_never_loses_to_plain_chess() {
+    for name in ["apache-2", "mysql-1", "mysql-3"] {
+        let bug = mcr_workloads::bug_by_name(name).unwrap();
+        let program = bug.compile();
+        let input = bug.default_input();
+        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+
+        let guided = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal))
+            .reproduce(&sf.dump, &input)
+            .unwrap();
+        let plain = Reproducer::new(&program, options(Algorithm::Chess, Strategy::Temporal))
+            .reproduce(&sf.dump, &input)
+            .unwrap();
+        assert!(guided.search.reproduced, "{name}: guided failed");
+        assert!(
+            guided.search.tries <= plain.search.tries,
+            "{name}: guided {} > plain {}",
+            guided.search.tries,
+            plain.search.tries
+        );
+        // The reduction is substantial (order of magnitude on this subset).
+        if plain.search.reproduced {
+            assert!(
+                guided.search.tries * 10 <= plain.search.tries.max(10),
+                "{name}: guided {} vs plain {}",
+                guided.search.tries,
+                plain.search.tries
+            );
+        }
+    }
+}
+
+/// The pipeline is deterministic end to end: same dump, same input, same
+/// report (timings excluded).
+#[test]
+fn pipeline_is_deterministic() {
+    let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
+    let program = bug.compile();
+    let input = bug.default_input();
+    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+    let run = || {
+        let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
+        reproducer.reproduce(&sf.dump, &input).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.index, b.index);
+    assert_eq!(a.alignment, b.alignment);
+    assert_eq!(a.csv_paths, b.csv_paths);
+    assert_eq!(a.search.tries, b.search.tries);
+    assert_eq!(
+        a.search.winning.as_ref().map(|w| w.len()),
+        b.search.winning.as_ref().map(|w| w.len())
+    );
+}
+
+/// The failure dump survives its on-disk round trip mid-pipeline: a dump
+/// decoded from bytes drives the reproduction identically.
+#[test]
+fn reproduction_from_reparsed_dump() {
+    let bug = mcr_workloads::bug_by_name("apache-2").unwrap();
+    let program = bug.compile();
+    let input = bug.default_input();
+    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+    let bytes = mcr_dump::encode(&sf.dump);
+    let reparsed = mcr_dump::decode(&bytes).unwrap();
+    let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
+    let report = reproducer.reproduce(&reparsed, &input).unwrap();
+    assert!(report.search.reproduced);
+}
+
+/// The winning schedule, replayed standalone, crashes with the same bug —
+/// reproduction really does hand the developer a usable schedule.
+#[test]
+fn winning_schedule_replays_to_the_same_failure() {
+    use mcr_search::{Budget, Guidance, SyncLogger, TestRun};
+    use mcr_vm::{run, DeterministicScheduler, Vm};
+
+    let bug = mcr_workloads::bug_by_name("mysql-2").unwrap();
+    let program = bug.compile();
+    let input = bug.default_input();
+    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+    let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
+    let report = reproducer.reproduce(&sf.dump, &input).unwrap();
+    let winning = report.search.winning.expect("reproduced");
+
+    // Rebuild the future map (the replay needs only the schedule).
+    let mut vm = Vm::new(&program, &input);
+    let mut log = SyncLogger::new();
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut log,
+        bug.max_steps,
+    );
+    let info = log.finish();
+    let (_, future) = mcr_search::annotate(&info, &Default::default(), &Default::default());
+
+    let fresh = Vm::new(&program, &input);
+    let replay = TestRun {
+        fresh_vm: &fresh,
+        preemptions: &winning,
+        target: sf.dump.failure().unwrap(),
+        guidance: Guidance::All,
+        future: &future,
+    };
+    let mut budget = Budget::with_tries(100, bug.max_steps);
+    assert!(replay.execute(&mut budget), "winning schedule must replay");
+}

@@ -1,0 +1,222 @@
+//! Cross-crate semantic edge cases: interpreter corner behavior the
+//! pipeline depends on, and preemption anchors beyond acquire/release.
+
+use mcr_vm::{
+    run, DeterministicScheduler, FailureKind, GSlot, NullObserver, Outcome, Recorder,
+    StressScheduler, ThreadId, Value, Vm,
+};
+
+fn run_det(src: &str, input: &[i64]) -> (mcr_lang::Program, Outcome, Vec<(u64, mcr_vm::Event)>) {
+    let program = mcr_lang::compile(src).unwrap();
+    let mut vm = Vm::new(&program, input);
+    let mut rec = Recorder::default();
+    let outcome = run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut rec,
+        1_000_000,
+    );
+    (program, outcome, rec.events)
+}
+
+#[test]
+fn join_by_stored_thread_id() {
+    let src = r#"
+        global x: int;
+        fn w(v) { x = v; }
+        fn main() {
+            var t1; var t2;
+            t1 = spawn w(5);
+            t2 = spawn w(9);
+            join t2;
+            join t1;
+            x = x + 100;
+        }
+    "#;
+    let (program, outcome, _) = run_det(src, &[]);
+    assert_eq!(outcome, Outcome::Completed);
+    let _ = program;
+}
+
+#[test]
+fn join_on_garbage_id_crashes() {
+    let (_p, outcome, _) = run_det("fn main() { join 42; }", &[]);
+    assert_eq!(
+        outcome.failure().map(|f| f.kind),
+        Some(FailureKind::JoinInvalid)
+    );
+}
+
+#[test]
+fn alloc_zero_then_oob() {
+    let (_p, outcome, _) = run_det("fn main() { var p; p = alloc(0); p[0] = 1; }", &[]);
+    assert_eq!(
+        outcome.failure().map(|f| f.kind),
+        Some(FailureKind::OutOfBounds)
+    );
+}
+
+#[test]
+fn negative_alloc_rejected() {
+    let (_p, outcome, _) = run_det("fn main() { var p; p = alloc(0 - 3); }", &[]);
+    assert_eq!(
+        outcome.failure().map(|f| f.kind),
+        Some(FailureKind::AllocTooLarge)
+    );
+}
+
+#[test]
+fn negative_heap_index_is_oob() {
+    let (_p, outcome, _) = run_det(
+        "fn main() { var p; var i; p = alloc(4); i = 0 - 1; p[i] = 7; }",
+        &[],
+    );
+    assert_eq!(
+        outcome.failure().map(|f| f.kind),
+        Some(FailureKind::OutOfBounds)
+    );
+}
+
+#[test]
+fn pointers_stored_in_global_arrays() {
+    // The apache-1 cache queue relies on dynamically-typed global array
+    // slots holding pointers.
+    let src = r#"
+        global q: [int; 3];
+        global out: int;
+        fn main() {
+            var p;
+            p = alloc(1);
+            p[0] = 77;
+            q[1] = p;
+            var r;
+            r = q[1];
+            out = r[0];
+        }
+    "#;
+    let (program, outcome, _) = run_det(src, &[]);
+    assert_eq!(outcome, Outcome::Completed);
+    let g = program.global_by_name("out").unwrap();
+    // Reconstruct the final value through a fresh run for inspection.
+    let mut vm = Vm::new(&program, &[]);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        1_000_000,
+    );
+    assert_eq!(vm.globals()[g.0 as usize], GSlot::Scalar(Value::Int(77)));
+}
+
+#[test]
+fn arithmetic_on_pointer_is_type_confusion() {
+    let (_p, outcome, _) = run_det(
+        "global x: int; fn main() { var p; p = alloc(1); x = p + 1; }",
+        &[],
+    );
+    assert_eq!(
+        outcome.failure().map(|f| f.kind),
+        Some(FailureKind::TypeConfusion)
+    );
+}
+
+#[test]
+fn output_events_preserve_cross_thread_order() {
+    let src = r#"
+        fn a() { output(1); output(2); }
+        fn b() { output(3); }
+        fn main() { var t; t = spawn a(); join t; spawn b(); }
+    "#;
+    let (_p, outcome, events) = run_det(src, &[]);
+    assert_eq!(outcome, Outcome::Completed);
+    let outs: Vec<i64> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            mcr_vm::Event::Output {
+                value: Value::Int(v),
+                ..
+            } => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outs, vec![1, 2, 3]);
+}
+
+#[test]
+fn spawn_and_join_candidates_are_preemption_anchors() {
+    use mcr_search::{CandidateKind, SyncLogger};
+    let src = r#"
+        global x: int;
+        fn w() { x = 1; }
+        fn main() { var t; t = spawn w(); join t; x = 2; }
+    "#;
+    let program = mcr_lang::compile(src).unwrap();
+    let mut vm = Vm::new(&program, &[]);
+    let mut log = SyncLogger::new();
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut log,
+        1_000_000,
+    );
+    let info = log.finish();
+    let kinds: Vec<CandidateKind> = info.candidates.iter().map(|c| c.kind).collect();
+    assert!(kinds.contains(&CandidateKind::AfterSpawn));
+    assert!(kinds.contains(&CandidateKind::BeforeJoin));
+    assert!(kinds.contains(&CandidateKind::ThreadStart));
+}
+
+#[test]
+fn stress_and_deterministic_agree_on_race_free_programs() {
+    // A fully locked program is schedule-insensitive: every seed produces
+    // the same final state as the canonical run.
+    let src = r#"
+        global x: int;
+        lock l;
+        fn bump() { acquire l; x = x + 1; release l; }
+        fn w1() { bump(); bump(); }
+        fn w2() { bump(); bump(); bump(); }
+        fn main() { var a; var b; a = spawn w1(); b = spawn w2(); join a; join b; }
+    "#;
+    let program = mcr_lang::compile(src).unwrap();
+    let g = program.global_by_name("x").unwrap();
+    let final_x = |seed: Option<u64>| {
+        let mut vm = Vm::new(&program, &[]);
+        match seed {
+            Some(s) => {
+                let mut sched = StressScheduler::new(s);
+                run(&mut vm, &mut sched, &mut NullObserver, 1_000_000);
+            }
+            None => {
+                let mut sched = DeterministicScheduler::new();
+                run(&mut vm, &mut sched, &mut NullObserver, 1_000_000);
+            }
+        }
+        vm.globals()[g.0 as usize].clone()
+    };
+    let canonical = final_x(None);
+    assert_eq!(canonical, GSlot::Scalar(Value::Int(5)));
+    for seed in 0..50 {
+        assert_eq!(final_x(Some(seed)), canonical, "seed {seed}");
+    }
+}
+
+#[test]
+fn deadlocked_thread_never_counts_as_done() {
+    let src = r#"
+        lock a;
+        fn w() { acquire a; }
+        fn main() { acquire a; spawn w(); }
+    "#;
+    let program = mcr_lang::compile(src).unwrap();
+    let mut vm = Vm::new(&program, &[]);
+    let outcome = run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        10_000,
+    );
+    assert_eq!(outcome, Outcome::Deadlock);
+    assert!(!vm.all_done());
+    assert!(!vm.runnable(ThreadId(1)));
+}
