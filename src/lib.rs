@@ -1,0 +1,219 @@
+//! # mcr-testsupport — shared fixtures for the reproduction suite
+//!
+//! The top-level integration tests (`tests/`) and examples all need the
+//! same scaffolding: the paper's Fig. 1 program, stress failures for the
+//! Table 2 bug suite, canned core dumps with interesting heap shapes, a
+//! deterministic seed source, and consistent search budgets. This crate
+//! centralizes those so each test file states only what it asserts.
+//!
+//! ## Test tiers
+//!
+//! Budgets are env-gated so the default `cargo test -q` stays CI-friendly
+//! while a nightly/full run can spend more:
+//!
+//! * **smoke** (default) — reduced stress-seed and search-try caps;
+//! * **full** — set `MCR_TEST_TIER=full` for the paper-scale budgets.
+//!
+//! Every test runs in both tiers; the tier changes only how hard the
+//! stress loop and the schedule search are allowed to work.
+
+#![warn(missing_docs)]
+
+use mcr_core::{find_failure, ReproOptions, StressFailure};
+use mcr_dump::{CoreDump, DumpReason};
+use mcr_search::{Algorithm, SearchConfig};
+use mcr_slice::Strategy;
+use mcr_vm::{run, DeterministicScheduler, NullObserver, SplitMix64, ThreadId, Vm};
+use mcr_workloads::BugSpec;
+
+/// Which budget tier the suite is running under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Reduced budgets; the default for `cargo test -q`.
+    Smoke,
+    /// Paper-scale budgets; enabled with `MCR_TEST_TIER=full`.
+    Full,
+}
+
+/// Returns the active tier (`MCR_TEST_TIER=full` selects [`Tier::Full`]).
+pub fn tier() -> Tier {
+    match std::env::var("MCR_TEST_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => Tier::Full,
+        _ => Tier::Smoke,
+    }
+}
+
+/// Upper bound on stress seeds to scan when hunting a failure dump.
+pub fn stress_seed_cap() -> u64 {
+    match tier() {
+        Tier::Smoke => 200_000,
+        Tier::Full => 2_000_000,
+    }
+}
+
+/// Try cap for schedule searches driven through [`ReproOptions`].
+pub fn search_max_tries() -> u64 {
+    match tier() {
+        Tier::Smoke => 10_000,
+        Tier::Full => 20_000,
+    }
+}
+
+/// Standard reproduction options at the active tier's search budget.
+pub fn repro_options(algorithm: Algorithm, strategy: Strategy) -> ReproOptions {
+    ReproOptions {
+        algorithm,
+        strategy,
+        search: SearchConfig {
+            max_tries: search_max_tries(),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Compiles `bug` and stresses it to a failure dump at the active tier's
+/// seed budget, returning the compiled program alongside (callers always
+/// need both, and compiling twice is wasted work).
+pub fn stress_bug(bug: &BugSpec) -> (mcr_lang::Program, StressFailure) {
+    let program = bug.compile();
+    let input = bug.default_input();
+    let sf = find_failure(&program, &input, 0..stress_seed_cap(), bug.max_steps)
+        .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
+    (program, sf)
+}
+
+/// The paper's Fig. 1 program. `input[i]` plays the role of `a[i]`.
+pub const FIG1: &str = r#"
+    global x: int;
+    global input: [int; 2];
+    lock l;
+    fn F(p) { p[0] = 1; }
+    fn T1() {
+        var i; var p;
+        for (i = 0; i < 2; i = i + 1) {
+            x = 0;
+            p = alloc(2);
+            acquire l;
+            if (input[i] > 0) {
+                x = 1;
+                p = null;
+            }
+            release l;
+            if (!x) { F(p); }
+        }
+    }
+    fn T2() { x = 0; }
+    fn main() { spawn T1(); spawn T2(); }
+"#;
+
+/// The input that arms Fig. 1's race in the second loop iteration.
+pub const FIG1_INPUT: [i64; 2] = [0, 1];
+
+/// Step budget ample for every fixture program in this crate.
+pub const FIXTURE_MAX_STEPS: u64 = 1_000_000;
+
+/// Compiles Fig. 1 and stresses it to its failure dump.
+pub fn fig1_failure() -> (mcr_lang::Program, StressFailure) {
+    let program = mcr_lang::compile(FIG1).expect("FIG1 compiles");
+    let sf = find_failure(
+        &program,
+        &FIG1_INPUT,
+        0..stress_seed_cap(),
+        FIXTURE_MAX_STEPS,
+    )
+    .expect("fig1 race fires under stress");
+    (program, sf)
+}
+
+/// A program whose completed state exercises every dump feature: scalar
+/// and array globals, locks, and a heap with pointer chains (so refpath
+/// traversal has multi-hop paths to walk).
+pub const HEAP_RICH: &str = r#"
+    global head: ptr;
+    global table: [int; 4];
+    global count: int;
+    lock l;
+    fn push(v) {
+        var node;
+        node = alloc(2);
+        node[0] = v;
+        node[1] = head;
+        head = node;
+        count = count + 1;
+    }
+    fn main() {
+        var i;
+        acquire l;
+        for (i = 0; i < 4; i = i + 1) {
+            push(i * 10);
+            table[i] = head;
+        }
+        release l;
+    }
+"#;
+
+/// Runs [`HEAP_RICH`] to completion and captures a canned core dump with
+/// heap reference paths (a linked list threaded through global arrays).
+pub fn canned_heap_dump() -> (mcr_lang::Program, CoreDump) {
+    let program = mcr_lang::compile(HEAP_RICH).expect("HEAP_RICH compiles");
+    let mut vm = Vm::new(&program, &[]);
+    let outcome = run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        FIXTURE_MAX_STEPS,
+    );
+    assert_eq!(outcome, mcr_vm::Outcome::Completed, "fixture must complete");
+    let dump = CoreDump::capture(&vm, ThreadId(0), DumpReason::Manual);
+    (program, dump)
+}
+
+/// Deterministic seed sequence for tests that iterate over schedules:
+/// same `label` → same seeds, across runs and platforms.
+pub fn seeds(label: &str, n: usize) -> Vec<u64> {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SplitMix64::new(h);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tier_is_smoke() {
+        // The suite must never depend on the full tier being active.
+        if std::env::var("MCR_TEST_TIER").is_err() {
+            assert_eq!(tier(), Tier::Smoke);
+        }
+        assert!(stress_seed_cap() >= 200_000);
+        assert!(search_max_tries() >= 10_000);
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = seeds("alpha", 16);
+        let b = seeds("alpha", 16);
+        let c = seeds("beta", 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), a.len());
+    }
+
+    #[test]
+    fn canned_heap_dump_has_refpaths() {
+        let (_program, dump) = canned_heap_dump();
+        let vars = mcr_dump::reachable_vars(&dump, mcr_dump::TraverseLimits::default());
+        // The linked list must be reachable through multi-hop paths.
+        assert!(
+            vars.keys().any(|path| path.steps.len() >= 3),
+            "expected a multi-hop heap refpath"
+        );
+    }
+}

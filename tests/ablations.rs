@@ -2,38 +2,26 @@
 //! the technique buys, measured on the bug suite.
 
 use mcr_core::{find_failure, AlignMode, ReproOptions, Reproducer};
-use mcr_search::{Algorithm, SearchConfig};
+use mcr_search::Algorithm;
 use mcr_slice::Strategy;
+use mcr_testsupport::{repro_options, stress_bug as stress, stress_seed_cap};
 
 fn reproduce(
+    program: &mcr_lang::Program,
     bug: &mcr_workloads::BugSpec,
     sf: &mcr_core::StressFailure,
     opts: ReproOptions,
 ) -> mcr_core::ReproReport {
-    let program = bug.compile();
     let input = bug.default_input();
-    Reproducer::new(&program, opts)
+    Reproducer::new(program, opts)
         .reproduce(&sf.dump, &input)
         .unwrap()
 }
 
-fn stress(bug: &mcr_workloads::BugSpec) -> mcr_core::StressFailure {
-    let program = bug.compile();
-    let input = bug.default_input();
-    find_failure(&program, &input, 0..2_000_000, bug.max_steps)
-        .unwrap_or_else(|| panic!("{}: stress failed", bug.name))
-}
-
 fn with(algorithm: Algorithm, strategy: Strategy, align: AlignMode) -> ReproOptions {
     ReproOptions {
-        algorithm,
-        strategy,
         align_mode: align,
-        search: SearchConfig {
-            max_tries: 20_000,
-            ..Default::default()
-        },
-        ..Default::default()
+        ..repro_options(algorithm, strategy)
     }
 }
 
@@ -45,8 +33,9 @@ fn with(algorithm: Algorithm, strategy: Strategy, align: AlignMode) -> ReproOpti
 #[test]
 fn ablation_prioritization_strategies() {
     let apache1 = mcr_workloads::bug_by_name("apache-1").unwrap();
-    let sf = stress(&apache1);
+    let (program, sf) = stress(&apache1);
     let dep = reproduce(
+        &program,
         &apache1,
         &sf,
         with(
@@ -56,6 +45,7 @@ fn ablation_prioritization_strategies() {
         ),
     );
     let temporal = reproduce(
+        &program,
         &apache1,
         &sf,
         with(
@@ -73,8 +63,9 @@ fn ablation_prioritization_strategies() {
     );
 
     let mysql4 = mcr_workloads::bug_by_name("mysql-4").unwrap();
-    let sf = stress(&mysql4);
+    let (program, sf) = stress(&mysql4);
     let dep = reproduce(
+        &program,
         &mysql4,
         &sf,
         with(
@@ -84,6 +75,7 @@ fn ablation_prioritization_strategies() {
         ),
     );
     let temporal = reproduce(
+        &program,
         &mysql4,
         &sf,
         with(
@@ -107,8 +99,9 @@ fn ablation_prioritization_strategies() {
 #[test]
 fn ablation_alignment_mode() {
     let bug = mcr_workloads::bug_by_name("mysql-5").unwrap();
-    let sf = stress(&bug);
+    let (program, sf) = stress(&bug);
     let ei = reproduce(
+        &program,
         &bug,
         &sf,
         with(
@@ -118,6 +111,7 @@ fn ablation_alignment_mode() {
         ),
     );
     let ic = reproduce(
+        &program,
         &bug,
         &sf,
         with(
@@ -152,8 +146,9 @@ fn ablation_alignment_mode() {
 fn ablation_guided_thread_selection() {
     for name in ["apache-2", "mysql-2", "mysql-3"] {
         let bug = mcr_workloads::bug_by_name(name).unwrap();
-        let sf = stress(&bug);
+        let (program, sf) = stress(&bug);
         let guided = reproduce(
+            &program,
             &bug,
             &sf,
             with(
@@ -163,6 +158,7 @@ fn ablation_guided_thread_selection() {
             ),
         );
         let plain = reproduce(
+            &program,
             &bug,
             &sf,
             with(
@@ -186,8 +182,7 @@ fn ablation_guided_thread_selection() {
 #[test]
 fn ablation_preemption_bound() {
     let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
-    let sf = stress(&bug);
-    let program = bug.compile();
+    let (program, sf) = stress(&bug);
     let input = bug.default_input();
     let mut opts = with(
         Algorithm::ChessX,
@@ -212,7 +207,7 @@ fn ablation_input_lengthening() {
     let mut tries = Vec::new();
     for warmup in [20usize, 150] {
         let input = bug.lengthened_input(warmup, 42);
-        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
+        let sf = find_failure(&program, &input, 0..stress_seed_cap(), bug.max_steps).unwrap();
         let guided = Reproducer::new(
             &program,
             with(

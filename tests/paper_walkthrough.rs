@@ -6,44 +6,12 @@
 //! and the overview reproduction of Fig. 2(c).
 
 use mcr_analysis::ProgramAnalysis;
-use mcr_core::{find_failure, passes_deterministically, ReproOptions, Reproducer};
+use mcr_core::{passes_deterministically, ReproOptions, Reproducer};
 use mcr_dump::CoreDump;
 use mcr_index::{reverse_index, AlignSignal, Aligner, IndexEntry};
 use mcr_search::CandidateKind;
+use mcr_testsupport::{fig1_failure, FIG1, FIG1_INPUT};
 use mcr_vm::{run, run_until, DeterministicScheduler, NullObserver, ThreadId, Vm};
-
-/// The paper's Fig. 1 program. `input[i]` plays the role of `a[i]`.
-const FIG1: &str = r#"
-    global x: int;
-    global input: [int; 2];
-    lock l;
-    fn F(p) { p[0] = 1; }
-    fn T1() {
-        var i; var p;
-        for (i = 0; i < 2; i = i + 1) {
-            x = 0;
-            p = alloc(2);
-            acquire l;
-            if (input[i] > 0) {
-                x = 1;
-                p = null;
-            }
-            release l;
-            if (!x) { F(p); }
-        }
-    }
-    fn T2() { x = 0; }
-    fn main() { spawn T1(); spawn T2(); }
-"#;
-
-const FIG1_INPUT: [i64; 2] = [0, 1];
-
-fn fig1_failure() -> (mcr_lang::Program, mcr_core::StressFailure) {
-    let program = mcr_lang::compile(FIG1).unwrap();
-    let sf = find_failure(&program, &FIG1_INPUT, 0..1_000_000, 1_000_000)
-        .expect("fig1 race fires under stress");
-    (program, sf)
-}
 
 /// §2 overview, Fig. 2(a): the failure occurs in T1's *second* loop
 /// iteration, inside F — and the failure index records exactly that
@@ -200,7 +168,10 @@ fn calling_context_aliases_are_distinguished() {
 /// The Heisenbug premise of the whole §2 overview, for the record.
 #[test]
 fn fig1_is_a_heisenbug() {
-    let program = mcr_lang::compile(FIG1).unwrap();
-    assert!(passes_deterministically(&program, &FIG1_INPUT, 1_000_000));
-    assert!(find_failure(&program, &FIG1_INPUT, 0..1_000_000, 1_000_000).is_some());
+    let (program, _sf) = fig1_failure();
+    assert!(passes_deterministically(
+        &program,
+        &FIG1_INPUT,
+        mcr_testsupport::FIXTURE_MAX_STEPS
+    ));
 }

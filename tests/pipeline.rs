@@ -1,22 +1,11 @@
 //! End-to-end integration tests: the full reproduction pipeline across
 //! all crates, run on the complete bug suite.
 
-use mcr_core::{find_failure, passes_deterministically, ReproOptions, Reproducer};
-use mcr_search::{Algorithm, SearchConfig};
+use mcr_core::{passes_deterministically, Reproducer};
+use mcr_search::Algorithm;
 use mcr_slice::Strategy;
+use mcr_testsupport::{repro_options as options, stress_bug};
 use mcr_workloads::all_bugs;
-
-fn options(algorithm: Algorithm, strategy: Strategy) -> ReproOptions {
-    ReproOptions {
-        algorithm,
-        strategy,
-        search: SearchConfig {
-            max_tries: 20_000,
-            ..Default::default()
-        },
-        ..Default::default()
-    }
-}
 
 /// The central claim of the paper, end to end: every bug in the suite is
 /// a Heisenbug (passes deterministically), produces a failure dump under
@@ -24,15 +13,13 @@ fn options(algorithm: Algorithm, strategy: Strategy) -> ReproOptions {
 #[test]
 fn every_bug_reproduces_with_chessx_temporal() {
     for bug in all_bugs() {
-        let program = bug.compile();
+        let (program, sf) = stress_bug(&bug);
         let input = bug.default_input();
         assert!(
             passes_deterministically(&program, &input, bug.max_steps),
             "{}: not a Heisenbug",
             bug.name
         );
-        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps)
-            .unwrap_or_else(|| panic!("{}: stress failed", bug.name));
         let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
         let report = reproducer.reproduce(&sf.dump, &input).unwrap();
         assert!(
@@ -48,9 +35,8 @@ fn every_bug_reproduces_with_chessx_temporal() {
 #[test]
 fn every_bug_reproduces_with_chessx_dependence() {
     for bug in all_bugs() {
-        let program = bug.compile();
+        let (program, sf) = stress_bug(&bug);
         let input = bug.default_input();
-        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
         let reproducer =
             Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Dependence));
         let report = reproducer.reproduce(&sf.dump, &input).unwrap();
@@ -68,9 +54,8 @@ fn every_bug_reproduces_with_chessx_dependence() {
 fn directed_search_never_loses_to_plain_chess() {
     for name in ["apache-2", "mysql-1", "mysql-3"] {
         let bug = mcr_workloads::bug_by_name(name).unwrap();
-        let program = bug.compile();
+        let (program, sf) = stress_bug(&bug);
         let input = bug.default_input();
-        let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
 
         let guided = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal))
             .reproduce(&sf.dump, &input)
@@ -102,9 +87,8 @@ fn directed_search_never_loses_to_plain_chess() {
 #[test]
 fn pipeline_is_deterministic() {
     let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
-    let program = bug.compile();
+    let (program, sf) = stress_bug(&bug);
     let input = bug.default_input();
-    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
     let run = || {
         let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
         reproducer.reproduce(&sf.dump, &input).unwrap()
@@ -126,9 +110,8 @@ fn pipeline_is_deterministic() {
 #[test]
 fn reproduction_from_reparsed_dump() {
     let bug = mcr_workloads::bug_by_name("apache-2").unwrap();
-    let program = bug.compile();
+    let (program, sf) = stress_bug(&bug);
     let input = bug.default_input();
-    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
     let bytes = mcr_dump::encode(&sf.dump);
     let reparsed = mcr_dump::decode(&bytes).unwrap();
     let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
@@ -144,9 +127,8 @@ fn winning_schedule_replays_to_the_same_failure() {
     use mcr_vm::{run, DeterministicScheduler, Vm};
 
     let bug = mcr_workloads::bug_by_name("mysql-2").unwrap();
-    let program = bug.compile();
+    let (program, sf) = stress_bug(&bug);
     let input = bug.default_input();
-    let sf = find_failure(&program, &input, 0..2_000_000, bug.max_steps).unwrap();
     let reproducer = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal));
     let report = reproducer.reproduce(&sf.dump, &input).unwrap();
     let winning = report.search.winning.expect("reproduced");

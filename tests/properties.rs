@@ -8,9 +8,10 @@
 
 use mcr_analysis::ProgramAnalysis;
 use mcr_dump::{CoreDump, DumpDiff, DumpReason};
-use mcr_index::{reverse_index, OnlineIndexer};
+use mcr_index::{reverse_index, Aligner, OnlineIndexer};
 use mcr_vm::{
-    run, DeterministicScheduler, NullObserver, Outcome, Scheduler, StressScheduler, ThreadId, Vm,
+    run, run_until, DeterministicScheduler, NullObserver, Outcome, Scheduler, StressScheduler,
+    ThreadId, Vm,
 };
 use proptest::prelude::*;
 
@@ -141,6 +142,67 @@ proptest! {
             Err(_) => {}
             Ok(decoded) => prop_assert_ne!(decoded, dump),
         }
+    }
+
+    /// Execution indices are structural, not temporal (§3's central
+    /// claim): the same program crashing under two *different*
+    /// interleavings yields the same reverse-engineered failure index,
+    /// and that index aligns to the same point of the canonical passing
+    /// run either way.
+    #[test]
+    fn failure_index_is_schedule_independent(
+        k in 1i64..8,
+        pair in 0usize..64,
+    ) {
+        let src = r#"
+            global input: [int; 1];
+            global noise: int;
+            fn crashy() {
+                var i; var p;
+                while (i < 8) {
+                    i = i + 1;
+                    if (i == input[0]) { p = null; p[0] = 1; }
+                }
+            }
+            fn churn() {
+                var j;
+                while (j < 6) { j = j + 1; noise = noise + j; }
+            }
+            fn main() { spawn crashy(); spawn churn(); }
+        "#;
+        let program = mcr_lang::compile(src).unwrap();
+        let analysis = ProgramAnalysis::analyze(&program);
+        let schedule_seeds = mcr_testsupport::seeds("schedule-independence", 128);
+        let (seed_a, seed_b) = (schedule_seeds[2 * pair], schedule_seeds[2 * pair + 1]);
+
+        let index_of = |seed: u64| {
+            let mut vm = Vm::new(&program, &[k]);
+            let mut sched = StressScheduler::new(seed);
+            run(&mut vm, &mut sched, &mut NullObserver, 1_000_000);
+            let dump = CoreDump::capture_failure(&vm)
+                .expect("the crash is thread-local: it fires under every schedule");
+            let index = reverse_index(&program, &analysis, &dump).unwrap();
+            (dump.focus, index)
+        };
+        let (focus_a, index_a) = index_of(seed_a);
+        let (focus_b, index_b) = index_of(seed_b);
+        prop_assert_eq!(focus_a, focus_b);
+        prop_assert_eq!(&index_a.entries, &index_b.entries, "seeds {} vs {}", seed_a, seed_b);
+
+        // Both indices align the canonical passing run identically.
+        let align_with = |index: &mcr_index::ExecutionIndex, focus| {
+            let mut vm = Vm::new(&program, &[99]);
+            let mut aligner = Aligner::new(&program, &analysis, focus, index);
+            run_until(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut aligner,
+                1_000_000,
+                |_| false,
+            );
+            aligner.finish()
+        };
+        prop_assert_eq!(align_with(&index_a, focus_a), align_with(&index_b, focus_b));
     }
 
     /// Stress schedules are pure functions of the seed.

@@ -196,7 +196,7 @@ fn stress_and_deterministic_agree_on_race_free_programs() {
     };
     let canonical = final_x(None);
     assert_eq!(canonical, GSlot::Scalar(Value::Int(5)));
-    for seed in 0..50 {
+    for seed in mcr_testsupport::seeds("race-free-agreement", 50) {
         assert_eq!(final_x(Some(seed)), canonical, "seed {seed}");
     }
 }

@@ -1,0 +1,298 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing exactly the subset of the API this repository's test
+//! suite uses. The build environment has no registry access, so the real
+//! crate cannot be fetched; this shim keeps the property tests meaningful:
+//! strategies draw pseudo-random values from a per-test deterministic
+//! generator and every failure reports the concrete inputs.
+//!
+//! Differences from real proptest: no shrinking, no persistence files, and
+//! rejected cases (`prop_assume!`) are simply re-drawn rather than tracked
+//! against a rejection budget.
+
+use std::ops::Range;
+
+/// Deterministic 64-bit generator (splitmix64) used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of values for one generated test argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategies for boolean values.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies for numeric primitives.
+pub mod num {
+    /// Strategies for `u64`.
+    pub mod u64 {
+        use crate::{Strategy, TestRng};
+
+        /// Uniformly random `u64`s.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The any-`u64` strategy (`proptest::num::u64::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+            fn sample(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded and re-drawn.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Stable seed derived from the test path so failures reproduce across runs.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` over `config.cases` accepted cases, drawing arguments from
+/// `draw` (used by the `proptest!` macro expansion; not public API in the
+/// real crate).
+pub fn run_cases<A: std::fmt::Debug>(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut draw: impl FnMut(&mut TestRng) -> A,
+    mut body: impl FnMut(&A) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::new(seed_from_name(test_path));
+    let mut accepted = 0u32;
+    let mut drawn = 0u32;
+    let max_draws = config.cases.saturating_mul(64).max(1024);
+    while accepted < config.cases {
+        if drawn >= max_draws {
+            panic!(
+                "proptest {test_path}: too many rejected cases \
+                 ({accepted}/{} accepted after {drawn} draws)",
+                config.cases
+            );
+        }
+        drawn += 1;
+        let args = draw(&mut rng);
+        match body(&args) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {test_path} failed: {msg}\n  inputs: {args:?}")
+            }
+        }
+    }
+}
+
+/// Declares property tests (subset of real proptest's macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |rng| ( $( $crate::Strategy::sample(&($strat), rng), )* ),
+                |&( $(ref $arg,)* )| {
+                    $( let $arg = ::core::clone::Clone::clone($arg); )*
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!` but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assert_eq failed: {:?} != {:?} ({} vs {})",
+            a, b, stringify!($a), stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assert_eq failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assert_ne failed: both {:?} ({} vs {})",
+            a,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}

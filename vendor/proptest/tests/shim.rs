@@ -1,0 +1,59 @@
+//! Self-tests for the offline proptest stand-in: cases vary, assumes
+//! reject, and assertion failures panic with the inputs attached.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn ranges_stay_in_bounds(a in 1i64..6, b in 0u8..8, n in 5usize..200) {
+        prop_assert!((1..6).contains(&a));
+        prop_assert!(b < 8);
+        prop_assert!((5..200).contains(&n));
+    }
+
+    #[test]
+    fn vec_respects_size(v in proptest::collection::vec(-100i64..100, 0..8)) {
+        prop_assert!(v.len() < 8);
+        prop_assert!(v.iter().all(|x| (-100..100).contains(x)));
+    }
+
+    #[test]
+    fn assume_filters(x in 0u64..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+}
+
+#[test]
+fn cases_actually_vary() {
+    let mut rng = proptest::TestRng::new(proptest::seed_from_name("vary"));
+    let strat = 0i64..1_000_000;
+    let vals: std::collections::HashSet<i64> = (0..64)
+        .map(|_| proptest::Strategy::sample(&strat, &mut rng))
+        .collect();
+    assert!(
+        vals.len() > 32,
+        "rng produced only {} distinct values",
+        vals.len()
+    );
+}
+
+#[test]
+fn failures_panic_with_inputs() {
+    let result = std::panic::catch_unwind(|| {
+        proptest::run_cases(
+            "shim::failures_panic_with_inputs",
+            &ProptestConfig::with_cases(16),
+            |rng| (proptest::Strategy::sample(&(0i64..10), rng),),
+            |(x,)| {
+                prop_assert!(*x < 3, "x too big: {x}");
+                Ok(())
+            },
+        );
+    });
+    let err = result.expect_err("a case with x >= 3 must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic");
+    assert!(msg.contains("x too big"), "unexpected message: {msg}");
+    assert!(msg.contains("inputs:"), "inputs missing: {msg}");
+}
