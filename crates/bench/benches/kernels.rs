@@ -7,6 +7,11 @@
 //! * `index/*` — failure-index reverse engineering and alignment.
 //! * `slice/*` — dependence trace + backward slice (Table 6).
 //! * `search/*` — one end-to-end directed search per algorithm (Table 4).
+//! * `search_hotpath/*` — the search engine's cost model in isolation:
+//!   checkpoint (`Vm::clone`) cost on a heap-rich state, stepping
+//!   throughput, one test execution (a "try"), and a guided vs plain
+//!   search on a fixed candidate set. `tables -- bench-json` records the
+//!   same metrics to `BENCH_search.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -251,12 +256,44 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_search_hotpath(c: &mut Criterion) {
+    use mcr_bench::hotpath::{checkpoint_fixture_program, checkpoint_fixture_vm, SearchFixture};
+
+    let program = checkpoint_fixture_program();
+    let vm = checkpoint_fixture_vm(&program);
+    let fixture = SearchFixture::prepare();
+
+    let mut g = c.benchmark_group("search_hotpath");
+    g.bench_function("checkpoint_clone", |b| b.iter(|| black_box(vm.clone())));
+    g.bench_function("step_throughput", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, &[]);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut NullObserver,
+                10_000_000,
+            );
+            black_box(vm.steps())
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("guided_search", |b| {
+        b.iter(|| black_box(fixture.search(Algorithm::ChessX, 1).tries))
+    });
+    g.bench_function("plain_search", |b| {
+        b.iter(|| black_box(fixture.search(Algorithm::Chess, 1).tries))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_instrumentation,
     bench_dump,
     bench_index,
     bench_slice,
-    bench_search
+    bench_search,
+    bench_search_hotpath
 );
 criterion_main!(benches);

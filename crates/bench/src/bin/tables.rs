@@ -5,7 +5,13 @@
 //! cargo run --release -p mcr-bench --bin tables -- table1 [--full-scale]
 //! cargo run --release -p mcr-bench --bin tables -- table2 | table3 | table4
 //! cargo run --release -p mcr-bench --bin tables -- table5 | table6 | fig10
+//! cargo run --release -p mcr-bench --bin tables -- bench-json [PATH]
 //! ```
+//!
+//! `bench-json` runs the `search_hotpath` measurements (checkpoint
+//! clone, steps/sec, tries/sec, guided vs plain, parallel-vs-serial over
+//! the bug suite) and writes them to `PATH` (default
+//! `BENCH_search.json`), printing the JSON to stdout as well.
 //!
 //! `table1 --full-scale` generates corpora at the paper's statement
 //! counts (105K/892K/521K — takes a few minutes); the default scale is
@@ -48,10 +54,26 @@ fn main() {
             println!("== Fig. 10: runtime overhead on production systems ==");
             println!("{}", render_fig10(&fig10()));
         }
+        "bench-json" => {
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("BENCH_search.json");
+            eprintln!("running search_hotpath measurements (stress + search over the bug suite)…");
+            let report = mcr_bench::hotpath::bench_report();
+            let json = report.to_json();
+            std::fs::write(path, format!("{json}\n"))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("{json}");
+            eprintln!("wrote {path}");
+        }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10] [--full-scale]"
+                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|bench-json] \
+                 [--full-scale]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,507 @@
+//! Hot-path measurements of the search engine and the
+//! `BENCH_search.json` writer.
+//!
+//! The schedule search's cost model is `checkpoint cost × tries` (paper
+//! Table 4: every `preempt()` branch forks the execution, every try
+//! replays the program), so this module tracks exactly those numbers:
+//!
+//! * **checkpoint_clone** — one `Vm::clone` on a heap-rich completed
+//!   state (the copy-on-write fast path this repo's PR 2 introduced;
+//!   the pre-COW deep clone measured ~57,500 ns on the same fixture),
+//! * **steps_per_sec** — raw interpreter throughput,
+//! * **tries_per_sec** — completed test executions per second inside a
+//!   plain CHESS search,
+//! * **guided vs plain** — tries and wall time of ChessX vs CHESS,
+//! * **parallel** — end-to-end guided search over the full
+//!   `mcr-workloads` bug suite at `parallelism = 1` vs all cores, with a
+//!   result-equality check (the deterministic lowest-index-wins
+//!   protocol must make both runs identical).
+//!
+//! `tables -- bench-json` serializes a [`BenchReport`] to
+//! `BENCH_search.json` so successive PRs leave a measurable trajectory.
+
+use mcr_core::{find_failure_par, ReproOptions, Reproducer};
+use mcr_search::{find_schedule, Algorithm, SearchConfig, SearchResult};
+use mcr_slice::Strategy;
+use mcr_vm::{run, DeterministicScheduler, NullObserver, Outcome, Vm};
+use mcr_workloads::all_bugs;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Heap-rich checkpoint fixture: 256 live objects of 64 slots each,
+/// rooted in a global array — the state a search-phase checkpoint has to
+/// preserve. (The canned `HEAP_RICH` dump fixture of `mcr-testsupport`
+/// has the same shape; this one is bigger so the clone cost is squarely
+/// heap-dominated.)
+pub const CHECKPOINT_FIXTURE: &str = r#"
+    global roots: [int; 256];
+    fn main() {
+        var i; var j; var p;
+        for (i = 0; i < 256; i = i + 1) {
+            p = alloc(64);
+            for (j = 0; j < 64; j = j + 1) {
+                p[j] = i * 64 + j;
+            }
+            roots[i] = p;
+        }
+    }
+"#;
+
+/// A compute-heavy single-thread program for raw stepping throughput.
+const STEPPER: &str = r#"
+    global acc: int;
+    fn work(k) {
+        var i; var v;
+        v = k;
+        while (i < 40) {
+            i = i + 1;
+            v = (v * 31 + i) % 1009;
+        }
+        return v;
+    }
+    fn main() {
+        var r; var j;
+        for (j = 0; j < 50; j = j + 1) {
+            r = work(j);
+            acc = acc + r;
+        }
+    }
+"#;
+
+/// Runs `CHECKPOINT_FIXTURE` to completion, returning the heap-rich VM.
+///
+/// # Panics
+///
+/// Panics if the fixture fails to compile or complete (a bug here).
+pub fn checkpoint_fixture_vm(program: &mcr_lang::Program) -> Vm<'_> {
+    let mut vm = Vm::new(program, &[]);
+    let outcome = run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        10_000_000,
+    );
+    assert_eq!(outcome, Outcome::Completed, "fixture must complete");
+    vm
+}
+
+/// Compiles [`CHECKPOINT_FIXTURE`].
+pub fn checkpoint_fixture_program() -> mcr_lang::Program {
+    mcr_lang::compile(CHECKPOINT_FIXTURE).expect("fixture compiles")
+}
+
+/// Median-of-samples timing helper.
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measures one checkpoint (`Vm::clone`) on the heap-rich fixture, in
+/// nanoseconds.
+pub fn measure_checkpoint_clone_ns() -> f64 {
+    let program = checkpoint_fixture_program();
+    let vm = checkpoint_fixture_vm(&program);
+    let mut samples = Vec::new();
+    for _ in 0..9 {
+        let iters = 2_000u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(vm.clone());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median_ns(&mut samples)
+}
+
+/// Measures raw interpreter throughput (statements per second).
+pub fn measure_steps_per_sec() -> f64 {
+    let program = mcr_lang::compile(STEPPER).expect("stepper compiles");
+    // Warm once to learn the run length.
+    let mut vm = Vm::new(&program, &[]);
+    run(
+        &mut vm,
+        &mut DeterministicScheduler::new(),
+        &mut NullObserver,
+        10_000_000,
+    );
+    let steps_per_run = vm.steps();
+    let mut samples = Vec::new();
+    for _ in 0..9 {
+        let mut total_steps = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(30) {
+            let mut vm = Vm::new(&program, &[]);
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut NullObserver,
+                10_000_000,
+            );
+            total_steps += steps_per_run;
+        }
+        samples.push(total_steps as f64 / start.elapsed().as_secs_f64());
+    }
+    median_ns(&mut samples)
+}
+
+/// A fig1-scale search setup shared by the tries/guided/plain
+/// measurements: program, fresh VM inputs, candidates, future map,
+/// target failure.
+pub struct SearchFixture {
+    program: mcr_lang::Program,
+    input: Vec<i64>,
+    candidates: Vec<mcr_search::AnnotatedCandidate>,
+    future: mcr_search::FutureCsvMap,
+    failure: mcr_vm::Failure,
+}
+
+impl SearchFixture {
+    /// Builds the fixture from the `mysql-3` workload (small enough to
+    /// iterate quickly, real enough to have a preemption-candidate
+    /// space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if stress or the pipeline phases fail (covered by the
+    /// repository test suite).
+    pub fn prepare() -> SearchFixture {
+        let bug = mcr_workloads::bug_by_name("mysql-3").expect("workload exists");
+        let program = bug.compile();
+        let input = bug.lengthened_input(10, 42);
+        let sf = find_failure_par(
+            &program,
+            &input,
+            0..200_000,
+            bug.max_steps,
+            minipool::available_parallelism(),
+        )
+        .expect("stress exposes mysql-3");
+        // Reuse the pipeline for candidate extraction (search skipped).
+        let reproducer = Reproducer::new(
+            &program,
+            ReproOptions {
+                search: SearchConfig {
+                    max_tries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let report = reproducer.reproduce(&sf.dump, &input).expect("pipeline");
+        let csv_set: std::collections::HashSet<mcr_vm::MemLoc> =
+            report.csv_locs.iter().copied().collect();
+        let mut vm = Vm::new(&program, &input);
+        let mut logger = mcr_search::SyncLogger::new();
+        run(
+            &mut vm,
+            &mut DeterministicScheduler::new(),
+            &mut logger,
+            bug.max_steps,
+        );
+        let (candidates, future) = mcr_search::annotate(
+            &logger.finish(),
+            &csv_set,
+            &std::collections::HashMap::new(),
+        );
+        SearchFixture {
+            program,
+            input,
+            candidates,
+            future,
+            failure: sf.dump.failure().expect("failure dump"),
+        }
+    }
+
+    /// Runs one search with the given algorithm and parallelism.
+    pub fn search(&self, algorithm: Algorithm, parallelism: usize) -> SearchResult {
+        let fresh = Vm::new(&self.program, &self.input);
+        let config = SearchConfig {
+            parallelism,
+            ..Default::default()
+        };
+        find_schedule(
+            &fresh,
+            &self.candidates,
+            &self.future,
+            self.failure,
+            algorithm,
+            &config,
+        )
+    }
+}
+
+/// Guided-vs-plain cell of the report.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoCell {
+    /// Tries used until reproduction (or cutoff).
+    pub tries: u64,
+    /// Wall time of the search.
+    pub wall: Duration,
+    /// Whether the failure was reproduced.
+    pub reproduced: bool,
+}
+
+/// End-to-end parallel-vs-serial comparison over the full bug suite.
+#[derive(Debug, Clone)]
+pub struct ParallelCell {
+    /// Worker threads used for the parallel leg.
+    pub parallelism: usize,
+    /// Bugs measured.
+    pub bugs: usize,
+    /// Sum of search wall times at `parallelism = 1`.
+    pub serial_search: Duration,
+    /// Sum of search wall times at `parallelism = N`.
+    pub parallel_search: Duration,
+    /// Whether every bug's `reproduced`/`tries`/`winning` matched
+    /// between the two legs (the determinism contract).
+    pub identical_results: bool,
+    /// Bugs reproduced (same count in both legs when
+    /// `identical_results`).
+    pub reproduced: usize,
+}
+
+/// The full `search_hotpath` report serialized to `BENCH_search.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// One checkpoint on the heap-rich fixture, nanoseconds.
+    pub checkpoint_clone_ns: f64,
+    /// Interpreter throughput, statements/second.
+    pub steps_per_sec: f64,
+    /// Completed test executions per second (plain CHESS on the search
+    /// fixture).
+    pub tries_per_sec: f64,
+    /// ChessX on the search fixture.
+    pub guided: AlgoCell,
+    /// Plain CHESS on the search fixture.
+    pub plain: AlgoCell,
+    /// Bug-suite parallel comparison.
+    pub parallel: ParallelCell,
+}
+
+fn algo_cell(r: &SearchResult) -> AlgoCell {
+    AlgoCell {
+        tries: r.tries,
+        wall: r.wall_time,
+        reproduced: r.reproduced,
+    }
+}
+
+/// Stress-seed cap for the suite measurement, mirroring the
+/// `MCR_TEST_TIER` tiers of `mcr-testsupport` (smoke by default so the
+/// CI bench step stays fast; `MCR_TEST_TIER=full` restores paper scale).
+fn stress_seed_cap() -> u64 {
+    match std::env::var("MCR_TEST_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => 2_000_000,
+        _ => 200_000,
+    }
+}
+
+/// Runs the guided search over every `mcr-workloads` bug at
+/// `parallelism = 1` and `parallelism = n`, comparing wall time and
+/// asserting result equality.
+pub fn measure_parallel_suite(parallelism: usize) -> ParallelCell {
+    let bugs = all_bugs();
+    let mut serial_search = Duration::ZERO;
+    let mut parallel_search = Duration::ZERO;
+    let mut identical = true;
+    let mut reproduced = 0usize;
+    for bug in &bugs {
+        let program = bug.compile();
+        let input = bug.default_input();
+        let sf = find_failure_par(
+            &program,
+            &input,
+            0..stress_seed_cap(),
+            bug.max_steps,
+            parallelism,
+        )
+        .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
+        let reproduce = |par: usize| {
+            let reproducer = Reproducer::new(
+                &program,
+                ReproOptions {
+                    strategy: Strategy::Temporal,
+                    algorithm: Algorithm::ChessX,
+                    parallelism: par,
+                    ..Default::default()
+                },
+            );
+            reproducer
+                .reproduce(&sf.dump, &input)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name))
+        };
+        let serial = reproduce(1);
+        let par = reproduce(parallelism);
+        serial_search += serial.search.wall_time;
+        parallel_search += par.search.wall_time;
+        let points = |r: &SearchResult| {
+            r.winning
+                .as_ref()
+                .map(|w| w.iter().map(|c| c.point).collect::<Vec<_>>())
+        };
+        if serial.search.reproduced != par.search.reproduced
+            || serial.search.tries != par.search.tries
+            || points(&serial.search) != points(&par.search)
+        {
+            identical = false;
+        }
+        if par.search.reproduced {
+            reproduced += 1;
+        }
+    }
+    ParallelCell {
+        parallelism,
+        bugs: bugs.len(),
+        serial_search,
+        parallel_search,
+        identical_results: identical,
+        reproduced,
+    }
+}
+
+/// Produces the full report: stresses and reproduces the whole bug
+/// suite twice (a couple of minutes at the default smoke-tier stress
+/// budget; `MCR_TEST_TIER=full` raises it to paper scale).
+pub fn bench_report() -> BenchReport {
+    let checkpoint_clone_ns = measure_checkpoint_clone_ns();
+    let steps_per_sec = measure_steps_per_sec();
+    let fixture = SearchFixture::prepare();
+    let plain_result = fixture.search(Algorithm::Chess, 1);
+    let guided_result = fixture.search(Algorithm::ChessX, 1);
+    let tries_per_sec = if plain_result.wall_time.as_secs_f64() > 0.0 {
+        plain_result.tries as f64 / plain_result.wall_time.as_secs_f64()
+    } else {
+        0.0
+    };
+    // At least two workers even on single-core machines, so the recorded
+    // artifact always exercises (and equivalence-checks) the parallel
+    // engine; the speedup column is only meaningful with real cores.
+    let parallel = measure_parallel_suite(minipool::available_parallelism().max(2));
+    BenchReport {
+        checkpoint_clone_ns,
+        steps_per_sec,
+        tries_per_sec,
+        guided: algo_cell(&guided_result),
+        plain: algo_cell(&plain_result),
+        parallel,
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled: the
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let speedup = if self.parallel.parallel_search.as_secs_f64() > 0.0 {
+            self.parallel.serial_search.as_secs_f64() / self.parallel.parallel_search.as_secs_f64()
+        } else {
+            0.0
+        };
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"mcr-bench/search_hotpath/v1\",");
+        let _ = writeln!(
+            s,
+            "  \"checkpoint_clone_ns\": {:.1},",
+            self.checkpoint_clone_ns
+        );
+        let _ = writeln!(
+            s,
+            "  \"checkpoint_fixture\": \"256 heap objects x 64 slots\","
+        );
+        let _ = writeln!(s, "  \"steps_per_sec\": {:.0},", self.steps_per_sec);
+        let _ = writeln!(s, "  \"tries_per_sec\": {:.1},", self.tries_per_sec);
+        let _ = writeln!(
+            s,
+            "  \"guided\": {{\"tries\": {}, \"wall_ms\": {:.3}, \"reproduced\": {}}},",
+            self.guided.tries,
+            self.guided.wall.as_secs_f64() * 1e3,
+            self.guided.reproduced
+        );
+        let _ = writeln!(
+            s,
+            "  \"plain\": {{\"tries\": {}, \"wall_ms\": {:.3}, \"reproduced\": {}}},",
+            self.plain.tries,
+            self.plain.wall.as_secs_f64() * 1e3,
+            self.plain.reproduced
+        );
+        let _ = writeln!(s, "  \"parallel\": {{");
+        let _ = writeln!(s, "    \"parallelism\": {},", self.parallel.parallelism);
+        let _ = writeln!(s, "    \"bugs\": {},", self.parallel.bugs);
+        let _ = writeln!(s, "    \"reproduced\": {},", self.parallel.reproduced);
+        let _ = writeln!(
+            s,
+            "    \"serial_search_ms\": {:.3},",
+            self.parallel.serial_search.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            s,
+            "    \"parallel_search_ms\": {:.3},",
+            self.parallel.parallel_search.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(s, "    \"speedup\": {speedup:.2},");
+        let _ = writeln!(
+            s,
+            "    \"identical_results\": {}",
+            self.parallel.identical_results
+        );
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_clone_is_cow_fast() {
+        // The acceptance bar for this PR: >= 5x faster than the ~57.5 us
+        // deep clone the seed performed on this fixture. COW clones are
+        // orders of magnitude below that; 11.5 us leaves slack for slow
+        // CI machines while still proving the 5x.
+        let ns = measure_checkpoint_clone_ns();
+        assert!(ns < 11_500.0, "checkpoint clone too slow: {ns} ns");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = BenchReport {
+            checkpoint_clone_ns: 74.0,
+            steps_per_sec: 1e7,
+            tries_per_sec: 1e3,
+            guided: AlgoCell {
+                tries: 3,
+                wall: Duration::from_millis(2),
+                reproduced: true,
+            },
+            plain: AlgoCell {
+                tries: 40,
+                wall: Duration::from_millis(20),
+                reproduced: true,
+            },
+            parallel: ParallelCell {
+                parallelism: 8,
+                bugs: 7,
+                serial_search: Duration::from_millis(700),
+                parallel_search: Duration::from_millis(200),
+                identical_results: true,
+                reproduced: 7,
+            },
+        };
+        let json = report.to_json();
+        for key in [
+            "\"checkpoint_clone_ns\"",
+            "\"steps_per_sec\"",
+            "\"tries_per_sec\"",
+            "\"guided\"",
+            "\"plain\"",
+            "\"parallelism\"",
+            "\"speedup\"",
+            "\"identical_results\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

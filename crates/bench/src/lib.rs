@@ -9,8 +9,15 @@
 //! ```
 //!
 //! Criterion micro-benchmarks of the hot analysis kernels live under
-//! `benches/` (`cargo bench -p mcr-bench`).
+//! `benches/` (`cargo bench -p mcr-bench`), and [`hotpath`] measures the
+//! search engine's cost model (checkpoint cost, steps/sec, tries/sec,
+//! guided vs plain, parallel speedup), writing `BENCH_search.json` via:
+//!
+//! ```text
+//! cargo run --release -p mcr-bench --bin tables -- bench-json
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath;

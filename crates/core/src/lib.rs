@@ -40,4 +40,4 @@ pub mod stress;
 pub use pipeline::{
     has_sync_points, AlignMode, ReproError, ReproOptions, ReproReport, ReproTimings, Reproducer,
 };
-pub use stress::{find_failure, passes_deterministically, StressFailure};
+pub use stress::{find_failure, find_failure_par, passes_deterministically, StressFailure};

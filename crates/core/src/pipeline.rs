@@ -62,6 +62,12 @@ pub struct ReproOptions {
     pub max_steps: u64,
     /// Traversal limits for dump reachability.
     pub limits: TraverseLimits,
+    /// Worker threads for the schedule search (overrides
+    /// `search.parallelism`). Defaults to the machine's available cores;
+    /// `1` preserves the exact serial behavior. Results are deterministic
+    /// either way — the parallel search selects the lowest-worklist-index
+    /// winner (see [`SearchConfig::parallelism`]).
+    pub parallelism: usize,
 }
 
 impl Default for ReproOptions {
@@ -74,6 +80,7 @@ impl Default for ReproOptions {
             trace_window: 2_000_000,
             max_steps: 50_000_000,
             limits: TraverseLimits::default(),
+            parallelism: minipool::available_parallelism(),
         }
     }
 }
@@ -380,13 +387,17 @@ impl<'p> Reproducer<'p> {
         let t0 = Instant::now();
         let (candidates, future) = annotate(&info, &csv_set, &priorities);
         let fresh = Vm::new(self.program, input);
+        let search_config = SearchConfig {
+            parallelism: self.options.parallelism.max(1),
+            ..self.options.search.clone()
+        };
         let search = find_schedule(
             &fresh,
             &candidates,
             &future,
             failure,
             self.options.algorithm,
-            &self.options.search,
+            &search_config,
         );
         timings.search = t0.elapsed();
 

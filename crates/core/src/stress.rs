@@ -54,6 +54,80 @@ pub fn find_failure(
     None
 }
 
+/// Parallel seed scan: like [`find_failure`] but fanning the seed range
+/// over `parallelism` worker threads (a work-stealing pool). The *lowest*
+/// crashing seed wins, so the returned failure — seed, tried count, and
+/// dump — is bit-identical to the serial scan; `parallelism <= 1` simply
+/// runs [`find_failure`].
+pub fn find_failure_par(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    parallelism: usize,
+) -> Option<StressFailure> {
+    if parallelism <= 1 {
+        return find_failure(program, input, seeds, max_steps);
+    }
+    let start = seeds.start;
+    let n = usize::try_from(seeds.end.saturating_sub(start)).unwrap_or(usize::MAX);
+    // Lowest crashing seed found so far (u64::MAX = none).
+    let winner = std::sync::atomic::AtomicU64::new(u64::MAX);
+    minipool::Pool::new(parallelism).for_each_index(n, |i| {
+        let seed = start + i as u64;
+        // A seed above the current winner can never become the answer
+        // (`fetch_min` only lowers it); seeds below always run.
+        if seed > winner.load(std::sync::atomic::Ordering::Acquire) {
+            return;
+        }
+        if crashes(program, input, seed, max_steps) {
+            winner.fetch_min(seed, std::sync::atomic::Ordering::AcqRel);
+        }
+    });
+    let seed = winner.load(std::sync::atomic::Ordering::Acquire);
+    if seed == u64::MAX {
+        return None;
+    }
+    // Replay the winning seed to capture the dump: stress runs are pure
+    // functions of the seed, so this reproduces the identical crash state
+    // without shipping VM snapshots across threads.
+    Some(capture_at_seed(program, input, seed, max_steps, start))
+}
+
+/// Does one stress run at `seed` crash? (Parallel-scan probe: workers
+/// only need the verdict; the winning seed's dump is captured once, by
+/// [`capture_at_seed`], after the scan settles.)
+fn crashes(program: &Program, input: &[i64], seed: u64, max_steps: u64) -> bool {
+    let mut vm = Vm::new(program, input);
+    let mut sched = StressScheduler::new(seed);
+    matches!(
+        run(&mut vm, &mut sched, &mut NullObserver, max_steps),
+        Outcome::Crashed(_)
+    )
+}
+
+/// Re-runs the (known-crashing) `seed` and packages its failure dump.
+fn capture_at_seed(
+    program: &Program,
+    input: &[i64],
+    seed: u64,
+    max_steps: u64,
+    start: u64,
+) -> StressFailure {
+    let mut vm = Vm::new(program, input);
+    let mut sched = StressScheduler::new(seed);
+    let outcome = run(&mut vm, &mut sched, &mut NullObserver, max_steps);
+    debug_assert!(matches!(outcome, Outcome::Crashed(_)));
+    let dump = CoreDump::capture_failure(&vm).expect("crashed");
+    StressFailure {
+        seed,
+        seeds_tried: seed - start + 1,
+        dump,
+        steps: vm.steps(),
+        instrs: vm.instrs(),
+    }
+}
+
 /// Verifies that the program passes deterministically (the Heisenbug
 /// premise: the single-core canonical run does not fail).
 pub fn passes_deterministically(program: &Program, input: &[i64], max_steps: u64) -> bool {
@@ -110,5 +184,23 @@ mod tests {
     fn no_failure_in_clean_program() {
         let p = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
         assert!(find_failure(&p, &[], 0..50, 10_000).is_none());
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let p = mcr_lang::compile(RACE).unwrap();
+        let serial = find_failure(&p, &[], 0..100_000, 100_000).expect("stress exposes");
+        let par = find_failure_par(&p, &[], 0..100_000, 100_000, 4).expect("stress exposes");
+        assert_eq!(serial.seed, par.seed);
+        assert_eq!(serial.seeds_tried, par.seeds_tried);
+        assert_eq!(serial.steps, par.steps);
+        assert_eq!(serial.instrs, par.instrs);
+        assert_eq!(serial.dump, par.dump);
+    }
+
+    #[test]
+    fn parallel_scan_handles_no_failure() {
+        let p = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
+        assert!(find_failure_par(&p, &[], 0..50, 10_000, 4).is_none());
     }
 }

@@ -15,6 +15,7 @@
 use crate::candidates::{AnnotatedCandidate, FutureCsvMap};
 use crate::runner::{Budget, Guidance, TestRun};
 use mcr_vm::{Failure, Vm};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which search algorithm to run.
@@ -42,6 +43,21 @@ pub struct SearchConfig {
     /// the `pair_pool` best candidates (by priority for ChessX, by
     /// execution order for CHESS) to bound worklist construction.
     pub pair_pool: usize,
+    /// Worker threads testing worklist combinations concurrently.
+    ///
+    /// `1` (the default) runs the exact serial loop. Any higher value
+    /// fans the worklist over a work-stealing pool; the *lowest worklist
+    /// index* that reproduces wins, and the reported `reproduced` /
+    /// `winning` / `combinations_tested` / `tries` are identical to the
+    /// serial result whenever the search finishes without hitting the
+    /// try cap or deadline (speculative tries beyond the winner are
+    /// spent but not reported). When the budget *does* bind mid-search,
+    /// speculative work competes with low-index combinations for the
+    /// remaining tries, so a cut-off parallel run may reproduce a
+    /// different (or no) combination than a cut-off serial run — size
+    /// `max_tries` for the serial search and treat it as a work bound,
+    /// not an exact schedule.
+    pub parallelism: usize,
 }
 
 impl Default for SearchConfig {
@@ -52,6 +68,7 @@ impl Default for SearchConfig {
             time_budget: None,
             max_steps: 10_000_000,
             pair_pool: 512,
+            parallelism: 1,
         }
     }
 }
@@ -88,14 +105,22 @@ pub fn find_schedule(
     config: &SearchConfig,
 ) -> SearchResult {
     let start = Instant::now();
-    let mut budget = Budget::with_tries(config.max_tries, config.max_steps);
-    budget.deadline = config.time_budget.map(|d| start + d);
+    let deadline = config.time_budget.map(|d| start + d);
 
     let worklist = build_worklist(candidates, algorithm, config);
     let guidance = match algorithm {
         Algorithm::Chess => Guidance::All,
         Algorithm::ChessX => Guidance::CsvOverlap,
     };
+
+    if config.parallelism > 1 && worklist.len() > 1 {
+        return find_schedule_parallel(
+            fresh_vm, candidates, future, target, guidance, config, &worklist, deadline, start,
+        );
+    }
+
+    let mut budget = Budget::with_tries(config.max_tries, config.max_steps);
+    budget.deadline = deadline;
 
     let mut combinations_tested = 0u64;
     let mut winning = None;
@@ -127,6 +152,105 @@ pub fn find_schedule(
         winning,
         wall_time: start.elapsed(),
         cut_off: !reproduced && budget.exhausted(),
+    }
+}
+
+/// The parallel worklist driver: combinations fan out over a
+/// work-stealing pool; every worker draws from one shared try pool, and
+/// the *lowest worklist index* that reproduces is the winner, so the
+/// result matches the serial search whenever the budget does not cut the
+/// search off (see [`SearchConfig::parallelism`] for the cutoff caveat).
+///
+/// Checkpoint sharing makes this cheap: all workers clone the same
+/// `fresh_vm`, and with copy-on-write VM state those clones are
+/// reference-count bumps into shared initial state.
+#[allow(clippy::too_many_arguments)]
+fn find_schedule_parallel(
+    fresh_vm: &Vm<'_>,
+    candidates: &[AnnotatedCandidate],
+    future: &FutureCsvMap,
+    target: Failure,
+    guidance: Guidance,
+    config: &SearchConfig,
+    worklist: &[Vec<usize>],
+    deadline: Option<Instant>,
+    start: Instant,
+) -> SearchResult {
+    let n = worklist.len();
+    // Lowest reproducing worklist index (usize::MAX = none yet).
+    let winner = AtomicUsize::new(usize::MAX);
+    // One global try pool, debited as each try completes — the cap
+    // bounds *total* work to within one in-flight try per worker, unlike
+    // per-worker budget snapshots which could multiply it.
+    let pool = crate::runner::SharedTries::new(config.max_tries);
+    // Per-combination tries for deterministic reporting.
+    let per_combo_tries: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let executed: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+
+    minipool::Pool::new(config.parallelism).for_each_index(n, |i| {
+        // A combination past an already-found winner can never win
+        // (`fetch_min` only lowers the index), so skip it. Combinations
+        // below the winner run to completion unless the global budget
+        // runs dry mid-search.
+        if i > winner.load(Ordering::Acquire) {
+            return;
+        }
+        if pool.exhausted_now() {
+            return;
+        }
+        let mut budget = Budget::with_tries(u64::MAX, config.max_steps).with_shared(pool.clone());
+        budget.deadline = deadline;
+        let set: Vec<AnnotatedCandidate> =
+            worklist[i].iter().map(|&k| candidates[k].clone()).collect();
+        let run = TestRun {
+            fresh_vm,
+            preemptions: &set,
+            target,
+            guidance,
+            future,
+        };
+        executed[i].store(1, Ordering::Relaxed);
+        let ok = run.execute(&mut budget);
+        per_combo_tries[i].store(budget.tries, Ordering::Relaxed);
+        if ok {
+            winner.fetch_min(i, Ordering::AcqRel);
+        }
+    });
+
+    let w = winner.load(Ordering::Acquire);
+    if w != usize::MAX {
+        // Serial-identical accounting: the tries and combination count
+        // the serial loop would have reported — everything up to and
+        // including the winner; speculative work beyond it is discarded.
+        let tries: u64 = per_combo_tries[..=w]
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .sum();
+        let winning: Vec<AnnotatedCandidate> =
+            worklist[w].iter().map(|&k| candidates[k].clone()).collect();
+        SearchResult {
+            reproduced: true,
+            tries,
+            combinations_tested: (w + 1) as u64,
+            winning: Some(winning),
+            wall_time: start.elapsed(),
+            cut_off: false,
+        }
+    } else {
+        let tries = pool.used();
+        let combinations_tested = executed
+            .iter()
+            .filter(|e| e.load(Ordering::Relaxed) == 1)
+            .count() as u64;
+        let cut_off = tries >= config.max_tries || deadline.is_some_and(|d| Instant::now() >= d);
+        SearchResult {
+            reproduced: false,
+            tries,
+            combinations_tested,
+            winning: None,
+            wall_time: start.elapsed(),
+            cut_off,
+        }
     }
 }
 
@@ -367,6 +491,37 @@ mod tests {
         assert!(!r.reproduced);
         assert!(r.cut_off);
         assert!(r.tries <= 5);
+    }
+
+    #[test]
+    fn parallel_search_matches_serial() {
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        let serial_cfg = SearchConfig::default();
+        let par_cfg = SearchConfig {
+            parallelism: 4,
+            ..Default::default()
+        };
+        let points = |r: &SearchResult| {
+            r.winning
+                .as_ref()
+                .map(|w| w.iter().map(|c| c.point).collect::<Vec<_>>())
+        };
+        for alg in [Algorithm::ChessX, Algorithm::Chess] {
+            let a = find_schedule(
+                &fresh,
+                &s.candidates,
+                &s.future,
+                s.failure,
+                alg,
+                &serial_cfg,
+            );
+            let b = find_schedule(&fresh, &s.candidates, &s.future, s.failure, alg, &par_cfg);
+            assert_eq!(a.reproduced, b.reproduced, "{alg:?}");
+            assert_eq!(a.tries, b.tries, "{alg:?}");
+            assert_eq!(a.combinations_tested, b.combinations_tested, "{alg:?}");
+            assert_eq!(points(&a), points(&b), "{alg:?}");
+        }
     }
 
     #[test]

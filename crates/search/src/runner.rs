@@ -12,7 +12,46 @@
 use crate::candidates::{AnnotatedCandidate, CandidateKind, FutureCsvMap};
 use mcr_lang::Inst;
 use mcr_vm::{Failure, NullObserver, ThreadId, Vm};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How many [`Budget::exhausted`] polls share one `Instant::now()` read.
+/// The deadline is coarse (the paper's 18-hour cutoff equivalent), so a
+/// clock syscall on every poll — once per explored statement — is pure
+/// overhead; between real reads the cached verdict is returned.
+const DEADLINE_POLL_PERIOD: u32 = 256;
+
+/// A try pool shared by the workers of a parallel search. The counter is
+/// debited as each try *completes* (not snapshotted up front), so the
+/// configured cap bounds total work across all workers to within one
+/// in-flight try per worker.
+#[derive(Debug, Default)]
+pub(crate) struct SharedTries {
+    count: AtomicU64,
+    max: u64,
+}
+
+impl SharedTries {
+    pub(crate) fn new(max: u64) -> Arc<SharedTries> {
+        Arc::new(SharedTries {
+            count: AtomicU64::new(0),
+            max,
+        })
+    }
+
+    /// Tries completed across all workers so far.
+    pub(crate) fn used(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pool is spent.
+    pub(crate) fn exhausted_now(&self) -> bool {
+        self.used() >= self.max
+    }
+}
 
 /// Budget shared across an entire schedule search.
 #[derive(Debug)]
@@ -25,6 +64,16 @@ pub struct Budget {
     pub deadline: Option<Instant>,
     /// Per-run step cap.
     pub max_steps: u64,
+    /// Deadline-poll cache: reads the clock every
+    /// [`DEADLINE_POLL_PERIOD`]th poll and replays the last verdict in
+    /// between. Re-keyed (and re-read immediately) whenever `deadline`
+    /// is replaced.
+    polls: Cell<u32>,
+    poll_key: Cell<Option<Instant>>,
+    poll_expired: Cell<bool>,
+    /// Global pool this worker-local budget also draws from (parallel
+    /// searches only).
+    shared: Option<Arc<SharedTries>>,
 }
 
 impl Budget {
@@ -35,12 +84,64 @@ impl Budget {
             tries: 0,
             deadline: None,
             max_steps,
+            polls: Cell::new(0),
+            poll_key: Cell::new(None),
+            poll_expired: Cell::new(false),
+            shared: None,
+        }
+    }
+
+    /// Attaches a shared try pool: every recorded try also debits the
+    /// pool, and pool exhaustion exhausts this budget.
+    pub(crate) fn with_shared(mut self, pool: Arc<SharedTries>) -> Budget {
+        self.shared = Some(pool);
+        self
+    }
+
+    /// Counts one completed execution (and debits the shared pool, if
+    /// any).
+    pub(crate) fn record_try(&mut self) {
+        self.tries += 1;
+        if let Some(pool) = &self.shared {
+            pool.count.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Whether the budget is exhausted.
+    ///
+    /// The try cap is exact; the deadline is polled through a cache that
+    /// touches the clock only every [`DEADLINE_POLL_PERIOD`]th call, so a
+    /// deadline overrun is noticed at most that many polls late.
     pub fn exhausted(&self) -> bool {
-        self.tries >= self.max_tries || self.deadline.is_some_and(|d| Instant::now() >= d)
+        if self.tries >= self.max_tries {
+            return true;
+        }
+        if let Some(pool) = &self.shared {
+            if pool.exhausted_now() {
+                return true;
+            }
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.poll_key.get() != Some(deadline) {
+            // The deadline was (re)set: re-key the cache and check the
+            // clock on this very poll.
+            self.poll_key.set(Some(deadline));
+            self.poll_expired.set(false);
+            self.polls.set(0);
+        }
+        if self.poll_expired.get() {
+            return true;
+        }
+        let n = self.polls.get();
+        self.polls.set(n.wrapping_add(1));
+        if !n.is_multiple_of(DEADLINE_POLL_PERIOD) {
+            return false;
+        }
+        let expired = Instant::now() >= deadline;
+        self.poll_expired.set(expired);
+        expired
     }
 }
 
@@ -69,13 +170,47 @@ pub struct TestRun<'a, 'p> {
     pub future: &'a FutureCsvMap,
 }
 
+/// Preemption candidates pre-bucketed by `(tid, sync_seq)` — the key
+/// every firing rule matches on — so the per-step `fires_before` /
+/// `fires_after` checks look up one (almost always empty or singleton)
+/// bucket instead of scanning the whole preemption set.
+#[derive(Debug, Default)]
+struct PreemptionIndex {
+    by_anchor: HashMap<(u32, u32), Vec<usize>>,
+}
+
+impl PreemptionIndex {
+    fn build(preemptions: &[AnnotatedCandidate]) -> PreemptionIndex {
+        let mut by_anchor: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+        for (i, pm) in preemptions.iter().enumerate() {
+            // Buckets keep insertion (= candidate index) order, so the
+            // first in-bucket hit is the same candidate a full scan
+            // would have returned.
+            by_anchor
+                .entry((pm.point.tid.0, pm.point.sync_seq))
+                .or_default()
+                .push(i);
+        }
+        PreemptionIndex { by_anchor }
+    }
+
+    /// Candidate indices anchored at `(tid, sync_seq)`.
+    fn bucket(&self, tid: ThreadId, sync_seq: u32) -> &[usize] {
+        self.by_anchor
+            .get(&(tid.0, sync_seq))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
 impl TestRun<'_, '_> {
     /// Runs the test, exploring thread choices at each preemption.
     /// Returns whether the target failure was reproduced. Increments
     /// `budget.tries` once per completed execution.
     pub fn execute(&self, budget: &mut Budget) -> bool {
+        let index = PreemptionIndex::build(self.preemptions);
         let consumed = vec![false; self.preemptions.len()];
-        self.explore(self.fresh_vm.clone(), None, consumed, budget)
+        self.explore(self.fresh_vm.clone(), None, consumed, &index, budget)
     }
 
     /// The deterministic policy: keep the current thread while runnable,
@@ -88,21 +223,30 @@ impl TestRun<'_, '_> {
     }
 
     /// Does a pending *before*-anchored preemption fire for `t` now?
-    fn fires_before(&self, vm: &Vm<'_>, t: ThreadId, consumed: &[bool]) -> Option<usize> {
+    ///
+    /// Every firing rule requires the candidate's `(tid, sync_seq)` to
+    /// match the thread's current position, so only that bucket of the
+    /// index is inspected.
+    fn fires_before(
+        &self,
+        vm: &Vm<'_>,
+        t: ThreadId,
+        index: &PreemptionIndex,
+        consumed: &[bool],
+    ) -> Option<usize> {
         let th = vm.thread(t);
-        for (i, pm) in self.preemptions.iter().enumerate() {
-            if consumed[i] || pm.point.tid != t {
+        for &i in index.bucket(t, th.sync_seq) {
+            if consumed[i] {
                 continue;
             }
+            let pm = &self.preemptions[i];
             let hit = match pm.point.kind {
                 CandidateKind::ThreadStart => th.steps_taken == 0,
                 CandidateKind::BeforeAcquire => {
-                    th.sync_seq == pm.point.sync_seq
-                        && matches!(vm.next_inst(t), Some(Inst::Acquire { .. }))
+                    matches!(vm.next_inst(t), Some(Inst::Acquire { .. }))
                 }
                 CandidateKind::BeforeJoin => {
-                    th.sync_seq == pm.point.sync_seq
-                        && matches!(vm.next_inst(t), Some(Inst::Join { .. }))
+                    matches!(vm.next_inst(t), Some(Inst::Join { .. }))
                 }
                 _ => false,
             };
@@ -120,14 +264,16 @@ impl TestRun<'_, '_> {
         t: ThreadId,
         seq_before: u32,
         was: Option<CandidateKind>,
+        index: &PreemptionIndex,
         consumed: &[bool],
     ) -> Option<usize> {
         let was = was?;
-        for (i, pm) in self.preemptions.iter().enumerate() {
-            if consumed[i] || pm.point.tid != t {
+        for &i in index.bucket(t, seq_before) {
+            if consumed[i] {
                 continue;
             }
-            if pm.point.kind == was && pm.point.sync_seq == seq_before {
+            let pm = &self.preemptions[i];
+            if pm.point.kind == was {
                 return Some(i);
             }
         }
@@ -138,8 +284,7 @@ impl TestRun<'_, '_> {
     /// `preempt`): other runnable threads, filtered by CSV overlap under
     /// guidance.
     fn choices(&self, vm: &Vm<'_>, preempted: ThreadId, pm: &AnnotatedCandidate) -> Vec<ThreadId> {
-        vm.runnable_threads()
-            .into_iter()
+        vm.runnable_iter()
             .filter(|&t| t != preempted)
             .filter(|&t| match self.guidance {
                 Guidance::All => true,
@@ -162,30 +307,34 @@ impl TestRun<'_, '_> {
         mut vm: Vm<'_>,
         mut current: Option<ThreadId>,
         mut consumed: Vec<bool>,
+        index: &PreemptionIndex,
         budget: &mut Budget,
     ) -> bool {
+        // Scratch buffer reused across the stepping loop; recursion (one
+        // level per injected preemption) gets its own.
+        let mut runnable: Vec<ThreadId> = Vec::new();
         loop {
             if budget.exhausted() {
                 return false;
             }
             if let Some(f) = vm.failure() {
-                budget.tries += 1;
+                budget.record_try();
                 return f.same_bug(&self.target);
             }
             if vm.steps() >= budget.max_steps {
-                budget.tries += 1;
+                budget.record_try();
                 return false;
             }
-            let runnable = vm.runnable_threads();
+            vm.runnable_into(&mut runnable);
             if runnable.is_empty() {
-                budget.tries += 1;
+                budget.record_try();
                 return false;
             }
             let t = Self::pick(current, &runnable);
             current = Some(t);
 
             // Before-anchored preemption?
-            if let Some(i) = self.fires_before(&vm, t, &consumed) {
+            if let Some(i) = self.fires_before(&vm, t, index, &consumed) {
                 consumed[i] = true;
                 let pm = &self.preemptions[i];
                 let choices = self.choices(&vm, t, pm);
@@ -193,7 +342,7 @@ impl TestRun<'_, '_> {
                     if budget.exhausted() {
                         return false;
                     }
-                    if self.explore(vm.clone(), Some(c), consumed.clone(), budget) {
+                    if self.explore(vm.clone(), Some(c), consumed.clone(), index, budget) {
                         return true;
                     }
                 }
@@ -212,7 +361,7 @@ impl TestRun<'_, '_> {
             vm.step(t, &mut NullObserver);
 
             // After-anchored preemption?
-            if let Some(i) = self.fires_after(t, seq_before, after_kind, &consumed) {
+            if let Some(i) = self.fires_after(t, seq_before, after_kind, index, &consumed) {
                 consumed[i] = true;
                 let pm = &self.preemptions[i];
                 let choices = self.choices(&vm, t, pm);
@@ -220,7 +369,7 @@ impl TestRun<'_, '_> {
                     if budget.exhausted() {
                         return false;
                     }
-                    if self.explore(vm.clone(), Some(c), consumed.clone(), budget) {
+                    if self.explore(vm.clone(), Some(c), consumed.clone(), index, budget) {
                         return true;
                     }
                 }

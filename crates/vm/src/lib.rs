@@ -50,4 +50,4 @@ pub use sched::{
     run, run_until, DeterministicScheduler, Outcome, Scheduler, StressScheduler, DEFAULT_MAX_STEPS,
 };
 pub use value::{ObjId, ThreadId, Value};
-pub use vm::{Frame, GSlot, Thread, ThreadState, Vm, MAX_ALLOC, MAX_FRAMES};
+pub use vm::{Frame, Frames, GSlot, Thread, ThreadState, Vm, MAX_ALLOC, MAX_FRAMES};

@@ -150,6 +150,8 @@ pub fn run_until(
     max_steps: u64,
     mut stop: impl FnMut(&Vm<'_>) -> bool,
 ) -> Outcome {
+    // One scratch buffer for the whole run; the step loop never allocates.
+    let mut runnable: Vec<ThreadId> = Vec::new();
     loop {
         if let Some(f) = vm.failure() {
             return Outcome::Crashed(f);
@@ -160,7 +162,7 @@ pub fn run_until(
         if vm.steps() >= max_steps {
             return Outcome::StepLimit;
         }
-        let runnable = vm.runnable_threads();
+        vm.runnable_into(&mut runnable);
         if runnable.is_empty() {
             return if vm.all_done() {
                 Outcome::Completed

@@ -23,6 +23,13 @@
 //! * **Determinism.** Given the same program, input, and sequence of
 //!   scheduling decisions, a run is bit-identical — the foundation for
 //!   checkpoint-free replay (the paper's re-execution phase).
+//! * **Cheap checkpoints.** The schedule search forks the VM at every
+//!   `preempt()` branch, so `Vm::clone` is the hottest operation of the
+//!   whole pipeline. Globals, the heap, and every call stack live in
+//!   copy-on-write storage ([`Arc`]-backed, deep-copied lazily on the
+//!   first write after a clone), which makes a checkpoint a handful of
+//!   reference-count bumps — O(threads) — instead of a deep copy of all
+//!   live state.
 
 use crate::event::{Event, Observer, SyncKind};
 use crate::failure::{Failure, FailureKind};
@@ -31,6 +38,7 @@ use crate::value::{ObjId, ThreadId, Value};
 use mcr_lang::{
     BinOp, Expr, FuncId, GlobalId, GlobalKind, Inst, LocalId, Pc, Place, Program, StmtId, UnOp,
 };
+use std::sync::Arc;
 
 /// Maximum call depth per thread.
 pub const MAX_FRAMES: usize = 512;
@@ -76,6 +84,56 @@ pub enum ThreadState {
     Crashed,
 }
 
+/// A copy-on-write call stack.
+///
+/// Cloning (which happens for every thread on every [`Vm`] checkpoint)
+/// bumps one reference count; the frames are deep-copied lazily, on the
+/// first mutation after a clone. Reads go through [`std::ops::Deref`] to
+/// `[Frame]`, so existing slice-style access keeps working.
+#[derive(Debug, Clone)]
+pub struct Frames(Arc<Vec<Frame>>);
+
+impl Frames {
+    fn new(frames: Vec<Frame>) -> Frames {
+        Frames(Arc::new(frames))
+    }
+
+    /// Mutable access, deep-copying first if the stack is shared with a
+    /// checkpoint.
+    fn make_mut(&mut self) -> &mut Vec<Frame> {
+        Arc::make_mut(&mut self.0)
+    }
+
+    fn last_mut(&mut self) -> Option<&mut Frame> {
+        self.make_mut().last_mut()
+    }
+
+    fn push(&mut self, frame: Frame) {
+        self.make_mut().push(frame);
+    }
+
+    fn pop(&mut self) -> Option<Frame> {
+        self.make_mut().pop()
+    }
+}
+
+impl std::ops::Deref for Frames {
+    type Target = [Frame];
+
+    fn deref(&self) -> &[Frame] {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a Frames {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// One thread of execution.
 #[derive(Debug, Clone)]
 pub struct Thread {
@@ -84,7 +142,7 @@ pub struct Thread {
     /// Entry function.
     pub entry: FuncId,
     /// Call stack; empty once the thread is done.
-    pub frames: Vec<Frame>,
+    pub frames: Frames,
     /// Lifecycle state.
     pub state: ThreadState,
     /// Synchronization operations executed so far.
@@ -119,11 +177,21 @@ enum ResolvedPlace {
 }
 
 /// The interpreter state for one run.
+///
+/// Cloning a `Vm` is a *checkpoint*: globals, the heap, and every call
+/// stack are copy-on-write, so the clone costs O(threads) reference-count
+/// bumps and diverges lazily as either copy writes.
 #[derive(Debug, Clone)]
 pub struct Vm<'p> {
     program: &'p Program,
-    globals: Vec<GSlot>,
-    heap: Vec<Option<Vec<Value>>>,
+    /// All global storage behind one COW cell; the first write after a
+    /// checkpoint copies the vector (subsequent writes hit the unique
+    /// fast path of [`Arc::make_mut`]).
+    globals: Arc<Vec<GSlot>>,
+    /// Two-level COW heap: the object table and each object's slots are
+    /// independently shared, so a post-checkpoint store deep-copies only
+    /// the table spine and the one object written.
+    heap: Arc<Vec<Option<Arc<Vec<Value>>>>>,
     threads: Vec<Thread>,
     locks: Vec<Option<ThreadId>>,
     next_frame_serial: u64,
@@ -135,6 +203,10 @@ pub struct Vm<'p> {
     /// Events describing state that existed before any observer attached
     /// (the main thread's creation); drained on the first step.
     pending_events: Vec<Event>,
+    /// Scratch buffers reused across steps so the statement hot path does
+    /// not allocate. Always empty between steps; cloning them is free.
+    reads_buf: Vec<(MemLoc, Value)>,
+    events_buf: Vec<Event>,
 }
 
 impl<'p> Vm<'p> {
@@ -167,8 +239,8 @@ impl<'p> Vm<'p> {
 
         let mut vm = Vm {
             program,
-            globals,
-            heap: Vec::new(),
+            globals: Arc::new(globals),
+            heap: Arc::new(Vec::new()),
             threads: Vec::new(),
             locks: vec![None; program.locks.len()],
             next_frame_serial: 0,
@@ -178,6 +250,8 @@ impl<'p> Vm<'p> {
             failure: None,
             outputs: Vec::new(),
             pending_events: Vec::new(),
+            reads_buf: Vec::new(),
+            events_buf: Vec::new(),
         };
         let main = vm.spawn_thread(program.main, Vec::new());
         let frame = vm.threads[main.0 as usize]
@@ -253,7 +327,7 @@ impl<'p> Vm<'p> {
         self.heap
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.as_deref().map(|v| (ObjId(i as u32), v)))
+            .filter_map(|(i, o)| o.as_deref().map(|v| (ObjId(i as u32), v.as_slice())))
     }
 
     /// Raw heap vector length (object ids are indices below this).
@@ -322,11 +396,28 @@ impl<'p> Vm<'p> {
     }
 
     /// All currently runnable threads, in id order.
+    ///
+    /// Allocates a fresh `Vec` per call; step loops should prefer
+    /// [`Vm::runnable_into`] (scratch-buffer reuse) or
+    /// [`Vm::runnable_iter`].
     pub fn runnable_threads(&self) -> Vec<ThreadId> {
+        self.runnable_iter().collect()
+    }
+
+    /// Iterates the currently runnable threads in id order without
+    /// allocating.
+    pub fn runnable_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
         (0..self.threads.len() as u32)
             .map(ThreadId)
             .filter(|&t| self.runnable(t))
-            .collect()
+    }
+
+    /// Collects the currently runnable threads (id order) into `out`,
+    /// clearing it first. Lets run loops reuse one scratch buffer instead
+    /// of allocating every step.
+    pub fn runnable_into(&self, out: &mut Vec<ThreadId>) {
+        out.clear();
+        out.extend(self.runnable_iter());
     }
 
     fn spawn_thread(&mut self, entry: FuncId, args: Vec<Value>) -> ThreadId {
@@ -348,7 +439,7 @@ impl<'p> Vm<'p> {
         self.threads.push(Thread {
             id: tid,
             entry,
-            frames: vec![frame],
+            frames: Frames::new(vec![frame]),
             state: ThreadState::Ready,
             sync_seq: 0,
             instrs: 0,
@@ -555,15 +646,17 @@ impl<'p> Vm<'p> {
                     .expect("live thread");
                 frame.locals[l.0 as usize] = v;
             }
-            ResolvedPlace::Global(g) => self.globals[g.0 as usize] = GSlot::Scalar(v),
+            ResolvedPlace::Global(g) => {
+                Arc::make_mut(&mut self.globals)[g.0 as usize] = GSlot::Scalar(v)
+            }
             ResolvedPlace::GlobalElem(g, i) => {
-                if let GSlot::Array(slots) = &mut self.globals[g.0 as usize] {
+                if let GSlot::Array(slots) = &mut Arc::make_mut(&mut self.globals)[g.0 as usize] {
                     slots[i as usize] = v;
                 }
             }
             ResolvedPlace::Heap(o, i) => {
-                if let Some(slots) = &mut self.heap[o.0 as usize] {
-                    slots[i as usize] = v;
+                if let Some(slots) = &mut Arc::make_mut(&mut self.heap)[o.0 as usize] {
+                    Arc::make_mut(slots)[i as usize] = v;
                 }
             }
         }
@@ -587,14 +680,23 @@ impl<'p> Vm<'p> {
         let step = self.steps;
         self.steps += 1;
 
-        let thread = &self.threads[tid.0 as usize];
-        let frame = thread.frames.last().expect("runnable thread has a frame");
-        let func = self.program.func(frame.func);
-        let pc = Pc::new(frame.func, frame.pc);
-        let inst = func.inst(frame.pc).clone();
+        let program = self.program;
+        let (func_id, frame_pc) = {
+            let frame = self.threads[tid.0 as usize]
+                .frames
+                .last()
+                .expect("runnable thread has a frame");
+            (frame.func, frame.pc)
+        };
+        // `func` and `inst` borrow the program (lifetime `'p`), not the
+        // VM, so the statement body below runs without cloning the
+        // instruction.
+        let func = program.func(func_id);
+        let pc = Pc::new(func_id, frame_pc);
+        let inst = func.inst(frame_pc);
 
         // Instruction accounting.
-        let cost: u8 = match &inst {
+        let cost: u8 = match inst {
             Inst::LoopEnter { loop_id } | Inst::LoopIter { loop_id } => {
                 let natural = func.loops[loop_id.0 as usize].natural;
                 if natural || !self.count_loop_instr {
@@ -611,9 +713,13 @@ impl<'p> Vm<'p> {
 
         obs.on_event(step, &Event::Stmt { tid, pc, cost });
 
-        let mut reads: Vec<(MemLoc, Value)> = Vec::new();
-        let result = self.exec_inst(tid, pc, &inst, &mut reads, step, obs);
-        for (loc, value) in reads {
+        // Reuse the scratch buffers so stepping never allocates once the
+        // buffers have grown to the run's high-water mark.
+        let mut reads = std::mem::take(&mut self.reads_buf);
+        let mut events = std::mem::take(&mut self.events_buf);
+        debug_assert!(reads.is_empty() && events.is_empty());
+        let result = self.exec_inst(tid, pc, inst, &mut reads, &mut events, step, obs);
+        for (loc, value) in reads.drain(..) {
             obs.on_event(
                 step,
                 &Event::Read {
@@ -625,13 +731,15 @@ impl<'p> Vm<'p> {
             );
         }
         match result {
-            Ok(effects) => {
-                for eff in effects {
+            Ok(()) => {
+                for eff in events.drain(..) {
                     obs.on_event(step, &eff);
                 }
-                true
             }
             Err(kind) => {
+                // Partial effects of the crashing statement are discarded,
+                // exactly as before: only the crash is observed.
+                events.clear();
                 let failure = Failure {
                     kind,
                     pc,
@@ -640,23 +748,27 @@ impl<'p> Vm<'p> {
                 self.failure = Some(failure);
                 self.threads[tid.0 as usize].state = ThreadState::Crashed;
                 obs.on_event(step, &Event::Crash { failure });
-                true
             }
         }
+        self.reads_buf = reads;
+        self.events_buf = events;
+        true
     }
 
-    /// Executes the statement body; returns the detail events to emit
-    /// after the reads. On `Err` the thread crashes at `pc`.
+    /// Executes the statement body, pushing the detail events to emit
+    /// after the reads into `events`. On `Err` the thread crashes at
+    /// `pc` (and the caller discards any partial events).
+    #[allow(clippy::too_many_arguments)]
     fn exec_inst(
         &mut self,
         tid: ThreadId,
         pc: Pc,
         inst: &Inst,
         reads: &mut Vec<(MemLoc, Value)>,
+        events: &mut Vec<Event>,
         _step: u64,
         _obs: &mut dyn Observer,
-    ) -> Result<Vec<Event>, FailureKind> {
-        let mut events = Vec::new();
+    ) -> Result<(), FailureKind> {
         macro_rules! cur_frame {
             () => {
                 self.threads[tid.0 as usize]
@@ -918,7 +1030,8 @@ impl<'p> Vm<'p> {
                     return Err(FailureKind::AllocTooLarge);
                 }
                 let obj = ObjId(self.heap.len() as u32);
-                self.heap.push(Some(vec![Value::default(); n as usize]));
+                Arc::make_mut(&mut self.heap)
+                    .push(Some(Arc::new(vec![Value::default(); n as usize])));
                 let serial = cur_frame!().serial;
                 let v = Value::Ptr(Some(obj));
                 self.store(rp, tid, v);
@@ -984,7 +1097,7 @@ impl<'p> Vm<'p> {
                 advance!();
             }
         }
-        Ok(events)
+        Ok(())
     }
 }
 

@@ -1,0 +1,259 @@
+//! # minipool — a minimal work-stealing thread pool for indexed fan-out
+//!
+//! The build environment has no registry access, so `rayon` and friends
+//! are unavailable; this crate implements exactly the primitive the
+//! search drivers need: run `job(i)` for every `i` in `0..n` across a
+//! fixed set of worker threads, with dynamic load balancing.
+//!
+//! ## Scheduling model
+//!
+//! The index space `0..n` is split into one contiguous chunk per worker.
+//! Each worker pops indices from the *front* of its own chunk; when its
+//! chunk drains, it scans the other workers, picks the one with the most
+//! remaining work, and steals the *back half* of that chunk. Front-pop /
+//! back-steal keeps owners working on low indices (which matters for the
+//! deterministic lowest-index-wins protocols built on top) while thieves
+//! take the work farthest from the owner's cursor.
+//!
+//! Chunks are guarded by plain mutexes rather than lock-free deques: the
+//! jobs scheduled here are entire program executions (milliseconds), so
+//! the nanoseconds a Chase–Lev deque would save are irrelevant, and the
+//! mutex version is trivially correct.
+//!
+//! ## Determinism contract
+//!
+//! The pool guarantees that every index runs exactly once and that
+//! [`Pool::for_each_index`] returns only after all jobs finish. It makes
+//! *no* ordering guarantee — callers that need deterministic results must
+//! encode a winner-selection rule in shared state (see `mcr-search`'s
+//! lowest-worklist-index rule and `mcr-core`'s lowest-seed rule), not
+//! rely on execution order.
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let hits = AtomicU64::new(0);
+//! minipool::Pool::new(4).for_each_index(100, |_i| {
+//!     hits.fetch_add(1, Ordering::Relaxed);
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+/// A half-open range `[lo, hi)` of still-unclaimed indices owned by one
+/// worker.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    lo: usize,
+    hi: usize,
+}
+
+impl Chunk {
+    fn remaining(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// The pool owns no threads between calls: [`Pool::for_each_index`]
+/// spawns scoped workers for the duration of one fan-out and joins them
+/// before returning, so borrowed data (programs, candidate tables,
+/// template VMs) can flow into jobs without `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available core.
+    pub fn with_available_parallelism() -> Pool {
+        Pool::new(available_parallelism())
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(i)` exactly once for every `i` in `0..n`, across the
+    /// pool's workers, and returns when all jobs have finished.
+    ///
+    /// With one worker (or one job) everything runs on the calling
+    /// thread — no threads are spawned, so `parallelism = 1` configs
+    /// behave byte-for-byte like a plain serial loop.
+    ///
+    /// A panicking job poisons nothing: the panic propagates out of the
+    /// scope and aborts the fan-out, like a panic in a serial loop would.
+    pub fn for_each_index<F>(&self, n: usize, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            for i in 0..n {
+                job(i);
+            }
+            return;
+        }
+
+        // Initial split: evenly sized contiguous chunks, remainder spread
+        // over the first workers.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut chunks = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            chunks.push(Mutex::new(Chunk {
+                lo: next,
+                hi: next + len,
+            }));
+            next += len;
+        }
+        debug_assert_eq!(next, n);
+        let chunks = &chunks;
+        let job = &job;
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move || worker_loop(w, chunks, job));
+            }
+        });
+    }
+}
+
+/// One worker: drain own chunk from the front, then steal the back half
+/// of the richest victim until no chunk holds work.
+fn worker_loop<F: Fn(usize) + Sync>(me: usize, chunks: &[Mutex<Chunk>], job: &F) {
+    loop {
+        // Pop the front of our own chunk.
+        let claimed = {
+            let mut c = chunks[me].lock().expect("minipool chunk poisoned");
+            if c.lo < c.hi {
+                let i = c.lo;
+                c.lo += 1;
+                Some(i)
+            } else {
+                None
+            }
+        };
+        if let Some(i) = claimed {
+            job(i);
+            continue;
+        }
+
+        // Own chunk empty: find the victim with the most remaining work.
+        let victim = chunks
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v != me)
+            .map(|(v, c)| (v, c.lock().expect("minipool chunk poisoned").remaining()))
+            .max_by_key(|&(_, rem)| rem);
+        match victim {
+            Some((v, rem)) if rem > 0 => {
+                // Steal the back half (re-check under the lock: the owner
+                // may have drained it since the scan).
+                let mut vc = chunks[v].lock().expect("minipool chunk poisoned");
+                let rem = vc.remaining();
+                if rem == 0 {
+                    continue;
+                }
+                let take = rem.div_ceil(2);
+                let stolen = Chunk {
+                    lo: vc.hi - take,
+                    hi: vc.hi,
+                };
+                vc.hi = stolen.lo;
+                drop(vc);
+                let mut mine = chunks[me].lock().expect("minipool chunk poisoned");
+                debug_assert_eq!(mine.remaining(), 0);
+                *mine = stolen;
+            }
+            // Every chunk is empty; jobs never enqueue new indices, so
+            // there is nothing left to claim.
+            _ => return,
+        }
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 when the query
+/// fails (the behavior of `std::thread::available_parallelism`'s Err arm
+/// in restricted environments).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                Pool::new(threads).for_each_index(n, |i| {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_work_is_stolen() {
+        // All the work sits in the low indices (first worker's chunk);
+        // with stealing, other workers must end up running some of it.
+        let n = 64;
+        let ran_off_owner = AtomicBool::new(false);
+        let owner = std::thread::current().id();
+        Pool::new(4).for_each_index(n, |i| {
+            if i < n / 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            if std::thread::current().id() != owner {
+                ran_off_owner.store(true, Ordering::Relaxed);
+            }
+        });
+        assert!(ran_off_owner.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn single_worker_runs_in_order_on_caller() {
+        let seen = Mutex::new(Vec::new());
+        let caller = std::thread::current().id();
+        Pool::new(1).for_each_index(10, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_reports_threads() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(5).threads(), 5);
+        assert!(Pool::with_available_parallelism().threads() >= 1);
+        assert!(available_parallelism() >= 1);
+    }
+}
