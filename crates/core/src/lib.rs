@@ -3,11 +3,20 @@
 //! The end-to-end implementation of *Analyzing Multicore Dumps to
 //! Facilitate Concurrency Bug Reproduction* (ASPLOS 2010): given a
 //! failure core dump from an uncontrolled multicore-style run and the
-//! failing input, [`Reproducer::reproduce`] reverse-engineers the
-//! failure's execution index, locates the aligned point in a
-//! deterministic re-execution, compares core dumps to find the critical
-//! shared variables, prioritizes their accesses, and runs a directed
-//! CHESS-style search that emits a failure-inducing schedule.
+//! failing input, the pipeline reverse-engineers the failure's execution
+//! index, locates the aligned point in a deterministic re-execution,
+//! compares core dumps to find the critical shared variables,
+//! prioritizes their accesses, and runs a directed CHESS-style search
+//! that emits a failure-inducing schedule.
+//!
+//! Two entry points drive it:
+//!
+//! * [`Reproducer::reproduce`] — one blocking call, dump in, report out;
+//! * [`ReproSession`] — the same pipeline as a staged, resumable state
+//!   machine whose phases produce serializable artifacts, with progress
+//!   observation ([`PhaseObserver`]), cancellation
+//!   ([`CancelToken`]), per-phase budgets ([`PhaseBudget`]), and
+//!   checkpoint/resume across processes.
 //!
 //! ```no_run
 //! use mcr_core::{find_failure, ReproOptions, Reproducer};
@@ -30,14 +39,44 @@
 //! # Ok::<(), mcr_lang::LangError>(())
 //! ```
 //!
+//! The staged form of the same run, checkpointing to bytes mid-pipeline
+//! and resuming in what could be a different process:
+//!
+//! ```no_run
+//! use mcr_core::{ReproOptions, ReproSession};
+//! # let program = mcr_lang::compile("fn main() { }").unwrap();
+//! # let dump = unimplemented!();
+//! # let input: Vec<i64> = vec![];
+//! let mut session = ReproSession::new(&program, dump, &input, ReproOptions::default())?;
+//! session.run_diff()?;                       // index + align + diff
+//! let bytes = session.checkpoint();          // store / ship
+//! let mut restored = ReproSession::resume(&program, &bytes)?;
+//! let report = restored.run_to_end()?;       // rank + search
+//! # Ok::<(), mcr_core::ReproError>(())
+//! ```
+//!
 //! (See the repository `examples/` for complete, runnable walkthroughs.)
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod observe;
 pub mod pipeline;
+pub mod session;
 pub mod stress;
 
-pub use pipeline::{
-    has_sync_points, AlignMode, ReproError, ReproOptions, ReproReport, ReproTimings, Reproducer,
+pub use artifact::{
+    AlignmentArtifact, DumpDeltaArtifact, FailureIndexArtifact, RankedAccessesArtifact,
+    SearchArtifact,
 };
+pub use observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES};
+pub use pipeline::{
+    has_sync_points, AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions,
+    ReproOptionsBuilder, ReproReport, ReproTimings, Reproducer,
+};
+pub use session::ReproSession;
 pub use stress::{find_failure, find_failure_par, passes_deterministically, StressFailure};
+
+// Cancellation lives in `mcr-search` (its budget polls the token inside
+// the hot search loop) but is part of the session API surface.
+pub use mcr_search::CancelToken;

@@ -1,37 +1,38 @@
-//! The end-to-end reproduction pipeline — the paper's contribution.
+//! Pipeline configuration, errors, and the one-call compatibility
+//! wrapper.
 //!
-//! Input: a failure core dump from an (uncontrolled, multicore-style)
-//! run, plus the failing program input. Output: a failure-inducing
-//! schedule, found via:
+//! The paper's pipeline (reverse-index → align → replay → dump-diff →
+//! prioritize → search) is implemented as a staged, resumable
+//! [`ReproSession`] — see [`crate::session`]. This module holds
+//! everything around it:
 //!
-//! 1. **reverse engineering** the failure's execution index from the
-//!    dump (§3.2, Algorithm 1),
-//! 2. a deterministic **passing run** that locates the *aligned point*
-//!    (§3.3, Fig. 7) while logging sync points and shared accesses,
-//! 3. a deterministic **replay** stopping at the aligned point, where an
-//!    aligned core dump and a dependence trace are captured,
-//! 4. **dump comparison** yielding the critical shared variables (§4),
-//! 5. CSV-access **prioritization** (temporal or dependence distance),
-//! 6. the **directed schedule search** (§5, Algorithm 2).
+//! * [`ReproOptions`] (with [`ReproOptions::builder`]) — strategy,
+//!   alignment mode, search algorithm and budgets,
+//! * [`PhaseBudget`]/[`PhaseBudgets`] — per-phase wall-clock and step
+//!   caps,
+//! * [`ReproError`] — everything that can interrupt a reproduction,
+//! * [`ReproReport`]/[`ReproTimings`] — the final report (feeds the
+//!   paper's Tables 3–6),
+//! * [`Reproducer`] — the original blocking entry point, now a thin
+//!   wrapper that drives a session end to end.
 //!
-//! The instruction-count alignment baseline of Table 5 replaces steps
-//! 1–3 with "replay the same number of thread-local instructions, then
-//! find the failure PC" — see [`AlignMode::InstructionCount`].
+//! The instruction-count alignment baseline of Table 5 replaces the
+//! index/align phases with "replay the same number of thread-local
+//! instructions, then find the failure PC" — see
+//! [`AlignMode::InstructionCount`].
 
+use crate::observe::Phase;
+use crate::session::ReproSession;
 use mcr_analysis::ProgramAnalysis;
-use mcr_dump::{
-    reachable_vars, resolve_loc, CoreDump, DumpDiff, DumpReason, RefPath, ResolvedVar,
-    TraverseLimits,
-};
-use mcr_index::{reverse_index, AlignSignal, Aligner, Alignment, ExecutionIndex};
+use mcr_dump::{CoreDump, DecodeError, RefPath, TraverseLimits};
+use mcr_index::{Alignment, ExecutionIndex};
 use mcr_lang::{Inst, Program};
-use mcr_search::{annotate, find_schedule, Algorithm, SearchConfig, SearchResult, SyncLogger};
-use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
-use mcr_vm::{run_until, DeterministicScheduler, MemLoc, Outcome, Tee, ThreadId, Vm};
-use std::collections::{HashMap, HashSet};
+use mcr_search::{Algorithm, SearchConfig, SearchResult};
+use mcr_slice::Strategy;
+use mcr_vm::{MemLoc, ThreadId};
 use std::error::Error;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the aligned point is located.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +43,88 @@ pub enum AlignMode {
     /// replay until the failing thread has retired as many instructions
     /// as the dump records, then scan for the next execution of the
     /// failure PC.
+    ///
+    /// The passing run is one full logged execution (it no longer stops
+    /// at the aligned point), so — like
+    /// [`AlignMode::ExecutionIndex`] — `deterministic_repro` reflects a
+    /// matching crash anywhere in that run, including after the aligned
+    /// point.
     InstructionCount,
+}
+
+/// A wall-clock and/or step cap for one phase of a session.
+///
+/// Budgets are enforced where the pipeline actually loops: the passing
+/// run ([`Phase::Align`]), the replay ([`Phase::Diff`]), and the schedule
+/// search ([`Phase::Search`]). The `Index` and `Rank` phases are one-shot
+/// computations — for them only the cancellation check at phase entry
+/// applies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBudget {
+    /// Cap on VM steps (align/diff) or per-try steps (search); `None`
+    /// leaves the [`ReproOptions`] default in force.
+    pub max_steps: Option<u64>,
+    /// Wall-clock cap; exceeding it interrupts align/diff with
+    /// [`ReproError::BudgetExhausted`] and cuts the search off with a
+    /// partial result.
+    pub wall: Option<Duration>,
+}
+
+impl PhaseBudget {
+    /// A budget with only a wall-clock cap.
+    pub fn wall(d: Duration) -> PhaseBudget {
+        PhaseBudget {
+            wall: Some(d),
+            ..Default::default()
+        }
+    }
+
+    /// A budget with only a step cap.
+    pub fn steps(n: u64) -> PhaseBudget {
+        PhaseBudget {
+            max_steps: Some(n),
+            ..Default::default()
+        }
+    }
+}
+
+/// Optional per-phase budgets (see [`PhaseBudget`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBudgets {
+    /// Budget for [`Phase::Index`].
+    pub index: Option<PhaseBudget>,
+    /// Budget for [`Phase::Align`].
+    pub align: Option<PhaseBudget>,
+    /// Budget for [`Phase::Diff`].
+    pub diff: Option<PhaseBudget>,
+    /// Budget for [`Phase::Rank`].
+    pub rank: Option<PhaseBudget>,
+    /// Budget for [`Phase::Search`].
+    pub search: Option<PhaseBudget>,
+}
+
+impl PhaseBudgets {
+    /// The budget configured for `phase`, if any.
+    pub fn get(&self, phase: Phase) -> Option<PhaseBudget> {
+        match phase {
+            Phase::Index => self.index,
+            Phase::Align => self.align,
+            Phase::Diff => self.diff,
+            Phase::Rank => self.rank,
+            Phase::Search => self.search,
+        }
+    }
+
+    /// Sets the budget for `phase`.
+    pub fn set(&mut self, phase: Phase, budget: PhaseBudget) {
+        match phase {
+            Phase::Index => self.index = Some(budget),
+            Phase::Align => self.align = Some(budget),
+            Phase::Diff => self.diff = Some(budget),
+            Phase::Rank => self.rank = Some(budget),
+            Phase::Search => self.search = Some(budget),
+        }
+    }
 }
 
 /// Reproduction options.
@@ -68,6 +150,8 @@ pub struct ReproOptions {
     /// either way — the parallel search selects the lowest-worklist-index
     /// winner (see [`SearchConfig::parallelism`]).
     pub parallelism: usize,
+    /// Per-phase wall-clock/step budgets.
+    pub budgets: PhaseBudgets,
 }
 
 impl Default for ReproOptions {
@@ -81,11 +165,105 @@ impl Default for ReproOptions {
             max_steps: 50_000_000,
             limits: TraverseLimits::default(),
             parallelism: minipool::available_parallelism(),
+            budgets: PhaseBudgets::default(),
         }
     }
 }
 
+impl ReproOptions {
+    /// A builder over the defaults:
+    ///
+    /// ```
+    /// use mcr_core::{PhaseBudget, Phase, ReproOptions};
+    /// use mcr_slice::Strategy;
+    /// use std::time::Duration;
+    ///
+    /// let options = ReproOptions::builder()
+    ///     .strategy(Strategy::Dependence)
+    ///     .parallelism(1)
+    ///     .budget(Phase::Search, PhaseBudget::wall(Duration::from_secs(60)))
+    ///     .build();
+    /// assert_eq!(options.strategy, Strategy::Dependence);
+    /// ```
+    pub fn builder() -> ReproOptionsBuilder {
+        ReproOptionsBuilder {
+            options: ReproOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`ReproOptions`] (see [`ReproOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct ReproOptionsBuilder {
+    options: ReproOptions,
+}
+
+impl ReproOptionsBuilder {
+    /// Sets the CSV prioritization strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Sets the aligned-point location method.
+    pub fn align_mode(mut self, mode: AlignMode) -> Self {
+        self.options.align_mode = mode;
+        self
+    }
+
+    /// Sets the search algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.options.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the schedule-search configuration.
+    pub fn search(mut self, search: SearchConfig) -> Self {
+        self.options.search = search;
+        self
+    }
+
+    /// Sets the dependence-trace window (events).
+    pub fn trace_window(mut self, events: usize) -> Self {
+        self.options.trace_window = events;
+        self
+    }
+
+    /// Sets the step cap for the passing run and replay.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.options.max_steps = steps;
+        self
+    }
+
+    /// Sets the dump-traversal limits.
+    pub fn limits(mut self, limits: TraverseLimits) -> Self {
+        self.options.limits = limits;
+        self
+    }
+
+    /// Sets the search worker-thread count.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.options.parallelism = workers;
+        self
+    }
+
+    /// Sets the budget for one phase.
+    pub fn budget(mut self, phase: Phase, budget: PhaseBudget) -> Self {
+        self.options.budgets.set(phase, budget);
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> ReproOptions {
+        self.options
+    }
+}
+
 /// Wall-clock costs of the analysis phases (paper Table 6).
+///
+/// Assembled from the per-phase durations persisted inside the session
+/// artifacts, so the numbers survive checkpoint/resume; live progress
+/// goes through [`PhaseObserver`](crate::PhaseObserver) instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReproTimings {
     /// Reverse engineering the failure index.
@@ -143,6 +321,15 @@ pub enum ReproError {
     Reverse(mcr_index::ReverseError),
     /// The dump's failing thread does not exist in the re-execution.
     NoSuchThread(ThreadId),
+    /// A dump or artifact failed to decode (corrupted or truncated
+    /// bytes).
+    Codec(DecodeError),
+    /// The session's [`CancelToken`](mcr_search::CancelToken) fired
+    /// during the named phase, before its artifact was produced.
+    Cancelled(Phase),
+    /// The named phase's [`PhaseBudget`] wall clock expired before the
+    /// phase finished.
+    BudgetExhausted(Phase),
 }
 
 impl fmt::Display for ReproError {
@@ -153,11 +340,24 @@ impl fmt::Display for ReproError {
             ReproError::NoSuchThread(t) => {
                 write!(f, "failing thread {t} does not exist in the re-execution")
             }
+            ReproError::Codec(e) => write!(f, "artifact decoding failed: {e}"),
+            ReproError::Cancelled(p) => write!(f, "cancelled during the {p} phase"),
+            ReproError::BudgetExhausted(p) => {
+                write!(f, "phase budget exhausted during the {p} phase")
+            }
         }
     }
 }
 
-impl Error for ReproError {}
+impl Error for ReproError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReproError::Reverse(e) => Some(e),
+            ReproError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<mcr_index::ReverseError> for ReproError {
     fn from(e: mcr_index::ReverseError) -> Self {
@@ -165,7 +365,18 @@ impl From<mcr_index::ReverseError> for ReproError {
     }
 }
 
+impl From<DecodeError> for ReproError {
+    fn from(e: DecodeError) -> Self {
+        ReproError::Codec(e)
+    }
+}
+
 /// The reproduction engine for one program.
+///
+/// This is the original blocking entry point, kept as a thin wrapper
+/// that drives a [`ReproSession`] end to end. Use [`Reproducer::session`]
+/// (or [`ReproSession::new`]) for staged execution, progress
+/// observation, per-phase budgets, and checkpoint/resume.
 #[derive(Debug)]
 pub struct Reproducer<'p> {
     program: &'p Program,
@@ -188,6 +399,29 @@ impl<'p> Reproducer<'p> {
         &self.analysis
     }
 
+    /// Opens a staged session on a failure dump, sharing this
+    /// reproducer's precomputed static analysis.
+    ///
+    /// The dump and input are cloned into the session — a session owns
+    /// its inputs so [`ReproSession::checkpoint`] can serialize them.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::NotAFailureDump`] when the dump carries no failure.
+    pub fn session(
+        &self,
+        failure_dump: &CoreDump,
+        input: &[i64],
+    ) -> Result<ReproSession<'p>, ReproError> {
+        ReproSession::from_parts(
+            self.program,
+            self.analysis.clone(),
+            failure_dump.clone(),
+            input.to_vec(),
+            self.options.clone(),
+        )
+    }
+
     /// Runs the full pipeline on a failure dump.
     ///
     /// # Errors
@@ -198,223 +432,7 @@ impl<'p> Reproducer<'p> {
         failure_dump: &CoreDump,
         input: &[i64],
     ) -> Result<ReproReport, ReproError> {
-        let failure = failure_dump.failure().ok_or(ReproError::NotAFailureDump)?;
-        let focus = failure_dump.focus;
-        let mut timings = ReproTimings::default();
-
-        // Phase 1: failure index (EI mode only).
-        let t0 = Instant::now();
-        let index = match self.options.align_mode {
-            AlignMode::ExecutionIndex => {
-                Some(reverse_index(self.program, &self.analysis, failure_dump)?)
-            }
-            AlignMode::InstructionCount => None,
-        };
-        timings.reverse = t0.elapsed();
-
-        // Phase 2: deterministic passing run — alignment + sync/access log.
-        let t0 = Instant::now();
-        let mut vm = Vm::new(self.program, input);
-        if focus.0 as usize >= 1 && self.program.funcs.is_empty() {
-            return Err(ReproError::NoSuchThread(focus));
-        }
-        let mut logger = SyncLogger::new();
-        let (alignment, deterministic_repro, info) = match &index {
-            Some(idx) => {
-                let mut aligner = Aligner::new(self.program, &self.analysis, focus, idx);
-                let outcome = {
-                    let mut tee = Tee {
-                        a: &mut aligner,
-                        b: &mut logger,
-                    };
-                    let mut sched = DeterministicScheduler::new();
-                    run_until(
-                        &mut vm,
-                        &mut sched,
-                        &mut tee,
-                        self.options.max_steps,
-                        |_| false,
-                    )
-                };
-                let deterministic = matches!(outcome, Outcome::Crashed(f) if f.same_bug(&failure));
-                (aligner.finish(), deterministic, logger.finish())
-            }
-            None => {
-                // Instruction-count alignment (Table 5 baseline).
-                let target_instrs = failure_dump.focus_thread().instrs;
-                let failure_pc = failure.pc;
-                let mut sched = DeterministicScheduler::new();
-                let mut reached: Option<u64> = None;
-                let mut aligned_at: Option<u64> = None;
-                let outcome = run_until(
-                    &mut vm,
-                    &mut sched,
-                    &mut logger,
-                    self.options.max_steps,
-                    |vm| {
-                        let th = match vm.threads().get(focus.0 as usize) {
-                            Some(t) => t,
-                            None => return false,
-                        };
-                        if th.instrs >= target_instrs {
-                            if reached.is_none() {
-                                reached = Some(vm.steps());
-                            }
-                            // Scan for the failure PC from here on.
-                            if th.pc() == Some(failure_pc) {
-                                aligned_at = Some(vm.steps());
-                                return true;
-                            }
-                            // Give up the PC scan after a grace window.
-                            if vm.steps() > reached.unwrap() + 200_000 {
-                                aligned_at = reached;
-                                return true;
-                            }
-                        }
-                        false
-                    },
-                );
-                // If the run ended before the scan finished, align at the
-                // point the count was reached (or the end).
-                let step = aligned_at
-                    .or(reached)
-                    .unwrap_or_else(|| vm.steps().saturating_sub(1));
-                let deterministic = matches!(outcome, Outcome::Crashed(f) if f.same_bug(&failure));
-                // Restart the logger run to completion so candidate and
-                // access information covers the whole passing run.
-                let mut vm2 = Vm::new(self.program, input);
-                let mut sched2 = DeterministicScheduler::new();
-                let mut logger2 = SyncLogger::new();
-                run_until(
-                    &mut vm2,
-                    &mut sched2,
-                    &mut logger2,
-                    self.options.max_steps,
-                    |_| false,
-                );
-                let alignment = Alignment {
-                    signal: AlignSignal::Closest,
-                    step,
-                    remaining: 0,
-                };
-                (alignment, deterministic, logger2.finish())
-            }
-        };
-        timings.passing_run = t0.elapsed();
-
-        // Phase 3: replay to the aligned point; capture dump + trace.
-        let t0 = Instant::now();
-        let mut replay = Vm::new(self.program, input);
-        let mut collector =
-            TraceCollector::new(self.program, &self.analysis, self.options.trace_window);
-        {
-            let mut sched = DeterministicScheduler::new();
-            let stop_after = alignment.step;
-            run_until(
-                &mut replay,
-                &mut sched,
-                &mut collector,
-                self.options.max_steps,
-                |vm| vm.steps() > stop_after,
-            );
-        }
-        let aligned_focus = if (focus.0 as usize) < replay.threads().len() {
-            focus
-        } else {
-            ThreadId(0)
-        };
-        let aligned_dump = CoreDump::capture(&replay, aligned_focus, DumpReason::Aligned);
-        let trace = collector.finish();
-        timings.replay = t0.elapsed();
-
-        // Phase 4: dump comparison ("parse" covers encode/decode and
-        // traversal, the GDB-dominated cost of the paper's Table 6).
-        let t0 = Instant::now();
-        let failure_bytes = mcr_dump::encode(failure_dump);
-        let aligned_bytes = mcr_dump::encode(&aligned_dump);
-        let failure_reparsed = mcr_dump::decode(&failure_bytes).expect("own codec");
-        let aligned_reparsed = mcr_dump::decode(&aligned_bytes).expect("own codec");
-        let vars_fail = reachable_vars(&failure_reparsed, self.options.limits);
-        let vars_aligned = reachable_vars(&aligned_reparsed, self.options.limits);
-        timings.dump_parse = t0.elapsed();
-
-        let t0 = Instant::now();
-        let diff = DumpDiff::compare_maps(&vars_fail, &vars_aligned);
-        timings.diff = t0.elapsed();
-
-        // Resolve CSV paths to passing-run locations.
-        let csv_locs: Vec<MemLoc> = diff
-            .csvs
-            .iter()
-            .filter_map(|path| resolve_loc(&aligned_dump, path))
-            .filter_map(|rv| match rv {
-                ResolvedVar::Global(g) => Some(MemLoc::Global(g)),
-                ResolvedVar::GlobalElem(g, i) => Some(MemLoc::GlobalElem(g, i)),
-                ResolvedVar::Heap(o, i) => Some(MemLoc::Heap(o, i)),
-                _ => None,
-            })
-            .collect();
-        let csv_set: HashSet<MemLoc> = csv_locs.iter().copied().collect();
-
-        // Phase 5: prioritize CSV accesses.
-        let t0 = Instant::now();
-        let aligned_serial = trace.last().map(|e| e.serial).unwrap_or(0);
-        let slice = match self.options.strategy {
-            Strategy::Dependence => {
-                let criteria: Vec<u64> = trace.last().map(|e| e.serial).into_iter().collect();
-                Some(backward_slice(&trace, &criteria))
-            }
-            Strategy::Temporal => None,
-        };
-        let ranked = rank_csv_accesses(
-            &trace,
-            aligned_serial,
-            &csv_set,
-            self.options.strategy,
-            slice.as_ref(),
-        );
-        timings.slicing = t0.elapsed();
-
-        let mut priorities: HashMap<(u64, MemLoc, bool), u32> = HashMap::new();
-        for r in &ranked {
-            let e = priorities
-                .entry((r.step, r.loc, r.is_write))
-                .or_insert(r.priority);
-            *e = (*e).min(r.priority);
-        }
-
-        // Phase 6: directed schedule search.
-        let t0 = Instant::now();
-        let (candidates, future) = annotate(&info, &csv_set, &priorities);
-        let fresh = Vm::new(self.program, input);
-        let search_config = SearchConfig {
-            parallelism: self.options.parallelism.max(1),
-            ..self.options.search.clone()
-        };
-        let search = find_schedule(
-            &fresh,
-            &candidates,
-            &future,
-            failure,
-            self.options.algorithm,
-            &search_config,
-        );
-        timings.search = t0.elapsed();
-
-        Ok(ReproReport {
-            index,
-            alignment,
-            failure_dump_bytes: failure_bytes.len(),
-            aligned_dump_bytes: aligned_bytes.len(),
-            vars: diff.vars_a,
-            diffs: diff.diff_count(),
-            shared: diff.shared_compared,
-            csv_paths: diff.csvs,
-            csv_locs,
-            search,
-            timings,
-            deterministic_repro,
-        })
+        self.session(failure_dump, input)?.run_to_end()
     }
 }
 
@@ -432,6 +450,8 @@ pub fn has_sync_points(program: &Program) -> bool {
 mod tests {
     use super::*;
     use crate::stress::find_failure;
+    use mcr_dump::DumpReason;
+    use mcr_vm::Vm;
 
     const FIG1: &str = r#"
         global x: int;
@@ -516,7 +536,7 @@ mod tests {
     fn non_failure_dump_is_rejected() {
         let p = mcr_lang::compile(FIG1).unwrap();
         let mut vm = Vm::new(&p, &[0, 0]);
-        let mut s = DeterministicScheduler::new();
+        let mut s = mcr_vm::DeterministicScheduler::new();
         mcr_vm::run(&mut vm, &mut s, &mut mcr_vm::NullObserver, 1_000_000);
         let dump = CoreDump::capture(&vm, ThreadId(0), DumpReason::Manual);
         let r = Reproducer::new(&p, ReproOptions::default());
@@ -532,5 +552,45 @@ mod tests {
         assert!(has_sync_points(&p));
         let p2 = mcr_lang::compile("fn main() { }").unwrap();
         assert!(!has_sync_points(&p2));
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let limits = TraverseLimits {
+            max_depth: 3,
+            max_paths: 99,
+        };
+        let options = ReproOptions::builder()
+            .strategy(Strategy::Dependence)
+            .align_mode(AlignMode::InstructionCount)
+            .algorithm(Algorithm::Chess)
+            .search(SearchConfig {
+                max_tries: 7,
+                ..Default::default()
+            })
+            .trace_window(1234)
+            .max_steps(5678)
+            .limits(limits)
+            .parallelism(2)
+            .budget(Phase::Search, PhaseBudget::steps(10))
+            .budget(Phase::Align, PhaseBudget::wall(Duration::from_secs(9)))
+            .build();
+        assert_eq!(options.strategy, Strategy::Dependence);
+        assert_eq!(options.align_mode, AlignMode::InstructionCount);
+        assert_eq!(options.algorithm, Algorithm::Chess);
+        assert_eq!(options.search.max_tries, 7);
+        assert_eq!(options.trace_window, 1234);
+        assert_eq!(options.max_steps, 5678);
+        assert_eq!(options.limits.max_depth, 3);
+        assert_eq!(options.parallelism, 2);
+        assert_eq!(
+            options.budgets.get(Phase::Search),
+            Some(PhaseBudget::steps(10))
+        );
+        assert_eq!(
+            options.budgets.get(Phase::Align),
+            Some(PhaseBudget::wall(Duration::from_secs(9)))
+        );
+        assert_eq!(options.budgets.get(Phase::Rank), None);
     }
 }

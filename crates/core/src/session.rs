@@ -1,0 +1,1060 @@
+//! The staged, resumable reproduction session.
+//!
+//! [`ReproSession`] drives the paper's pipeline as a typed phase state
+//! machine — `Indexed` → `Aligned` → `Diffed` → `Ranked` → `Searched` —
+//! where every phase is an independently runnable method producing an
+//! owned, serializable artifact (see [`crate::artifact`]):
+//!
+//! | phase | method | artifact |
+//! |---|---|---|
+//! | [`Phase::Index`] | [`ReproSession::run_index`] | [`FailureIndexArtifact`] |
+//! | [`Phase::Align`] | [`ReproSession::run_align`] | [`AlignmentArtifact`] |
+//! | [`Phase::Diff`] | [`ReproSession::run_diff`] | [`DumpDeltaArtifact`] |
+//! | [`Phase::Rank`] | [`ReproSession::run_rank`] | [`RankedAccessesArtifact`] |
+//! | [`Phase::Search`] | [`ReproSession::run_search`] | [`SearchArtifact`] |
+//!
+//! Running a phase implicitly runs any prerequisite phase that has not
+//! produced its artifact yet, and re-running a completed phase is a
+//! no-op returning the stored artifact.
+//!
+//! After any phase the whole session — options, input, failure dump,
+//! artifacts — serializes to bytes with [`ReproSession::checkpoint`] and
+//! comes back in a *fresh process* with [`ReproSession::resume`] (only
+//! the compiled [`Program`] is supplied externally; it is not part of
+//! the checkpoint, exactly as a real core dump does not embed the
+//! binary). Because every pipeline stage is deterministic, a resumed
+//! session finishes to the same [`ReproReport`] the uninterrupted run
+//! produces.
+//!
+//! Long-running phases poll the session's [`CancelToken`] and the
+//! per-phase [`PhaseBudget`]s: align/diff interrupt with
+//! [`ReproError::Cancelled`]/[`ReproError::BudgetExhausted`], while the
+//! search unwinds into a *partial* [`SearchArtifact`] (its
+//! [`SearchResult::cancelled`](mcr_search::SearchResult::cancelled) flag
+//! set) so a service can still report how far it got.
+
+use crate::artifact::{
+    AlignmentArtifact, DumpDeltaArtifact, FailureIndexArtifact, RankedAccessesArtifact,
+    SearchArtifact,
+};
+use crate::observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver};
+use crate::pipeline::{
+    AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions, ReproReport, ReproTimings,
+};
+use mcr_analysis::ProgramAnalysis;
+use mcr_dump::wire::{Reader, Writer};
+use mcr_dump::{
+    reachable_vars, resolve_loc, CoreDump, DecodeError, DumpDiff, DumpReason, ResolvedVar,
+    TraverseLimits,
+};
+use mcr_index::{reverse_index, AlignSignal, Aligner, Alignment};
+use mcr_lang::Program;
+use mcr_search::{annotate, find_schedule, Algorithm, CancelToken, SearchConfig, SyncLogger};
+use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
+use mcr_vm::{run_until, DeterministicScheduler, Failure, MemLoc, Outcome, Tee, ThreadId, Vm};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+const MAGIC: &[u8; 4] = b"MCRS";
+const VERSION: u8 = 1;
+
+/// How many interruption polls share one `Instant::now()` read inside
+/// the align/diff step loops (cancellation is checked on every poll —
+/// an atomic load — only the wall clock is cached).
+const WALL_POLL_PERIOD: u32 = 256;
+
+/// Polls cancellation and a phase's wall-clock budget from inside a
+/// `run_until` stop predicate.
+struct Interrupt {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    polls: u32,
+    expired: bool,
+}
+
+impl Interrupt {
+    fn new(cancel: CancelToken, budget: Option<PhaseBudget>) -> Interrupt {
+        Interrupt {
+            cancel,
+            deadline: budget
+                .and_then(|b| b.wall)
+                .map(|wall| Instant::now() + wall),
+            polls: 0,
+            expired: false,
+        }
+    }
+
+    /// Whether the phase should stop now. Called once per VM step.
+    fn fired(&mut self) -> bool {
+        if self.cancel.is_cancelled() {
+            return true;
+        }
+        if self.expired {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let n = self.polls;
+        self.polls = n.wrapping_add(1);
+        if !n.is_multiple_of(WALL_POLL_PERIOD) {
+            return false;
+        }
+        self.expired = Instant::now() >= deadline;
+        self.expired
+    }
+
+    /// Converts an interruption into the phase's error (cancellation
+    /// wins over budget expiry when both hold).
+    fn error(&self, phase: Phase) -> ReproError {
+        if self.cancel.is_cancelled() {
+            ReproError::Cancelled(phase)
+        } else {
+            ReproError::BudgetExhausted(phase)
+        }
+    }
+
+    fn interrupted(&self) -> bool {
+        self.cancel.is_cancelled() || self.expired
+    }
+}
+
+/// The artifacts a session has produced so far.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Artifacts {
+    index: Option<FailureIndexArtifact>,
+    align: Option<AlignmentArtifact>,
+    delta: Option<DumpDeltaArtifact>,
+    ranked: Option<RankedAccessesArtifact>,
+    search: Option<SearchArtifact>,
+}
+
+/// A staged, resumable reproduction job on one failure dump.
+///
+/// See the [module docs](crate::session) for the phase model and
+/// checkpoint/resume semantics, and [`Reproducer`](crate::Reproducer)
+/// for the one-call wrapper.
+pub struct ReproSession<'p> {
+    program: &'p Program,
+    analysis: ProgramAnalysis,
+    options: ReproOptions,
+    input: Vec<i64>,
+    failure_dump: CoreDump,
+    failure: Failure,
+    cancel: CancelToken,
+    observer: Box<dyn PhaseObserver + 'p>,
+    artifacts: Artifacts,
+}
+
+impl std::fmt::Debug for ReproSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReproSession")
+            .field("options", &self.options)
+            .field("input", &self.input)
+            .field("failure", &self.failure)
+            .field("completed", &self.completed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> ReproSession<'p> {
+    /// Opens a session on a failure dump (running the static analysis).
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::NotAFailureDump`] when the dump carries no failure.
+    pub fn new(
+        program: &'p Program,
+        failure_dump: CoreDump,
+        input: &[i64],
+        options: ReproOptions,
+    ) -> Result<Self, ReproError> {
+        Self::from_parts(
+            program,
+            ProgramAnalysis::analyze(program),
+            failure_dump,
+            input.to_vec(),
+            options,
+        )
+    }
+
+    pub(crate) fn from_parts(
+        program: &'p Program,
+        analysis: ProgramAnalysis,
+        failure_dump: CoreDump,
+        input: Vec<i64>,
+        options: ReproOptions,
+    ) -> Result<Self, ReproError> {
+        let failure = failure_dump.failure().ok_or(ReproError::NotAFailureDump)?;
+        Ok(ReproSession {
+            program,
+            analysis,
+            options,
+            input,
+            failure_dump,
+            failure,
+            cancel: CancelToken::new(),
+            observer: Box::new(NullPhaseObserver),
+            artifacts: Artifacts::default(),
+        })
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &ReproOptions {
+        &self.options
+    }
+
+    /// The failing input the session replays.
+    pub fn input(&self) -> &[i64] {
+        &self.input
+    }
+
+    /// The failure recorded in the dump.
+    pub fn failure(&self) -> Failure {
+        self.failure
+    }
+
+    /// A clone of the session's cancellation token. Firing it (from any
+    /// thread) interrupts the in-flight phase — align/diff return
+    /// [`ReproError::Cancelled`], the search returns a partial artifact.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Attaches a progress observer (replacing any previous one).
+    pub fn set_observer(&mut self, observer: Box<dyn PhaseObserver + 'p>) {
+        self.observer = observer;
+    }
+
+    /// The latest completed phase, if any.
+    pub fn completed(&self) -> Option<Phase> {
+        if self.artifacts.search.is_some() {
+            Some(Phase::Search)
+        } else if self.artifacts.ranked.is_some() {
+            Some(Phase::Rank)
+        } else if self.artifacts.delta.is_some() {
+            Some(Phase::Diff)
+        } else if self.artifacts.align.is_some() {
+            Some(Phase::Align)
+        } else if self.artifacts.index.is_some() {
+            Some(Phase::Index)
+        } else {
+            None
+        }
+    }
+
+    /// The next phase [`ReproSession::run_to_end`] would execute, or
+    /// `None` when the session is complete.
+    pub fn next_phase(&self) -> Option<Phase> {
+        match self.completed() {
+            None => Some(Phase::Index),
+            Some(p) => p.next(),
+        }
+    }
+
+    /// Whether every phase has produced its artifact.
+    pub fn is_complete(&self) -> bool {
+        self.next_phase().is_none()
+    }
+
+    /// The index artifact, when the phase has run.
+    pub fn index_artifact(&self) -> Option<&FailureIndexArtifact> {
+        self.artifacts.index.as_ref()
+    }
+
+    /// The alignment artifact, when the phase has run.
+    pub fn alignment_artifact(&self) -> Option<&AlignmentArtifact> {
+        self.artifacts.align.as_ref()
+    }
+
+    /// The dump-delta artifact, when the phase has run.
+    pub fn delta_artifact(&self) -> Option<&DumpDeltaArtifact> {
+        self.artifacts.delta.as_ref()
+    }
+
+    /// The ranked-accesses artifact, when the phase has run.
+    pub fn ranked_artifact(&self) -> Option<&RankedAccessesArtifact> {
+        self.artifacts.ranked.as_ref()
+    }
+
+    /// The search artifact, when the phase has run.
+    pub fn search_artifact(&self) -> Option<&SearchArtifact> {
+        self.artifacts.search.as_ref()
+    }
+
+    fn emit(&mut self, event: PhaseEvent) {
+        self.observer.on_event(&event);
+    }
+
+    /// Guards phase entry: even phases without an interruptible loop
+    /// refuse to start once the token has fired. No event fires here —
+    /// the phase never Started, so it needs no terminal event.
+    fn check_entry(&mut self, phase: Phase) -> Result<(), ReproError> {
+        if self.cancel.is_cancelled() {
+            return Err(ReproError::Cancelled(phase));
+        }
+        Ok(())
+    }
+
+    /// Phase 1: reverse engineering the failure's execution index
+    /// (§3.2, Algorithm 1). Under
+    /// [`AlignMode::InstructionCount`] the artifact carries no index.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::Reverse`] when the index cannot be reconstructed,
+    /// [`ReproError::Cancelled`] when the token fired first.
+    pub fn run_index(&mut self) -> Result<&FailureIndexArtifact, ReproError> {
+        if self.artifacts.index.is_none() {
+            self.check_entry(Phase::Index)?;
+            self.emit(PhaseEvent::Started {
+                phase: Phase::Index,
+            });
+            let t0 = Instant::now();
+            let index = match self.options.align_mode {
+                AlignMode::ExecutionIndex => {
+                    match reverse_index(self.program, &self.analysis, &self.failure_dump) {
+                        Ok(idx) => Some(idx),
+                        Err(e) => {
+                            self.emit(PhaseEvent::Interrupted {
+                                phase: Phase::Index,
+                            });
+                            return Err(e.into());
+                        }
+                    }
+                }
+                AlignMode::InstructionCount => None,
+            };
+            let elapsed = t0.elapsed();
+            self.artifacts.index = Some(FailureIndexArtifact { index, elapsed });
+            self.emit(PhaseEvent::Finished {
+                phase: Phase::Index,
+                elapsed,
+            });
+        }
+        Ok(self.artifacts.index.as_ref().expect("just stored"))
+    }
+
+    /// Phase 2: the deterministic passing run — aligned-point location
+    /// (§3.3, Fig. 7) plus the sync/shared-access log the search needs.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`ReproSession::run_index`], plus
+    /// [`ReproError::NoSuchThread`], [`ReproError::Cancelled`] and
+    /// [`ReproError::BudgetExhausted`].
+    pub fn run_align(&mut self) -> Result<&AlignmentArtifact, ReproError> {
+        self.run_index()?;
+        if self.artifacts.align.is_none() {
+            self.check_entry(Phase::Align)?;
+            // Validation precedes the Started event so observers never
+            // see a phase start that can have no terminal event.
+            let focus = self.failure_dump.focus;
+            if focus.0 as usize >= 1 && self.program.funcs.is_empty() {
+                return Err(ReproError::NoSuchThread(focus));
+            }
+            self.emit(PhaseEvent::Started {
+                phase: Phase::Align,
+            });
+            let budget = self.options.budgets.get(Phase::Align);
+            let max_steps = effective_steps(self.options.max_steps, budget);
+            let mut guard = Interrupt::new(self.cancel.clone(), budget);
+
+            let t0 = Instant::now();
+            let mut vm = Vm::new(self.program, &self.input);
+            let mut logger = SyncLogger::new();
+            let index = self
+                .artifacts
+                .index
+                .as_ref()
+                .expect("index phase ran")
+                .index
+                .clone();
+            let (alignment, deterministic_repro, passing_run) = match &index {
+                Some(idx) => {
+                    let mut aligner = Aligner::new(self.program, &self.analysis, focus, idx);
+                    let outcome = {
+                        let mut tee = Tee {
+                            a: &mut aligner,
+                            b: &mut logger,
+                        };
+                        let mut sched = DeterministicScheduler::new();
+                        run_until(&mut vm, &mut sched, &mut tee, max_steps, |_| guard.fired())
+                    };
+                    if guard.interrupted() {
+                        self.emit(PhaseEvent::Interrupted {
+                            phase: Phase::Align,
+                        });
+                        return Err(guard.error(Phase::Align));
+                    }
+                    let deterministic =
+                        matches!(outcome, Outcome::Crashed(f) if f.same_bug(&self.failure));
+                    (aligner.finish(), deterministic, logger.finish())
+                }
+                None => {
+                    // Instruction-count alignment (Table 5 baseline): one
+                    // full logged run; the aligned point is found on the
+                    // fly, so no second execution is needed.
+                    let target_instrs = self.failure_dump.focus_thread().instrs;
+                    let failure_pc = self.failure.pc;
+                    let mut sched = DeterministicScheduler::new();
+                    let mut reached: Option<u64> = None;
+                    let mut aligned_at: Option<u64> = None;
+                    let mut scanning = true;
+                    let outcome = run_until(&mut vm, &mut sched, &mut logger, max_steps, |vm| {
+                        if guard.fired() {
+                            return true;
+                        }
+                        if scanning {
+                            if let Some(th) = vm.threads().get(focus.0 as usize) {
+                                if th.instrs >= target_instrs {
+                                    if reached.is_none() {
+                                        reached = Some(vm.steps());
+                                    }
+                                    // Scan for the failure PC from here on.
+                                    if th.pc() == Some(failure_pc) {
+                                        aligned_at = Some(vm.steps());
+                                        scanning = false;
+                                    } else if vm.steps() > reached.unwrap() + 200_000 {
+                                        // Give up the PC scan after a
+                                        // grace window.
+                                        aligned_at = reached;
+                                        scanning = false;
+                                    }
+                                }
+                            }
+                        }
+                        false
+                    });
+                    if guard.interrupted() {
+                        self.emit(PhaseEvent::Interrupted {
+                            phase: Phase::Align,
+                        });
+                        return Err(guard.error(Phase::Align));
+                    }
+                    // If the run ended before the scan concluded, align at
+                    // the point the count was reached (or the end).
+                    let step = aligned_at
+                        .or(reached)
+                        .unwrap_or_else(|| vm.steps().saturating_sub(1));
+                    let deterministic =
+                        matches!(outcome, Outcome::Crashed(f) if f.same_bug(&self.failure));
+                    let alignment = Alignment {
+                        signal: AlignSignal::Closest,
+                        step,
+                        remaining: 0,
+                    };
+                    (alignment, deterministic, logger.finish())
+                }
+            };
+            let elapsed = t0.elapsed();
+            self.artifacts.align = Some(AlignmentArtifact {
+                alignment,
+                deterministic_repro,
+                passing_run,
+                elapsed,
+            });
+            self.emit(PhaseEvent::Finished {
+                phase: Phase::Align,
+                elapsed,
+            });
+        }
+        Ok(self.artifacts.align.as_ref().expect("just stored"))
+    }
+
+    /// Phase 3: replay to the aligned point, capture the aligned dump
+    /// and the dependence trace, and compare the dumps to find the
+    /// critical shared variables (§4).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`ReproSession::run_align`], plus [`ReproError::Codec`]
+    /// when a dump fails to round-trip through the codec.
+    pub fn run_diff(&mut self) -> Result<&DumpDeltaArtifact, ReproError> {
+        self.run_align()?;
+        if self.artifacts.delta.is_none() {
+            self.check_entry(Phase::Diff)?;
+            self.emit(PhaseEvent::Started { phase: Phase::Diff });
+            let budget = self.options.budgets.get(Phase::Diff);
+            let max_steps = effective_steps(self.options.max_steps, budget);
+            let mut guard = Interrupt::new(self.cancel.clone(), budget);
+            let alignment = self.artifacts.align.as_ref().expect("align ran").alignment;
+            let focus = self.failure_dump.focus;
+
+            // Replay to the aligned point; capture dump + trace.
+            let t0 = Instant::now();
+            let mut replay = Vm::new(self.program, &self.input);
+            let mut collector =
+                TraceCollector::new(self.program, &self.analysis, self.options.trace_window);
+            {
+                let mut sched = DeterministicScheduler::new();
+                let stop_after = alignment.step;
+                run_until(&mut replay, &mut sched, &mut collector, max_steps, |vm| {
+                    guard.fired() || vm.steps() > stop_after
+                });
+            }
+            if guard.interrupted() {
+                self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+                return Err(guard.error(Phase::Diff));
+            }
+            let aligned_focus = if (focus.0 as usize) < replay.threads().len() {
+                focus
+            } else {
+                ThreadId(0)
+            };
+            let aligned_dump = CoreDump::capture(&replay, aligned_focus, DumpReason::Aligned);
+            let trace = collector.finish();
+            let replay_elapsed = t0.elapsed();
+            self.emit(PhaseEvent::Stage {
+                phase: Phase::Diff,
+                stage: "replay",
+                elapsed: replay_elapsed,
+            });
+
+            // Dump comparison ("parse" covers encode/decode and
+            // traversal, the GDB-dominated cost of the paper's Table 6).
+            let t0 = Instant::now();
+            let failure_bytes = mcr_dump::encode(&self.failure_dump);
+            let aligned_bytes = mcr_dump::encode(&aligned_dump);
+            let failure_reparsed = match mcr_dump::decode(&failure_bytes) {
+                Ok(dump) => dump,
+                Err(e) => {
+                    self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+                    return Err(ReproError::Codec(e));
+                }
+            };
+            let aligned_reparsed = match mcr_dump::decode(&aligned_bytes) {
+                Ok(dump) => dump,
+                Err(e) => {
+                    self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+                    return Err(ReproError::Codec(e));
+                }
+            };
+            let vars_fail = reachable_vars(&failure_reparsed, self.options.limits);
+            let vars_aligned = reachable_vars(&aligned_reparsed, self.options.limits);
+            let parse_elapsed = t0.elapsed();
+            self.emit(PhaseEvent::Stage {
+                phase: Phase::Diff,
+                stage: "dump-parse",
+                elapsed: parse_elapsed,
+            });
+
+            let t0 = Instant::now();
+            let diff = DumpDiff::compare_maps(&vars_fail, &vars_aligned);
+            let diff_elapsed = t0.elapsed();
+            self.emit(PhaseEvent::Stage {
+                phase: Phase::Diff,
+                stage: "diff",
+                elapsed: diff_elapsed,
+            });
+
+            // Resolve CSV paths to passing-run locations.
+            let csv_locs: Vec<MemLoc> = diff
+                .csvs
+                .iter()
+                .filter_map(|path| resolve_loc(&aligned_dump, path))
+                .filter_map(|rv| match rv {
+                    ResolvedVar::Global(g) => Some(MemLoc::Global(g)),
+                    ResolvedVar::GlobalElem(g, i) => Some(MemLoc::GlobalElem(g, i)),
+                    ResolvedVar::Heap(o, i) => Some(MemLoc::Heap(o, i)),
+                    _ => None,
+                })
+                .collect();
+
+            let elapsed = replay_elapsed + parse_elapsed + diff_elapsed;
+            self.artifacts.delta = Some(DumpDeltaArtifact {
+                failure_dump_bytes: failure_bytes.len(),
+                aligned_dump_bytes: aligned_bytes.len(),
+                vars: diff.vars_a,
+                diffs: diff.diff_count(),
+                shared: diff.shared_compared,
+                csv_paths: diff.csvs,
+                csv_locs,
+                trace,
+                replay_elapsed,
+                parse_elapsed,
+                diff_elapsed,
+            });
+            self.emit(PhaseEvent::Finished {
+                phase: Phase::Diff,
+                elapsed,
+            });
+        }
+        Ok(self.artifacts.delta.as_ref().expect("just stored"))
+    }
+
+    /// Phase 4: prioritize the CSV accesses of the dependence trace
+    /// (temporal closeness or dependence distance, per
+    /// [`ReproOptions::strategy`]).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`ReproSession::run_diff`].
+    pub fn run_rank(&mut self) -> Result<&RankedAccessesArtifact, ReproError> {
+        self.run_diff()?;
+        if self.artifacts.ranked.is_none() {
+            self.check_entry(Phase::Rank)?;
+            self.emit(PhaseEvent::Started { phase: Phase::Rank });
+            let delta = self.artifacts.delta.as_ref().expect("diff ran");
+            let trace = &delta.trace;
+            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
+
+            let t0 = Instant::now();
+            let aligned_serial = trace.last().map(|e| e.serial).unwrap_or(0);
+            let slice = match self.options.strategy {
+                Strategy::Dependence => {
+                    let criteria: Vec<u64> = trace.last().map(|e| e.serial).into_iter().collect();
+                    Some(backward_slice(trace, &criteria))
+                }
+                Strategy::Temporal => None,
+            };
+            let ranked = rank_csv_accesses(
+                trace,
+                aligned_serial,
+                &csv_set,
+                self.options.strategy,
+                slice.as_ref(),
+            );
+            let elapsed = t0.elapsed();
+            self.artifacts.ranked = Some(RankedAccessesArtifact { ranked, elapsed });
+            self.emit(PhaseEvent::Finished {
+                phase: Phase::Rank,
+                elapsed,
+            });
+        }
+        Ok(self.artifacts.ranked.as_ref().expect("just stored"))
+    }
+
+    /// Phase 5: the directed schedule search (§5, Algorithm 2).
+    ///
+    /// Cancellation mid-search does *not* error: the phase completes
+    /// with a partial [`SearchArtifact`] whose result carries
+    /// `cancelled = true`, so [`ReproSession::report`] still yields a
+    /// (partial) report.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`ReproSession::run_rank`].
+    pub fn run_search(&mut self) -> Result<&SearchArtifact, ReproError> {
+        self.run_rank()?;
+        if self.artifacts.search.is_none() {
+            self.emit(PhaseEvent::Started {
+                phase: Phase::Search,
+            });
+            let ranked = &self.artifacts.ranked.as_ref().expect("rank ran").ranked;
+            let delta = self.artifacts.delta.as_ref().expect("diff ran");
+            let align = self.artifacts.align.as_ref().expect("align ran");
+            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
+
+            let t0 = Instant::now();
+            let mut priorities: HashMap<(u64, MemLoc, bool), u32> = HashMap::new();
+            for r in ranked {
+                let e = priorities
+                    .entry((r.step, r.loc, r.is_write))
+                    .or_insert(r.priority);
+                *e = (*e).min(r.priority);
+            }
+            let (candidates, future) = annotate(&align.passing_run, &csv_set, &priorities);
+            let fresh = Vm::new(self.program, &self.input);
+            let budget = self.options.budgets.get(Phase::Search);
+            let mut search_config = SearchConfig {
+                parallelism: self.options.parallelism.max(1),
+                cancel: self.cancel.clone(),
+                ..self.options.search.clone()
+            };
+            if let Some(b) = budget {
+                if let Some(wall) = b.wall {
+                    search_config.time_budget =
+                        Some(search_config.time_budget.map_or(wall, |t| t.min(wall)));
+                }
+                if let Some(steps) = b.max_steps {
+                    search_config.max_steps = search_config.max_steps.min(steps);
+                }
+            }
+            let result = find_schedule(
+                &fresh,
+                &candidates,
+                &future,
+                self.failure,
+                self.options.algorithm,
+                &search_config,
+            );
+            let elapsed = t0.elapsed();
+            // A cancelled search still Finishes (with a partial
+            // artifact, `result.cancelled` set); Interrupted is reserved
+            // for phases that produced nothing.
+            self.artifacts.search = Some(SearchArtifact { result, elapsed });
+            self.emit(PhaseEvent::Finished {
+                phase: Phase::Search,
+                elapsed,
+            });
+        }
+        Ok(self.artifacts.search.as_ref().expect("just stored"))
+    }
+
+    /// Runs every remaining phase and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReproError`].
+    pub fn run_to_end(&mut self) -> Result<ReproReport, ReproError> {
+        self.run_search()?;
+        Ok(self.report().expect("all phases complete"))
+    }
+
+    /// Assembles the [`ReproReport`] once every phase has run (`None`
+    /// before that).
+    pub fn report(&self) -> Option<ReproReport> {
+        let index = self.artifacts.index.as_ref()?;
+        let align = self.artifacts.align.as_ref()?;
+        let delta = self.artifacts.delta.as_ref()?;
+        let ranked = self.artifacts.ranked.as_ref()?;
+        let search = self.artifacts.search.as_ref()?;
+        Some(ReproReport {
+            index: index.index.clone(),
+            alignment: align.alignment,
+            failure_dump_bytes: delta.failure_dump_bytes,
+            aligned_dump_bytes: delta.aligned_dump_bytes,
+            vars: delta.vars,
+            diffs: delta.diffs,
+            shared: delta.shared,
+            csv_paths: delta.csv_paths.clone(),
+            csv_locs: delta.csv_locs.clone(),
+            search: search.result.clone(),
+            timings: ReproTimings {
+                reverse: index.elapsed,
+                passing_run: align.elapsed,
+                replay: delta.replay_elapsed,
+                dump_parse: delta.parse_elapsed,
+                diff: delta.diff_elapsed,
+                slicing: ranked.elapsed,
+                search: search.elapsed,
+            },
+            deterministic_repro: align.deterministic_repro,
+        })
+    }
+
+    /// Serializes the whole session — options, input, failure dump, and
+    /// every artifact produced so far — to bytes. The compiled program
+    /// is *not* included; supply it again to [`ReproSession::resume`].
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u8(VERSION);
+        write_options(&mut w, &self.options);
+        w.uvarint(self.input.len() as u64);
+        for v in &self.input {
+            w.ivarint(*v);
+        }
+        w.bytes(&mcr_dump::encode(&self.failure_dump));
+        write_artifact(
+            &mut w,
+            &self.artifacts.index,
+            FailureIndexArtifact::to_bytes,
+        );
+        write_artifact(&mut w, &self.artifacts.align, AlignmentArtifact::to_bytes);
+        write_artifact(&mut w, &self.artifacts.delta, DumpDeltaArtifact::to_bytes);
+        write_artifact(
+            &mut w,
+            &self.artifacts.ranked,
+            RankedAccessesArtifact::to_bytes,
+        );
+        write_artifact(&mut w, &self.artifacts.search, SearchArtifact::to_bytes);
+        w.into_bytes()
+    }
+
+    /// Restores a session from [`ReproSession::checkpoint`] bytes in a
+    /// fresh process: only the compiled program is supplied externally
+    /// (the static analysis is recomputed). The restored session
+    /// continues from the first phase whose artifact is missing and
+    /// produces the same report an uninterrupted run would.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::Codec`] on corrupted or truncated bytes,
+    /// [`ReproError::NotAFailureDump`] when the embedded dump carries no
+    /// failure.
+    pub fn resume(program: &'p Program, bytes: &[u8]) -> Result<Self, ReproError> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(MAGIC)?;
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(ReproError::Codec(DecodeError {
+                msg: format!("unsupported session version {version}"),
+                offset: r.pos(),
+            }));
+        }
+        let options = read_options(&mut r)?;
+        let n = r.len("input")?;
+        let mut input = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            input.push(r.ivarint()?);
+        }
+        let failure_dump = mcr_dump::decode(r.bytes()?)?;
+        let artifacts = Artifacts {
+            index: read_artifact(&mut r, FailureIndexArtifact::from_bytes)?,
+            align: read_artifact(&mut r, AlignmentArtifact::from_bytes)?,
+            delta: read_artifact(&mut r, DumpDeltaArtifact::from_bytes)?,
+            ranked: read_artifact(&mut r, RankedAccessesArtifact::from_bytes)?,
+            search: read_artifact(&mut r, SearchArtifact::from_bytes)?,
+        };
+        r.finish()?;
+        let mut session = Self::from_parts(
+            program,
+            ProgramAnalysis::analyze(program),
+            failure_dump,
+            input,
+            options,
+        )?;
+        session.artifacts = artifacts;
+        Ok(session)
+    }
+}
+
+/// Step cap for a phase: the options default, tightened by the phase
+/// budget when one is set.
+fn effective_steps(default: u64, budget: Option<PhaseBudget>) -> u64 {
+    match budget.and_then(|b| b.max_steps) {
+        Some(cap) => default.min(cap),
+        None => default,
+    }
+}
+
+fn write_artifact<T>(w: &mut Writer, artifact: &Option<T>, to_bytes: impl Fn(&T) -> Vec<u8>) {
+    match artifact {
+        None => w.bool(false),
+        Some(a) => {
+            w.bool(true);
+            w.bytes(&to_bytes(a));
+        }
+    }
+}
+
+fn read_artifact<T>(
+    r: &mut Reader<'_>,
+    from_bytes: impl Fn(&[u8]) -> Result<T, DecodeError>,
+) -> Result<Option<T>, DecodeError> {
+    Ok(if r.bool()? {
+        Some(from_bytes(r.bytes()?)?)
+    } else {
+        None
+    })
+}
+
+fn write_options(w: &mut Writer, o: &ReproOptions) {
+    w.u8(match o.strategy {
+        Strategy::Temporal => 0,
+        Strategy::Dependence => 1,
+    });
+    w.u8(match o.align_mode {
+        AlignMode::ExecutionIndex => 0,
+        AlignMode::InstructionCount => 1,
+    });
+    w.u8(match o.algorithm {
+        Algorithm::Chess => 0,
+        Algorithm::ChessX => 1,
+    });
+    w.uvarint(o.search.preemption_bound as u64);
+    w.uvarint(o.search.max_tries);
+    w.opt_duration(o.search.time_budget);
+    w.uvarint(o.search.max_steps);
+    w.uvarint(o.search.pair_pool as u64);
+    w.uvarint(o.search.parallelism as u64);
+    w.uvarint(o.trace_window as u64);
+    w.uvarint(o.max_steps);
+    w.uvarint(o.limits.max_depth as u64);
+    w.uvarint(o.limits.max_paths as u64);
+    w.uvarint(o.parallelism as u64);
+    for phase in crate::observe::PHASES {
+        match o.budgets.get(phase) {
+            None => w.bool(false),
+            Some(b) => {
+                w.bool(true);
+                w.opt_uvarint(b.max_steps);
+                w.opt_duration(b.wall);
+            }
+        }
+    }
+}
+
+fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
+    let strategy = match r.u8()? {
+        0 => Strategy::Temporal,
+        1 => Strategy::Dependence,
+        t => return r.err(format!("bad strategy tag {t}")),
+    };
+    let align_mode = match r.u8()? {
+        0 => AlignMode::ExecutionIndex,
+        1 => AlignMode::InstructionCount,
+        t => return r.err(format!("bad align mode tag {t}")),
+    };
+    let algorithm = match r.u8()? {
+        0 => Algorithm::Chess,
+        1 => Algorithm::ChessX,
+        t => return r.err(format!("bad algorithm tag {t}")),
+    };
+    let search = SearchConfig {
+        preemption_bound: r.uvarint()? as usize,
+        max_tries: r.uvarint()?,
+        time_budget: r.opt_duration()?,
+        max_steps: r.uvarint()?,
+        pair_pool: r.uvarint()? as usize,
+        parallelism: r.uvarint()? as usize,
+        // The token is process-local state; a resumed session gets a
+        // fresh one.
+        cancel: CancelToken::new(),
+    };
+    let trace_window = r.uvarint()? as usize;
+    let max_steps = r.uvarint()?;
+    let limits = TraverseLimits {
+        max_depth: r.uvarint()? as usize,
+        max_paths: r.uvarint()? as usize,
+    };
+    let parallelism = r.uvarint()? as usize;
+    let mut budgets = PhaseBudgets::default();
+    for phase in crate::observe::PHASES {
+        if r.bool()? {
+            budgets.set(
+                phase,
+                PhaseBudget {
+                    max_steps: r.opt_uvarint()?,
+                    wall: r.opt_duration()?,
+                },
+            );
+        }
+    }
+    Ok(ReproOptions {
+        strategy,
+        align_mode,
+        algorithm,
+        search,
+        trace_window,
+        max_steps,
+        limits,
+        parallelism,
+        budgets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::TimingLog;
+    use crate::stress::find_failure;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    const FIG1: &str = r#"
+        global x: int;
+        global input: [int; 2];
+        lock l;
+        fn F(p) { p[0] = 1; }
+        fn T1() {
+            var i; var p;
+            for (i = 0; i < 2; i = i + 1) {
+                x = 0;
+                p = alloc(2);
+                acquire l;
+                if (input[i] > 0) {
+                    x = 1;
+                    p = null;
+                }
+                release l;
+                if (!x) { F(p); }
+            }
+        }
+        fn T2() { x = 0; }
+        fn main() { spawn T1(); spawn T2(); }
+    "#;
+
+    fn fig1_session(p: &Program, options: ReproOptions) -> ReproSession<'_> {
+        let input = [0i64, 1];
+        let sf = find_failure(p, &input, 0..200_000, 1_000_000).expect("stress exposes");
+        ReproSession::new(p, sf.dump, &input, options).unwrap()
+    }
+
+    #[test]
+    fn phases_run_one_at_a_time() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let mut s = fig1_session(&p, ReproOptions::default());
+        assert_eq!(s.completed(), None);
+        assert_eq!(s.next_phase(), Some(Phase::Index));
+        s.run_index().unwrap();
+        assert_eq!(s.completed(), Some(Phase::Index));
+        s.run_align().unwrap();
+        assert_eq!(s.completed(), Some(Phase::Align));
+        s.run_diff().unwrap();
+        s.run_rank().unwrap();
+        assert_eq!(s.next_phase(), Some(Phase::Search));
+        assert!(s.report().is_none(), "no report before the search");
+        s.run_search().unwrap();
+        assert!(s.is_complete());
+        let report = s.report().unwrap();
+        assert!(report.search.reproduced);
+    }
+
+    #[test]
+    fn later_phases_pull_in_prerequisites() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let mut s = fig1_session(&p, ReproOptions::default());
+        // Jumping straight to the diff phase runs index + align first.
+        s.run_diff().unwrap();
+        assert_eq!(s.completed(), Some(Phase::Diff));
+        assert!(s.index_artifact().is_some());
+        assert!(s.alignment_artifact().is_some());
+    }
+
+    #[test]
+    fn observer_sees_all_phases_in_order() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let mut s = fig1_session(&p, ReproOptions::default());
+        let log = Rc::new(RefCell::new(TimingLog::new()));
+        s.set_observer(Box::new(Rc::clone(&log)));
+        s.run_to_end().unwrap();
+        let finished: Vec<Phase> = log
+            .borrow()
+            .finished()
+            .iter()
+            .map(|(phase, _)| *phase)
+            .collect();
+        assert_eq!(finished, crate::observe::PHASES);
+        // The diff phase's sub-stages were reported too.
+        let stages: Vec<&str> = log
+            .borrow()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                PhaseEvent::Stage { stage, .. } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stages, ["replay", "dump-parse", "diff"]);
+    }
+
+    #[test]
+    fn cancelled_session_refuses_phase_entry() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let mut s = fig1_session(&p, ReproOptions::default());
+        s.cancel_token().cancel();
+        assert!(matches!(
+            s.run_index(),
+            Err(ReproError::Cancelled(Phase::Index))
+        ));
+    }
+
+    #[test]
+    fn align_wall_budget_interrupts() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let options = ReproOptions::builder()
+            .budget(Phase::Align, PhaseBudget::wall(Duration::ZERO))
+            .build();
+        let mut s = fig1_session(&p, options);
+        assert!(matches!(
+            s.run_align(),
+            Err(ReproError::BudgetExhausted(Phase::Align))
+        ));
+        // The index artifact survived; lifting the budget resumes.
+        assert!(s.index_artifact().is_some());
+    }
+}

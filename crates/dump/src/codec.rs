@@ -8,8 +8,9 @@
 //! construction.
 
 use crate::dump::{CoreDump, DumpReason, FrameImage, ThreadImage};
+use crate::wire::{Reader, Writer};
 use mcr_lang::{FuncId, Pc, StmtId};
-use mcr_vm::{Failure, FailureKind, GSlot, ObjId, ThreadId, ThreadState, Value};
+use mcr_vm::{Failure, FailureKind, GSlot, ThreadId, ThreadState};
 use std::error::Error;
 use std::fmt;
 
@@ -33,121 +34,11 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn new() -> Self {
-        Writer { buf: Vec::new() }
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn uvarint(&mut self, mut v: u64) {
-        loop {
-            let b = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                self.buf.push(b);
-                break;
-            }
-            self.buf.push(b | 0x80);
-        }
-    }
-
-    fn ivarint(&mut self, v: i64) {
-        // ZigZag encoding.
-        self.uvarint(((v << 1) ^ (v >> 63)) as u64);
-    }
-
-    fn value(&mut self, v: Value) {
-        match v {
-            Value::Int(i) => {
-                self.u8(0);
-                self.ivarint(i);
-            }
-            Value::Ptr(None) => self.u8(1),
-            Value::Ptr(Some(o)) => {
-                self.u8(2);
-                self.uvarint(o.0 as u64);
-            }
-        }
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, DecodeError> {
-        Err(DecodeError {
-            msg: msg.into(),
-            offset: self.pos,
-        })
-    }
-
-    fn u8(&mut self) -> Result<u8, DecodeError> {
-        let Some(&b) = self.buf.get(self.pos) else {
-            return self.err("unexpected end of input");
-        };
-        self.pos += 1;
-        Ok(b)
-    }
-
-    fn uvarint(&mut self) -> Result<u64, DecodeError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let b = self.u8()?;
-            if shift >= 64 {
-                return self.err("varint overflow");
-            }
-            v |= ((b & 0x7f) as u64) << shift;
-            if b & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-        }
-    }
-
-    fn ivarint(&mut self) -> Result<i64, DecodeError> {
-        let z = self.uvarint()?;
-        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
-    }
-
-    fn len(&mut self, what: &str) -> Result<usize, DecodeError> {
-        let n = self.uvarint()?;
-        // Defensive bound: no dump component should exceed 1G entries.
-        if n > (1 << 30) {
-            return self.err(format!("{what} length {n} implausible"));
-        }
-        Ok(n as usize)
-    }
-
-    fn value(&mut self) -> Result<Value, DecodeError> {
-        match self.u8()? {
-            0 => Ok(Value::Int(self.ivarint()?)),
-            1 => Ok(Value::Ptr(None)),
-            2 => Ok(Value::Ptr(Some(ObjId(self.uvarint()? as u32)))),
-            t => self.err(format!("bad value tag {t}")),
-        }
-    }
-}
-
 /// Serializes a dump to bytes. The returned length is the "core dump
 /// size" reported in the Table 3 reproduction.
 pub fn encode(dump: &CoreDump) -> Vec<u8> {
     let mut w = Writer::new();
-    w.buf.extend_from_slice(MAGIC);
+    w.raw(MAGIC);
     w.u8(VERSION);
 
     match dump.reason {
@@ -232,7 +123,7 @@ pub fn encode(dump: &CoreDump) -> Vec<u8> {
             }
         }
     }
-    w.buf
+    w.into_bytes()
 }
 
 /// Parses a dump from bytes.
@@ -242,10 +133,7 @@ pub fn encode(dump: &CoreDump) -> Vec<u8> {
 /// Returns [`DecodeError`] on truncated or malformed input.
 pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
     let mut r = Reader::new(bytes);
-    if bytes.len() < 5 || &bytes[0..4] != MAGIC {
-        return r.err("bad magic");
-    }
-    r.pos = 4;
+    r.expect_magic(MAGIC)?;
     let version = r.u8()?;
     if version != VERSION {
         return r.err(format!("unsupported version {version}"));
@@ -257,7 +145,7 @@ pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
         2 => {
             let kind = failure_kind_from_tag(r.u8()?).ok_or_else(|| DecodeError {
                 msg: "bad failure kind".into(),
-                offset: r.pos,
+                offset: r.pos(),
             })?;
             let func = FuncId(r.uvarint()? as u32);
             let stmt = StmtId(r.uvarint()? as u32);

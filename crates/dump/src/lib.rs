@@ -11,6 +11,8 @@
 //!   counters, globals, heap, locks),
 //! * [`codec`] — stable binary format, so dump sizes and parsing costs
 //!   are measurable (Tables 3 and 6),
+//! * [`wire`] — the codec's reusable varint primitives, shared with the
+//!   phase-artifact formats of `mcr-core`'s resumable sessions,
 //! * [`refpath`] — reachability traversal producing cross-run variable
 //!   identities,
 //! * [`DumpDiff`] — comparison and CSV identification (§4).
@@ -38,6 +40,7 @@ pub mod diff;
 #[allow(clippy::module_inception)]
 pub mod dump;
 pub mod refpath;
+pub mod wire;
 
 pub use codec::{decode, encode, DecodeError};
 pub use diff::{DumpDiff, ValueDiff};

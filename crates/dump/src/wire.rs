@@ -1,0 +1,375 @@
+//! Reusable wire primitives of the dump codec.
+//!
+//! The core-dump format ([`crate::codec`]) and the phase-artifact formats
+//! built on top of it by `mcr-core` share one varint-based byte layout.
+//! This module is that shared layer: a [`Writer`] appending primitive
+//! values to a growing buffer and a [`Reader`] consuming them with
+//! offset-carrying errors. No external serialization crate is used, so
+//! the byte layout is stable by construction.
+//!
+//! Conventions:
+//!
+//! * unsigned integers are LEB128 varints ([`Writer::uvarint`]),
+//! * signed integers are ZigZag-mapped varints ([`Writer::ivarint`]),
+//! * sequences are a length varint followed by the elements,
+//! * options are a `0`/`1` presence byte followed by the payload,
+//! * durations are whole nanoseconds (saturating at `u64::MAX`).
+
+use crate::codec::DecodeError;
+use mcr_vm::{ObjId, Value};
+use std::time::Duration;
+
+/// Appends wire-format primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (magic numbers, pre-encoded payloads).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a boolean as a `0`/`1` byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends an unsigned LEB128 varint.
+    pub fn uvarint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                break;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    /// Appends a signed integer (ZigZag-mapped varint).
+    pub fn ivarint(&mut self, v: i64) {
+        self.uvarint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.uvarint(bytes.len() as u64);
+        self.raw(bytes);
+    }
+
+    /// Appends a duration as whole nanoseconds (saturating).
+    pub fn duration(&mut self, d: Duration) {
+        self.uvarint(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Appends an optional duration (presence byte + payload).
+    pub fn opt_duration(&mut self, d: Option<Duration>) {
+        match d {
+            None => self.bool(false),
+            Some(d) => {
+                self.bool(true);
+                self.duration(d);
+            }
+        }
+    }
+
+    /// Appends an optional unsigned varint (presence byte + payload).
+    pub fn opt_uvarint(&mut self, v: Option<u64>) {
+        match v {
+            None => self.bool(false),
+            Some(v) => {
+                self.bool(true);
+                self.uvarint(v);
+            }
+        }
+    }
+
+    /// Appends a VM value (tagged scalar / null / object pointer).
+    pub fn value(&mut self, v: Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(0);
+                self.ivarint(i);
+            }
+            Value::Ptr(None) => self.u8(1),
+            Value::Ptr(Some(o)) => {
+                self.u8(2);
+                self.uvarint(o.0 as u64);
+            }
+        }
+    }
+}
+
+/// Consumes wire-format primitives from a byte buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Builds a [`DecodeError`] at the current offset.
+    pub fn err<T>(&self, msg: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError {
+            msg: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    /// Consumes and checks a magic-byte prefix.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input is shorter than `magic` or differs from it.
+    pub fn expect_magic(&mut self, magic: &[u8]) -> Result<(), DecodeError> {
+        if self.buf.len() < self.pos + magic.len()
+            || &self.buf[self.pos..self.pos + magic.len()] != magic
+        {
+            return self.err("bad magic");
+        }
+        self.pos += magic.len();
+        Ok(())
+    }
+
+    /// Fails with `trailing bytes` unless the whole input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return self.err("trailing bytes");
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return self.err("unexpected end of input");
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a boolean (`0`/`1` byte).
+    ///
+    /// # Errors
+    ///
+    /// Fails on any other byte value.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => self.err(format!("bad bool byte {t}")),
+        }
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or overflow past 64 bits.
+    pub fn uvarint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return self.err("varint overflow");
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a signed (ZigZag) varint.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::uvarint`].
+    pub fn ivarint(&mut self) -> Result<i64, DecodeError> {
+        let z = self.uvarint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a sequence length, rejecting implausible values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the length exceeds 2³⁰ (`what` names the field in the
+    /// error message).
+    pub fn len(&mut self, what: &str) -> Result<usize, DecodeError> {
+        let n = self.uvarint()?;
+        // Defensive bound: no component should exceed 1G entries.
+        if n > (1 << 30) {
+            return self.err(format!("{what} length {n} implausible"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.len("byte string")?;
+        let Some(slice) = self.buf.get(self.pos..self.pos + n) else {
+            return self.err("byte string truncated");
+        };
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a duration (whole nanoseconds).
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::uvarint`].
+    pub fn duration(&mut self) -> Result<Duration, DecodeError> {
+        Ok(Duration::from_nanos(self.uvarint()?))
+    }
+
+    /// Reads an optional duration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::bool`] and [`Reader::duration`].
+    pub fn opt_duration(&mut self) -> Result<Option<Duration>, DecodeError> {
+        Ok(if self.bool()? {
+            Some(self.duration()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads an optional unsigned varint.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::bool`] and [`Reader::uvarint`].
+    pub fn opt_uvarint(&mut self) -> Result<Option<u64>, DecodeError> {
+        Ok(if self.bool()? {
+            Some(self.uvarint()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a VM value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown tag or truncation.
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Value::Int(self.ivarint()?)),
+            1 => Ok(Value::Ptr(None)),
+            2 => Ok(Value::Ptr(Some(ObjId(self.uvarint()? as u32)))),
+            t => self.err(format!("bad value tag {t}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = Writer::new();
+        w.uvarint(0);
+        w.uvarint(u64::MAX);
+        w.ivarint(-123456789);
+        w.bool(true);
+        w.bytes(b"hello");
+        w.duration(Duration::from_micros(1234));
+        w.opt_duration(None);
+        w.opt_uvarint(Some(7));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.uvarint().unwrap(), 0);
+        assert_eq!(r.uvarint().unwrap(), u64::MAX);
+        assert_eq!(r.ivarint().unwrap(), -123456789);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.duration().unwrap(), Duration::from_micros(1234));
+        assert_eq!(r.opt_duration().unwrap(), None);
+        assert_eq!(r.opt_uvarint().unwrap(), Some(7));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        let err = r.finish().unwrap_err();
+        assert!(err.msg.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn magic_mismatch_rejected() {
+        let mut r = Reader::new(b"XYZ");
+        assert!(r.expect_magic(b"MCR").is_err());
+        let mut r2 = Reader::new(b"MCR");
+        r2.expect_magic(b"MCR").unwrap();
+        r2.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_varint_rejected() {
+        // Continuation bit set, then end of input.
+        let mut r = Reader::new(&[0x80]);
+        assert!(r.uvarint().is_err());
+    }
+}

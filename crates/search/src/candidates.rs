@@ -98,7 +98,7 @@ pub struct SharedAccess {
 }
 
 /// Everything the schedule search needs from the passing run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PassingRunInfo {
     /// Preemption candidates in execution order.
     pub candidates: Vec<PreemptionPoint>,
@@ -178,7 +178,7 @@ impl Observer for SyncLogger {
 }
 
 /// A candidate with its Fig. 9 annotations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnotatedCandidate {
     /// The preemption point.
     pub point: PreemptionPoint,

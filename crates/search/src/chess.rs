@@ -13,7 +13,7 @@
 //! The paper fixes `k = 2` ("most failures only need two preemptions").
 
 use crate::candidates::{AnnotatedCandidate, FutureCsvMap};
-use crate::runner::{Budget, Guidance, TestRun};
+use crate::runner::{Budget, CancelToken, Guidance, TestRun};
 use mcr_vm::{Failure, Vm};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -58,6 +58,11 @@ pub struct SearchConfig {
     /// `max_tries` for the serial search and treat it as a work bound,
     /// not an exact schedule.
     pub parallelism: usize,
+    /// Cooperative cancellation: when the token fires mid-search, every
+    /// worker unwinds at its next budget poll and the search returns a
+    /// partial [`SearchResult`] with `cancelled` (and `cut_off`) set.
+    /// The default token never fires.
+    pub cancel: CancelToken,
 }
 
 impl Default for SearchConfig {
@@ -69,12 +74,13 @@ impl Default for SearchConfig {
             max_steps: 10_000_000,
             pair_pool: 512,
             parallelism: 1,
+            cancel: CancelToken::new(),
         }
     }
 }
 
 /// Result of a schedule search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
     /// Whether the failure was reproduced.
     pub reproduced: bool,
@@ -89,6 +95,9 @@ pub struct SearchResult {
     /// True when the search stopped on budget rather than success or
     /// worklist exhaustion.
     pub cut_off: bool,
+    /// True when the stop was a [`CancelToken`] firing (a partial result:
+    /// combinations not yet tested may still reproduce).
+    pub cancelled: bool,
 }
 
 /// Searches for a failure-inducing schedule.
@@ -119,14 +128,22 @@ pub fn find_schedule(
         );
     }
 
-    let mut budget = Budget::with_tries(config.max_tries, config.max_steps);
+    let mut budget =
+        Budget::with_tries(config.max_tries, config.max_steps).with_cancel(config.cancel.clone());
     budget.deadline = deadline;
 
     let mut combinations_tested = 0u64;
     let mut winning = None;
     let mut reproduced = false;
+    // Stop reason recorded at stop time, not read from the live token /
+    // clock afterwards: a search that already ran its worklist dry must
+    // not be relabeled partial by a token firing after the fact.
+    let mut cut_off = false;
+    let mut cancelled = false;
     for combo in worklist {
         if budget.exhausted() {
+            cut_off = true;
+            cancelled = budget.cancelled();
             break;
         }
         combinations_tested += 1;
@@ -143,6 +160,13 @@ pub fn find_schedule(
             reproduced = true;
             break;
         }
+        // Re-check at loop bottom so exhaustion inside the *last*
+        // combination's execute is still attributed to the budget.
+        if budget.exhausted() {
+            cut_off = true;
+            cancelled = budget.cancelled();
+            break;
+        }
     }
 
     SearchResult {
@@ -151,7 +175,8 @@ pub fn find_schedule(
         combinations_tested,
         winning,
         wall_time: start.elapsed(),
-        cut_off: !reproduced && budget.exhausted(),
+        cut_off: !reproduced && cut_off,
+        cancelled: !reproduced && cancelled,
     }
 }
 
@@ -186,6 +211,10 @@ fn find_schedule_parallel(
     // Per-combination tries for deterministic reporting.
     let per_combo_tries: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let executed: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    // Did cancellation actually stop work? Recorded by the workers that
+    // observed it, so a token firing after the search is over cannot
+    // relabel a complete result as partial.
+    let cancel_stopped = std::sync::atomic::AtomicBool::new(false);
 
     minipool::Pool::new(config.parallelism).for_each_index(n, |i| {
         // A combination past an already-found winner can never win
@@ -195,10 +224,16 @@ fn find_schedule_parallel(
         if i > winner.load(Ordering::Acquire) {
             return;
         }
+        if config.cancel.is_cancelled() {
+            cancel_stopped.store(true, Ordering::Relaxed);
+            return;
+        }
         if pool.exhausted_now() {
             return;
         }
-        let mut budget = Budget::with_tries(u64::MAX, config.max_steps).with_shared(pool.clone());
+        let mut budget = Budget::with_tries(u64::MAX, config.max_steps)
+            .with_shared(pool.clone())
+            .with_cancel(config.cancel.clone());
         budget.deadline = deadline;
         let set: Vec<AnnotatedCandidate> =
             worklist[i].iter().map(|&k| candidates[k].clone()).collect();
@@ -214,6 +249,8 @@ fn find_schedule_parallel(
         per_combo_tries[i].store(budget.tries, Ordering::Relaxed);
         if ok {
             winner.fetch_min(i, Ordering::AcqRel);
+        } else if budget.cancelled() {
+            cancel_stopped.store(true, Ordering::Relaxed);
         }
     });
 
@@ -235,6 +272,7 @@ fn find_schedule_parallel(
             winning: Some(winning),
             wall_time: start.elapsed(),
             cut_off: false,
+            cancelled: false,
         }
     } else {
         let tries = pool.used();
@@ -242,7 +280,9 @@ fn find_schedule_parallel(
             .iter()
             .filter(|e| e.load(Ordering::Relaxed) == 1)
             .count() as u64;
-        let cut_off = tries >= config.max_tries || deadline.is_some_and(|d| Instant::now() >= d);
+        let cancelled = cancel_stopped.load(Ordering::Relaxed);
+        let cut_off =
+            cancelled || tries >= config.max_tries || deadline.is_some_and(|d| Instant::now() >= d);
         SearchResult {
             reproduced: false,
             tries,
@@ -250,6 +290,7 @@ fn find_schedule_parallel(
             winning: None,
             wall_time: start.elapsed(),
             cut_off,
+            cancelled,
         }
     }
 }
@@ -521,6 +562,37 @@ mod tests {
             assert_eq!(a.tries, b.tries, "{alg:?}");
             assert_eq!(a.combinations_tested, b.combinations_tested, "{alg:?}");
             assert_eq!(points(&a), points(&b), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_partial_result() {
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        // Impossible target so the search would otherwise grind through
+        // the entire worklist.
+        let impossible = Failure {
+            pc: mcr_lang::Pc::new(mcr_lang::FuncId(0), mcr_lang::StmtId(0)),
+            ..s.failure
+        };
+        for parallelism in [1, 4] {
+            let cfg = SearchConfig {
+                parallelism,
+                ..Default::default()
+            };
+            cfg.cancel.cancel(); // fire before the search even starts
+            let r = find_schedule(
+                &fresh,
+                &s.candidates,
+                &s.future,
+                impossible,
+                Algorithm::Chess,
+                &cfg,
+            );
+            assert!(!r.reproduced);
+            assert!(r.cancelled, "parallelism {parallelism}");
+            assert!(r.cut_off);
+            assert_eq!(r.tries, 0);
         }
     }
 

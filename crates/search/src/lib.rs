@@ -24,4 +24,4 @@ pub use candidates::{
     PreemptionPoint, SharedAccess, SyncLogger,
 };
 pub use chess::{find_schedule, worklist_size, Algorithm, SearchConfig, SearchResult};
-pub use runner::{Budget, Guidance, TestRun};
+pub use runner::{Budget, CancelToken, Guidance, TestRun};

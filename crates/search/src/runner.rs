@@ -14,9 +14,40 @@ use mcr_lang::Inst;
 use mcr_vm::{Failure, NullObserver, ThreadId, Vm};
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A cooperative cancellation flag shared between a search (or any other
+/// long-running phase) and the code driving it.
+///
+/// Cloning the token shares the flag: any clone's [`CancelToken::cancel`]
+/// is observed by every other clone. A [`Budget`] carrying the token
+/// reports itself exhausted once the flag is set, so an in-flight
+/// [`find_schedule`](crate::find_schedule) unwinds at the next poll —
+/// within one explored statement — and returns a partial
+/// [`SearchResult`](crate::SearchResult) instead of blocking.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// How many [`Budget::exhausted`] polls share one `Instant::now()` read.
 /// The deadline is coarse (the paper's 18-hour cutoff equivalent), so a
@@ -65,7 +96,7 @@ pub struct Budget {
     /// Per-run step cap.
     pub max_steps: u64,
     /// Deadline-poll cache: reads the clock every
-    /// [`DEADLINE_POLL_PERIOD`]th poll and replays the last verdict in
+    /// `DEADLINE_POLL_PERIOD`th poll and replays the last verdict in
     /// between. Re-keyed (and re-read immediately) whenever `deadline`
     /// is replaced.
     polls: Cell<u32>,
@@ -74,6 +105,9 @@ pub struct Budget {
     /// Global pool this worker-local budget also draws from (parallel
     /// searches only).
     shared: Option<Arc<SharedTries>>,
+    /// Cooperative cancellation: once the token fires, the budget is
+    /// exhausted.
+    cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -88,7 +122,20 @@ impl Budget {
             poll_key: Cell::new(None),
             poll_expired: Cell::new(false),
             shared: None,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token: once it fires, the budget reports
+    /// itself exhausted.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached token (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Attaches a shared try pool: every recorded try also debits the
@@ -110,10 +157,13 @@ impl Budget {
     /// Whether the budget is exhausted.
     ///
     /// The try cap is exact; the deadline is polled through a cache that
-    /// touches the clock only every [`DEADLINE_POLL_PERIOD`]th call, so a
+    /// touches the clock only every `DEADLINE_POLL_PERIOD`th call, so a
     /// deadline overrun is noticed at most that many polls late.
     pub fn exhausted(&self) -> bool {
         if self.tries >= self.max_tries {
+            return true;
+        }
+        if self.cancelled() {
             return true;
         }
         if let Some(pool) = &self.shared {

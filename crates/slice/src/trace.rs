@@ -200,7 +200,7 @@ impl Observer for TraceCollector<'_> {
 }
 
 /// A finalized dynamic trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Events in execution order (possibly a suffix window of the run).
     pub events: Vec<TraceEvent>,

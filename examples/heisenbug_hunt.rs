@@ -29,15 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ] {
             let reproducer = Reproducer::new(
                 &program,
-                ReproOptions {
-                    algorithm,
-                    strategy,
-                    search: SearchConfig {
+                ReproOptions::builder()
+                    .algorithm(algorithm)
+                    .strategy(strategy)
+                    .search(SearchConfig {
                         max_tries: 20_000,
                         ..Default::default()
-                    },
-                    ..Default::default()
-                },
+                    })
+                    .build(),
             );
             let report = reproducer.reproduce(&stress.dump, &input)?;
             cells.push(if report.search.reproduced {

@@ -20,6 +20,14 @@
 #![warn(missing_docs)]
 
 use mcr_core::{find_failure, ReproOptions, StressFailure};
+
+// Facade re-exports: the staged session API, so tests and examples can
+// take everything from one crate.
+pub use mcr_core::{
+    AlignmentArtifact, CancelToken, DumpDeltaArtifact, FailureIndexArtifact, Phase, PhaseBudget,
+    PhaseBudgets, PhaseEvent, PhaseObserver, RankedAccessesArtifact, ReproSession, SearchArtifact,
+    TimingLog,
+};
 use mcr_dump::{CoreDump, DumpReason};
 use mcr_search::{Algorithm, SearchConfig};
 use mcr_slice::Strategy;
