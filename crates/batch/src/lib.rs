@@ -1,0 +1,618 @@
+//! # mcr-batch — the fleet scheduler
+//!
+//! A production triage service does not reproduce one core dump at a
+//! time: it ingests *streams* of jobs, many of them near-duplicates of
+//! the same underlying bug. This crate schedules N reproduction jobs as
+//! one fleet:
+//!
+//! * **one executor** — every session's schedule search (and any other
+//!   fan-out) draws from a single [`minipool::Limit`]-backed pool handle
+//!   instead of constructing its own thread pool;
+//! * **one artifact store** — all sessions share a content-addressed
+//!   [`ArtifactStore`], so any phase already computed for the same
+//!   *(program, input, dump, options)* anywhere in the fleet is
+//!   rehydrated instead of re-run;
+//! * **single-flight dedup** — identical phase units scheduled in the
+//!   same wave run once: one leader computes, the duplicates wait and
+//!   rehydrate from the store;
+//! * **priorities and budgets** — jobs are scheduled in priority order,
+//!   and each carries its own [`ReproOptions`] with per-phase
+//!   [`PhaseBudget`](mcr_core::PhaseBudget)s;
+//! * **per-job observer streams** — each job's [`PhaseEvent`]s are
+//!   collected and returned,
+//!   along with a fleet-wide summary (units computed / cached / deduped,
+//!   store statistics, wall time).
+//!
+//! ```no_run
+//! use mcr_batch::{Fleet, FleetConfig, FleetJob};
+//! # let program = mcr_lang::compile("fn main() { }").unwrap();
+//! # let dump: mcr_dump::CoreDump = unimplemented!();
+//! let mut fleet = Fleet::new(FleetConfig::default());
+//! for i in 0..3 {
+//!     // Duplicate-heavy mixes are the common case: identical jobs
+//!     // cost one pipeline, fleet-wide.
+//!     fleet.push(FleetJob::new(format!("crash-{i}"), &program, dump.clone(), &[1, 2]));
+//! }
+//! let outcome = fleet.run();
+//! assert_eq!(outcome.summary.jobs, 3);
+//! assert!(outcome.summary.cache_hits + outcome.summary.deduped_in_flight > 0);
+//! ```
+//!
+//! Determinism carries over from the phase layer: a job's report is
+//! bit-identical whether it ran cold, warm (all cache hits), or batched
+//! behind a duplicate — the property pinned by the repository's
+//! `tests/batch.rs`.
+
+#![warn(missing_docs)]
+
+use mcr_core::{
+    ArtifactStore, CancelToken, MemoryStore, Phase, PhaseEvent, PhaseKey, ReproError, ReproOptions,
+    ReproReport, ReproSession, StoreStats, TimingLog,
+};
+use mcr_dump::CoreDump;
+use mcr_lang::Program;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One reproduction job: a failure dump plus everything needed to
+/// replay it.
+#[derive(Debug)]
+pub struct FleetJob<'p> {
+    /// Job name, echoed in the [`JobOutcome`].
+    pub name: String,
+    /// The compiled program the dump came from.
+    pub program: &'p Program,
+    /// The failure core dump.
+    pub dump: CoreDump,
+    /// The failing input.
+    pub input: Vec<i64>,
+    /// Per-job pipeline options (budgets included). The fleet overrides
+    /// the `store` and `pool` attachments with its shared ones.
+    pub options: ReproOptions,
+    /// Scheduling priority: lower runs earlier within each wave.
+    pub priority: u32,
+}
+
+impl<'p> FleetJob<'p> {
+    /// A job with default options and priority 0.
+    pub fn new(
+        name: impl Into<String>,
+        program: &'p Program,
+        dump: CoreDump,
+        input: &[i64],
+    ) -> FleetJob<'p> {
+        FleetJob {
+            name: name.into(),
+            program,
+            dump,
+            input: input.to_vec(),
+            options: ReproOptions::default(),
+            priority: 0,
+        }
+    }
+
+    /// Replaces the job's options.
+    pub fn with_options(mut self, options: ReproOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the scheduling priority (lower = earlier).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker-thread budget shared by *everything* the fleet runs:
+    /// concurrent phase units and the searches inside them. Defaults to
+    /// the machine's available cores.
+    pub workers: usize,
+    /// The shared content-addressed artifact store. Defaults to an
+    /// unbounded [`MemoryStore`].
+    pub store: Arc<dyn ArtifactStore>,
+    /// Fleet-wide cancellation: firing this token propagates to every
+    /// job's session token. In-flight searches complete with partial
+    /// results; other phases stop with
+    /// [`ReproError::Cancelled`].
+    pub cancel: CancelToken,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: minipool::available_parallelism(),
+            store: Arc::new(MemoryStore::unbounded()),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// What happened to one job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// The job's scheduling priority.
+    pub priority: u32,
+    /// The final report, or the error that stopped the job.
+    pub result: Result<ReproReport, ReproError>,
+    /// The job's full phase-event stream, in order.
+    pub events: Vec<PhaseEvent>,
+    /// Phases this job computed itself.
+    pub computed: u32,
+    /// Phases rehydrated from the shared store.
+    pub cache_hits: u32,
+    /// Phase units that waited behind an identical in-flight unit
+    /// (single-flight followers).
+    pub deduped: u32,
+    /// Wall-clock time this job spent executing phase units.
+    pub busy: Duration,
+}
+
+/// Fleet-wide totals.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSummary {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that finished with a report.
+    pub completed: usize,
+    /// Jobs that stopped with an error.
+    pub failed: usize,
+    /// Phase units scheduled (computed + cache hits).
+    pub phase_units: u64,
+    /// Phase units actually computed.
+    pub computed: u64,
+    /// Phase units rehydrated from the store.
+    pub cache_hits: u64,
+    /// Phase units deduplicated while in flight (followers of a
+    /// same-key leader in the same wave).
+    pub deduped_in_flight: u64,
+    /// Scheduling waves the fleet ran.
+    pub waves: u64,
+    /// Worker-thread budget the fleet ran with.
+    pub workers: usize,
+    /// Shared-store counters at the end of the run.
+    pub store: StoreStats,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+/// The fleet's result: per-job outcomes (in submission order) plus the
+/// summary.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// One outcome per submitted job, in submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Fleet-wide totals.
+    pub summary: FleetSummary,
+}
+
+impl FleetOutcome {
+    /// The outcome of the named job, if present.
+    pub fn job(&self, name: &str) -> Option<&JobOutcome> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+}
+
+/// A live job's scheduling state (boxed behind [`JobState`] — a
+/// session is orders of magnitude larger than a rejection record).
+struct LiveSlot<'p> {
+    session: ReproSession<'p>,
+    log: Arc<Mutex<TimingLog>>,
+    error: Option<ReproError>,
+    deduped: u32,
+    busy: Duration,
+}
+
+/// One job's scheduling state.
+enum JobState<'p> {
+    Live(Box<LiveSlot<'p>>),
+    /// The session could not even be opened (e.g. the dump carries no
+    /// failure).
+    Rejected(Option<ReproError>),
+}
+
+/// A batch of reproduction jobs scheduled over one shared executor and
+/// artifact store. See the [crate docs](crate) for the model.
+pub struct Fleet<'p> {
+    config: FleetConfig,
+    jobs: Vec<FleetJob<'p>>,
+}
+
+impl<'p> Fleet<'p> {
+    /// An empty fleet.
+    pub fn new(config: FleetConfig) -> Fleet<'p> {
+        Fleet {
+            config,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Adds a job.
+    pub fn push(&mut self, job: FleetJob<'p>) {
+        self.jobs.push(job);
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// A clone of the fleet-wide cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.config.cancel.clone()
+    }
+
+    /// Runs every job to completion (or error) and returns the
+    /// outcomes.
+    ///
+    /// Scheduling model: the fleet repeatedly forms a *wave* — each
+    /// unfinished job's next phase, in `(priority, submission)` order —
+    /// deduplicates units with identical content-addressed
+    /// [`PhaseKey`]s (one leader per key; followers rehydrate from the
+    /// store afterwards), and fans the leaders out over the shared
+    /// worker pool. Budgets and cancellation act inside the phases
+    /// themselves.
+    pub fn run(self) -> FleetOutcome {
+        let started = Instant::now();
+        let Fleet { config, jobs } = self;
+        let limit = minipool::Limit::new(config.workers);
+        let pool = minipool::Pool::with_limit(config.workers, limit);
+
+        // Open one session per job, wiring in the shared store, the
+        // shared executor handle, and a per-job event log.
+        let names: Vec<(String, u32)> = jobs.iter().map(|j| (j.name.clone(), j.priority)).collect();
+        let slots: Vec<Mutex<JobState<'p>>> = jobs
+            .into_iter()
+            .map(|job| {
+                let mut options = job.options;
+                options.store = Some(Arc::clone(&config.store));
+                options.pool = Some(pool.clone());
+                match ReproSession::new(job.program, job.dump, &job.input, options) {
+                    Ok(mut session) => {
+                        let log = Arc::new(Mutex::new(TimingLog::new()));
+                        session.set_observer(Box::new(Arc::clone(&log)));
+                        Mutex::new(JobState::Live(Box::new(LiveSlot {
+                            session,
+                            log,
+                            error: None,
+                            deduped: 0,
+                            busy: Duration::ZERO,
+                        })))
+                    }
+                    Err(e) => Mutex::new(JobState::Rejected(Some(e))),
+                }
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..slots.len()).collect();
+        order.sort_by_key(|&i| (names[i].1, i));
+
+        let run_unit = |slot: &Mutex<JobState<'p>>, phase: Phase| {
+            let mut guard = slot.lock().expect("fleet slot poisoned");
+            if let JobState::Live(slot) = &mut *guard {
+                let LiveSlot {
+                    session,
+                    error,
+                    busy,
+                    ..
+                } = slot.as_mut();
+                let t0 = Instant::now();
+                if let Err(e) = session.run_phase(phase) {
+                    *error = Some(e);
+                }
+                *busy += t0.elapsed();
+            }
+        };
+
+        let mut waves = 0u64;
+        let mut cancelled_propagated = false;
+        loop {
+            if config.cancel.is_cancelled() && !cancelled_propagated {
+                cancelled_propagated = true;
+                for slot in &slots {
+                    if let JobState::Live(live) = &*slot.lock().expect("fleet slot poisoned") {
+                        live.session.cancel_token().cancel();
+                    }
+                }
+            }
+
+            // Form the wave: every unfinished, unfailed job's next
+            // phase, in priority order.
+            let mut leaders: Vec<(usize, Phase)> = Vec::new();
+            let mut followers: Vec<(usize, Phase)> = Vec::new();
+            let mut in_flight: HashSet<PhaseKey> = HashSet::new();
+            for &i in &order {
+                let guard = slots[i].lock().expect("fleet slot poisoned");
+                if let JobState::Live(live) = &*guard {
+                    if live.error.is_some() {
+                        continue;
+                    }
+                    let Some(phase) = live.session.next_phase() else {
+                        continue;
+                    };
+                    let key = live.session.next_phase_key().expect("upstream complete");
+                    if in_flight.insert(key) {
+                        leaders.push((i, phase));
+                    } else {
+                        followers.push((i, phase));
+                    }
+                }
+            }
+            if leaders.is_empty() {
+                break;
+            }
+            waves += 1;
+
+            // Leaders fan out over the shared pool; distinct jobs, so
+            // each worker locks a distinct slot.
+            pool.for_each_index(leaders.len(), |k| {
+                let (i, phase) = leaders[k];
+                run_unit(&slots[i], phase);
+            });
+            // Followers run after their leader: their key now hits the
+            // store and rehydrates (or recomputes, if the leader's
+            // artifact was partial and uncacheable — still correct).
+            for (i, phase) in followers {
+                run_unit(&slots[i], phase);
+                if let JobState::Live(live) = &mut *slots[i].lock().expect("fleet slot poisoned") {
+                    live.deduped += 1;
+                }
+            }
+        }
+
+        // Assemble outcomes in submission order.
+        let mut outcomes = Vec::with_capacity(slots.len());
+        let mut completed = 0usize;
+        let mut failed = 0usize;
+        let mut total_computed = 0u64;
+        let mut total_hits = 0u64;
+        let mut total_deduped = 0u64;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (name, priority) = names[i].clone();
+            let outcome = match slot.into_inner().expect("fleet slot poisoned") {
+                JobState::Rejected(e) => JobOutcome {
+                    name,
+                    priority,
+                    result: Err(e.expect("rejection recorded")),
+                    events: Vec::new(),
+                    computed: 0,
+                    cache_hits: 0,
+                    deduped: 0,
+                    busy: Duration::ZERO,
+                },
+                JobState::Live(live) => {
+                    let LiveSlot {
+                        session,
+                        log,
+                        error,
+                        deduped,
+                        busy,
+                    } = *live;
+                    let events = log.lock().expect("fleet log poisoned").events.clone();
+                    let computed = events
+                        .iter()
+                        .filter(|e| matches!(e, PhaseEvent::Finished { .. }))
+                        .count() as u32;
+                    let cache_hits = events
+                        .iter()
+                        .filter(|e| matches!(e, PhaseEvent::CacheHit { .. }))
+                        .count() as u32;
+                    let result = match error {
+                        Some(e) => Err(e),
+                        None => Ok(session.report().expect("no error means complete")),
+                    };
+                    JobOutcome {
+                        name,
+                        priority,
+                        result,
+                        events,
+                        computed,
+                        cache_hits,
+                        deduped,
+                        busy,
+                    }
+                }
+            };
+            match &outcome.result {
+                Ok(_) => completed += 1,
+                Err(_) => failed += 1,
+            }
+            total_computed += outcome.computed as u64;
+            total_hits += outcome.cache_hits as u64;
+            total_deduped += outcome.deduped as u64;
+            outcomes.push(outcome);
+        }
+
+        let summary = FleetSummary {
+            jobs: outcomes.len(),
+            completed,
+            failed,
+            phase_units: total_computed + total_hits,
+            computed: total_computed,
+            cache_hits: total_hits,
+            deduped_in_flight: total_deduped,
+            waves,
+            workers: config.workers,
+            store: config.store.stats(),
+            wall: started.elapsed(),
+        };
+        FleetOutcome {
+            jobs: outcomes,
+            summary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_core::{find_failure, Reproducer};
+
+    const FIG1: &str = r#"
+        global x: int;
+        global input: [int; 2];
+        lock l;
+        fn F(p) { p[0] = 1; }
+        fn T1() {
+            var i; var p;
+            for (i = 0; i < 2; i = i + 1) {
+                x = 0;
+                p = alloc(2);
+                acquire l;
+                if (input[i] > 0) {
+                    x = 1;
+                    p = null;
+                }
+                release l;
+                if (!x) { F(p); }
+            }
+        }
+        fn T2() { x = 0; }
+        fn main() { spawn T1(); spawn T2(); }
+    "#;
+
+    const INPUT: [i64; 2] = [0, 1];
+
+    fn fig1_failure() -> (mcr_lang::Program, mcr_dump::CoreDump) {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let sf = find_failure(&p, &INPUT, 0..200_000, 1_000_000).expect("stress exposes");
+        (p, sf.dump)
+    }
+
+    #[test]
+    fn duplicate_jobs_are_deduplicated_and_agree_with_a_solo_run() {
+        let (program, dump) = fig1_failure();
+        let solo = Reproducer::new(&program, ReproOptions::default())
+            .reproduce(&dump, &INPUT)
+            .unwrap();
+
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for i in 0..3 {
+            fleet.push(FleetJob::new(
+                format!("dup-{i}"),
+                &program,
+                dump.clone(),
+                &INPUT,
+            ));
+        }
+        let outcome = fleet.run();
+        assert_eq!(outcome.summary.jobs, 3);
+        assert_eq!(outcome.summary.completed, 3);
+        assert_eq!(outcome.summary.failed, 0);
+        // 3 jobs x 5 phases scheduled, but only 5 computed: the
+        // duplicates were either deduped in flight or store hits.
+        assert_eq!(outcome.summary.phase_units, 15);
+        assert_eq!(outcome.summary.computed, 5);
+        assert_eq!(outcome.summary.cache_hits, 10);
+        assert_eq!(outcome.summary.deduped_in_flight, 10);
+        assert_eq!(outcome.summary.waves, 5);
+        for job in &outcome.jobs {
+            let report = job.result.as_ref().expect("job completed");
+            assert_eq!(report.search.reproduced, solo.search.reproduced);
+            assert_eq!(report.search.tries, solo.search.tries);
+            assert_eq!(report.search.winning, solo.search.winning);
+            assert_eq!(report.csv_paths, solo.csv_paths);
+            assert_eq!(report.diffs, solo.diffs);
+        }
+        // Exactly one job computed; the others only hit.
+        let computed: u32 = outcome.jobs.iter().map(|j| j.computed).sum();
+        assert_eq!(computed, 5);
+    }
+
+    #[test]
+    fn priorities_order_leaders_and_outcomes_keep_submission_order() {
+        let (program, dump) = fig1_failure();
+        let mut fleet = Fleet::new(FleetConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        fleet.push(FleetJob::new("late", &program, dump.clone(), &INPUT).with_priority(9));
+        // A *distinct* unit (different options → different keys).
+        let opts = ReproOptions::builder().trace_window(1_000_000).build();
+        fleet.push(
+            FleetJob::new("early", &program, dump.clone(), &INPUT)
+                .with_options(opts)
+                .with_priority(1),
+        );
+        let outcome = fleet.run();
+        // Outcomes stay in submission order regardless of priority.
+        assert_eq!(outcome.jobs[0].name, "late");
+        assert_eq!(outcome.jobs[1].name, "early");
+        assert_eq!(outcome.summary.completed, 2);
+        // Distinct keys: nothing deduped, every unit computed.
+        assert_eq!(outcome.summary.deduped_in_flight, 0);
+        assert_eq!(outcome.summary.computed, 10);
+    }
+
+    #[test]
+    fn rejected_dumps_surface_as_failed_jobs() {
+        let program = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
+        let mut vm = mcr_vm::Vm::new(&program, &[]);
+        mcr_vm::run(
+            &mut vm,
+            &mut mcr_vm::DeterministicScheduler::new(),
+            &mut mcr_vm::NullObserver,
+            10_000,
+        );
+        let dump =
+            mcr_dump::CoreDump::capture(&vm, mcr_vm::ThreadId(0), mcr_dump::DumpReason::Manual);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.push(FleetJob::new("not-a-failure", &program, dump, &[]));
+        let outcome = fleet.run();
+        assert_eq!(outcome.summary.failed, 1);
+        assert!(matches!(
+            outcome.jobs[0].result,
+            Err(ReproError::NotAFailureDump)
+        ));
+    }
+
+    #[test]
+    fn pre_cancelled_fleet_stops_every_job() {
+        let (program, dump) = fig1_failure();
+        let config = FleetConfig::default();
+        config.cancel.cancel();
+        let mut fleet = Fleet::new(config);
+        fleet.push(FleetJob::new("job", &program, dump, &INPUT));
+        let outcome = fleet.run();
+        assert_eq!(outcome.summary.failed, 1);
+        assert!(matches!(
+            outcome.jobs[0].result,
+            Err(ReproError::Cancelled(Phase::Index))
+        ));
+    }
+
+    #[test]
+    fn warm_store_makes_a_second_fleet_all_hits() {
+        let (program, dump) = fig1_failure();
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+        let config = FleetConfig {
+            store: Arc::clone(&store),
+            ..Default::default()
+        };
+        let mut first = Fleet::new(config.clone());
+        first.push(FleetJob::new("cold", &program, dump.clone(), &INPUT));
+        let first = first.run();
+        assert_eq!(first.summary.computed, 5);
+
+        let mut second = Fleet::new(config);
+        second.push(FleetJob::new("warm", &program, dump, &INPUT));
+        let second = second.run();
+        assert_eq!(second.summary.computed, 0);
+        assert_eq!(second.summary.cache_hits, 5);
+        let cold = first.jobs[0].result.as_ref().unwrap();
+        let warm = second.jobs[0].result.as_ref().unwrap();
+        // Rehydrated reports are bit-identical, timings included.
+        assert_eq!(cold, warm);
+    }
+}

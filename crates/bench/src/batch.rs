@@ -1,0 +1,338 @@
+//! Batch-engine measurements and the `BENCH_batch.json` writer.
+//!
+//! The fleet scheduler's value proposition is *work elimination*, not
+//! raw parallel speedup (which `BENCH_search.json` already tracks): a
+//! duplicate-heavy job mix should cost one pipeline per *distinct* job,
+//! fleet-wide, with every duplicate served from the content-addressed
+//! artifact store. This module measures exactly that over a
+//! [`mcr_workloads::fleet_mix`] corpus:
+//!
+//! * **serial baseline** — every job reproduced independently through
+//!   [`Reproducer`] with no store (what a naive service would do),
+//! * **fleet run** — the same jobs through [`mcr_batch::Fleet`] with one
+//!   shared executor and store,
+//! * **equivalence** — every fleet report must match its serial
+//!   counterpart (the determinism contract of the phase layer),
+//! * **cache accounting** — phase units computed vs rehydrated vs
+//!   single-flighted, plus the store's own counters.
+//!
+//! `tables -- batch-json` serializes a [`BatchReport`] to
+//! `BENCH_batch.json` so successive PRs leave a measurable trajectory
+//! alongside `BENCH_search.json`.
+
+use mcr_batch::{Fleet, FleetConfig, FleetJob};
+use mcr_core::{find_failure_par, ReproOptions, ReproReport, Reproducer, StoreStats};
+use mcr_workloads::{all_bugs, fleet_mix, FleetSpec};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stress-seed cap, mirroring the `MCR_TEST_TIER` tiers of
+/// `mcr-testsupport` (smoke by default so the CI bench step stays fast;
+/// `MCR_TEST_TIER=full` restores paper scale).
+fn stress_seed_cap() -> u64 {
+    match std::env::var("MCR_TEST_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => 2_000_000,
+        _ => 200_000,
+    }
+}
+
+/// The corpus the batch bench runs: a duplicate-heavy mix over a
+/// three-bug subset (smoke-sized; the fleet's caching behavior is
+/// identical on the full suite, which `tests/batch.rs` covers).
+pub fn bench_corpus() -> Vec<FleetSpec> {
+    let bugs = all_bugs();
+    let subset: Vec<_> = bugs
+        .into_iter()
+        .filter(|b| matches!(b.name, "mysql-3" | "apache-2" | "mysql-1"))
+        .collect();
+    fleet_mix(&subset, 2, 11)
+}
+
+/// One job's identity and results across the two legs.
+struct PreparedJob {
+    spec: FleetSpec,
+    program_idx: usize,
+    dump: mcr_dump::CoreDump,
+    input: Vec<i64>,
+}
+
+/// The full batch report serialized to `BENCH_batch.json`.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Jobs in the corpus.
+    pub jobs: usize,
+    /// Distinct work units among them (dedup keys).
+    pub distinct_jobs: usize,
+    /// Worker budget the fleet ran with.
+    pub workers: usize,
+    /// Wall time of the independent serial baseline.
+    pub serial_wall: Duration,
+    /// Wall time of the fleet run.
+    pub fleet_wall: Duration,
+    /// Fleet throughput, jobs per second.
+    pub jobs_per_sec: f64,
+    /// Phase units scheduled by the fleet.
+    pub phase_units: u64,
+    /// Phase units actually computed.
+    pub computed: u64,
+    /// Phase units rehydrated from the shared store.
+    pub cache_hits: u64,
+    /// Phase units deduplicated while in flight.
+    pub deduped_in_flight: u64,
+    /// `cache_hits / phase_units` (the acceptance metric: > 0 on any
+    /// duplicate-carrying mix).
+    pub cache_hit_rate: f64,
+    /// Whether every fleet report matched its serial counterpart.
+    pub identical_results: bool,
+    /// Jobs whose failure was reproduced (same in both legs when
+    /// `identical_results`).
+    pub reproduced: usize,
+    /// Store counters at the end of the fleet run.
+    pub store: StoreStats,
+}
+
+/// Everything observable about a report except wall-clock timings.
+fn reports_equal(a: &ReproReport, b: &ReproReport) -> bool {
+    a.index == b.index
+        && a.alignment == b.alignment
+        && a.failure_dump_bytes == b.failure_dump_bytes
+        && a.aligned_dump_bytes == b.aligned_dump_bytes
+        && a.vars == b.vars
+        && a.diffs == b.diffs
+        && a.shared == b.shared
+        && a.csv_paths == b.csv_paths
+        && a.csv_locs == b.csv_locs
+        && a.deterministic_repro == b.deterministic_repro
+        && a.search.reproduced == b.search.reproduced
+        && a.search.tries == b.search.tries
+        && a.search.combinations_tested == b.search.combinations_tested
+        && a.search.winning == b.search.winning
+        && a.search.cut_off == b.search.cut_off
+}
+
+/// Runs the batch measurement: stress each distinct job once, reproduce
+/// every job serially (no store), then run the whole corpus as one
+/// fleet and compare.
+pub fn batch_report() -> BatchReport {
+    let corpus = bench_corpus();
+    let workers = minipool::available_parallelism().max(2);
+
+    // Compile each program once; stress each distinct work unit once
+    // (duplicates share the dump — exactly how a triage queue receives
+    // repeated crashes of the same bug).
+    let mut programs: Vec<mcr_lang::Program> = Vec::new();
+    let mut program_of: HashMap<String, usize> = HashMap::new();
+    let mut dump_of: HashMap<(String, usize, u64), mcr_dump::CoreDump> = HashMap::new();
+    let mut prepared: Vec<PreparedJob> = Vec::new();
+    for spec in corpus {
+        let program_idx = *program_of
+            .entry(spec.bug.name.to_string())
+            .or_insert_with(|| {
+                programs.push(spec.bug.compile());
+                programs.len() - 1
+            });
+        let input = spec.input();
+        let dump = dump_of
+            .entry(spec.dedup_key())
+            .or_insert_with(|| {
+                find_failure_par(
+                    &programs[program_idx],
+                    &input,
+                    0..stress_seed_cap(),
+                    spec.bug.max_steps,
+                    minipool::available_parallelism(),
+                )
+                .unwrap_or_else(|| panic!("{}: stress found no failure", spec.name))
+                .dump
+            })
+            .clone();
+        prepared.push(PreparedJob {
+            spec,
+            program_idx,
+            dump,
+            input,
+        });
+    }
+    let jobs = prepared.len();
+    let distinct_jobs = dump_of.len();
+
+    // Serial baseline: every job independently, no store.
+    let t0 = Instant::now();
+    let serial_reports: Vec<ReproReport> = prepared
+        .iter()
+        .map(|job| {
+            Reproducer::new(&programs[job.program_idx], ReproOptions::default())
+                .reproduce(&job.dump, &job.input)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", job.spec.name))
+        })
+        .collect();
+    let serial_wall = t0.elapsed();
+
+    // Fleet run: shared executor + shared store.
+    let config = FleetConfig {
+        workers,
+        ..Default::default()
+    };
+    let store = Arc::clone(&config.store);
+    let mut fleet = Fleet::new(config);
+    for job in &prepared {
+        fleet.push(
+            FleetJob::new(
+                job.spec.name.clone(),
+                &programs[job.program_idx],
+                job.dump.clone(),
+                &job.input,
+            )
+            .with_priority(job.spec.priority),
+        );
+    }
+    let t0 = Instant::now();
+    let outcome = fleet.run();
+    let fleet_wall = t0.elapsed();
+
+    let mut identical = outcome.summary.failed == 0;
+    let mut reproduced = 0usize;
+    for (job_outcome, serial) in outcome.jobs.iter().zip(&serial_reports) {
+        match &job_outcome.result {
+            Ok(report) => {
+                if !reports_equal(report, serial) {
+                    identical = false;
+                }
+                if report.search.reproduced {
+                    reproduced += 1;
+                }
+            }
+            Err(_) => identical = false,
+        }
+    }
+
+    let s = outcome.summary;
+    BatchReport {
+        jobs,
+        distinct_jobs,
+        workers,
+        serial_wall,
+        fleet_wall,
+        jobs_per_sec: if fleet_wall.as_secs_f64() > 0.0 {
+            jobs as f64 / fleet_wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        phase_units: s.phase_units,
+        computed: s.computed,
+        cache_hits: s.cache_hits,
+        deduped_in_flight: s.deduped_in_flight,
+        cache_hit_rate: if s.phase_units > 0 {
+            s.cache_hits as f64 / s.phase_units as f64
+        } else {
+            0.0
+        },
+        identical_results: identical,
+        reproduced,
+        store: store.stats(),
+    }
+}
+
+impl BatchReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled: the
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let speedup = if self.fleet_wall.as_secs_f64() > 0.0 {
+            self.serial_wall.as_secs_f64() / self.fleet_wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"mcr-bench/batch/v1\",");
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"distinct_jobs\": {},", self.distinct_jobs);
+        let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        let _ = writeln!(s, "  \"reproduced\": {},", self.reproduced);
+        let _ = writeln!(
+            s,
+            "  \"serial_wall_ms\": {:.3},",
+            self.serial_wall.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            s,
+            "  \"fleet_wall_ms\": {:.3},",
+            self.fleet_wall.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(s, "  \"speedup_vs_serial\": {speedup:.2},");
+        let _ = writeln!(s, "  \"jobs_per_sec\": {:.2},", self.jobs_per_sec);
+        let _ = writeln!(s, "  \"phase_units\": {},", self.phase_units);
+        let _ = writeln!(s, "  \"computed\": {},", self.computed);
+        let _ = writeln!(s, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(s, "  \"deduped_in_flight\": {},", self.deduped_in_flight);
+        let _ = writeln!(s, "  \"cache_hit_rate\": {:.3},", self.cache_hit_rate);
+        let _ = writeln!(s, "  \"identical_results\": {},", self.identical_results);
+        let _ = writeln!(s, "  \"store\": {{");
+        let _ = writeln!(s, "    \"entries\": {},", self.store.entries);
+        let _ = writeln!(s, "    \"bytes\": {},", self.store.bytes);
+        let _ = writeln!(s, "    \"hits\": {},", self.store.hits);
+        let _ = writeln!(s, "    \"misses\": {},", self.store.misses);
+        let _ = writeln!(s, "    \"evictions\": {}", self.store.evictions);
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_duplicate_heavy() {
+        let corpus = bench_corpus();
+        // 3 bugs x (2 dups + 1 variant).
+        assert_eq!(corpus.len(), 9);
+        let distinct: std::collections::HashSet<_> = corpus.iter().map(|s| s.dedup_key()).collect();
+        assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = BatchReport {
+            jobs: 9,
+            distinct_jobs: 6,
+            workers: 4,
+            serial_wall: Duration::from_millis(900),
+            fleet_wall: Duration::from_millis(500),
+            jobs_per_sec: 18.0,
+            phase_units: 45,
+            computed: 30,
+            cache_hits: 15,
+            deduped_in_flight: 15,
+            cache_hit_rate: 15.0 / 45.0,
+            identical_results: true,
+            reproduced: 9,
+            store: StoreStats {
+                hits: 15,
+                misses: 30,
+                inserts: 30,
+                evictions: 0,
+                entries: 30,
+                bytes: 123_456,
+            },
+        };
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"mcr-bench/batch/v1\"",
+            "\"jobs\": 9",
+            "\"distinct_jobs\": 6",
+            "\"cache_hits\": 15",
+            "\"deduped_in_flight\": 15",
+            "\"cache_hit_rate\": 0.333",
+            "\"identical_results\": true",
+            "\"speedup_vs_serial\"",
+            "\"store\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -6,12 +6,18 @@
 //! cargo run --release -p mcr-bench --bin tables -- table2 | table3 | table4
 //! cargo run --release -p mcr-bench --bin tables -- table5 | table6 | fig10
 //! cargo run --release -p mcr-bench --bin tables -- bench-json [PATH]
+//! cargo run --release -p mcr-bench --bin tables -- batch-json [PATH]
 //! ```
 //!
 //! `bench-json` runs the `search_hotpath` measurements (checkpoint
 //! clone, steps/sec, tries/sec, guided vs plain, parallel-vs-serial over
 //! the bug suite) and writes them to `PATH` (default
 //! `BENCH_search.json`), printing the JSON to stdout as well.
+//!
+//! `batch-json` measures the `mcr-batch` fleet engine on a
+//! duplicate-heavy job mix (throughput, cache-hit rate, single-flight
+//! dedup, serial-equivalence) and writes `PATH` (default
+//! `BENCH_batch.json`).
 //!
 //! `table1 --full-scale` generates corpora at the paper's statement
 //! counts (105K/892K/521K — takes a few minutes); the default scale is
@@ -69,11 +75,34 @@ fn main() {
             println!("{json}");
             eprintln!("wrote {path}");
         }
+        "batch-json" => {
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("BENCH_batch.json");
+            eprintln!("running batch measurements (duplicate-heavy fleet vs serial baseline)…");
+            let report = mcr_bench::batch::batch_report();
+            assert!(
+                report.identical_results,
+                "fleet reports diverged from the serial baseline"
+            );
+            assert!(
+                report.cache_hits > 0,
+                "duplicate-heavy mix produced no cache hits"
+            );
+            let json = report.to_json();
+            std::fs::write(path, format!("{json}\n"))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("{json}");
+            eprintln!("wrote {path}");
+        }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|bench-json] \
-                 [--full-scale]"
+                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|bench-json|\
+                 batch-json] [--full-scale]"
             );
             std::process::exit(2);
         }

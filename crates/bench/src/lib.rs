@@ -16,8 +16,17 @@
 //! ```text
 //! cargo run --release -p mcr-bench --bin tables -- bench-json
 //! ```
+//!
+//! [`batch`] measures the `mcr-batch` fleet engine — throughput and
+//! cache-hit rate on a duplicate-heavy job mix — writing
+//! `BENCH_batch.json` via:
+//!
+//! ```text
+//! cargo run --release -p mcr-bench --bin tables -- batch-json
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod experiments;
 pub mod hotpath;

@@ -18,7 +18,7 @@ use mcr_analysis::PredKey;
 use mcr_dump::wire::{Reader, Writer};
 use mcr_dump::{DecodeError, PathRoot, RefPath};
 use mcr_index::{AlignSignal, Alignment, ExecutionIndex, IndexEntry};
-use mcr_lang::{CondGroupId, FuncId, GlobalId, LocalId, Pc, StmtId};
+use mcr_lang::{CondGroupId, FuncId, GlobalId, LocalId, StmtId};
 use mcr_search::{
     AnnotatedCandidate, CandidateKind, CoarseLoc, PassingRunInfo, PreemptionPoint, SearchResult,
     SharedAccess,
@@ -137,32 +137,9 @@ pub struct SearchArtifact {
 }
 
 // ---------------------------------------------------------------------
-// Shared component codecs.
-
-fn write_pc(w: &mut Writer, pc: Pc) {
-    w.uvarint(pc.func.0 as u64);
-    w.uvarint(pc.stmt.0 as u64);
-}
-
-fn read_pc(r: &mut Reader<'_>) -> Result<Pc, DecodeError> {
-    let func = FuncId(r.uvarint()? as u32);
-    let stmt = StmtId(r.uvarint()? as u32);
-    Ok(Pc::new(func, stmt))
-}
-
-fn write_opt_pc(w: &mut Writer, pc: Option<Pc>) {
-    match pc {
-        None => w.bool(false),
-        Some(pc) => {
-            w.bool(true);
-            write_pc(w, pc);
-        }
-    }
-}
-
-fn read_opt_pc(r: &mut Reader<'_>) -> Result<Option<Pc>, DecodeError> {
-    Ok(if r.bool()? { Some(read_pc(r)?) } else { None })
-}
+// Shared component codecs. (Program counters go through the public
+// `wire` pc codec — `Writer::pc` / `Reader::pc` — shared with the dump
+// format; only artifact-specific composites live here.)
 
 fn write_memloc(w: &mut Writer, loc: MemLoc) {
     match loc {
@@ -288,7 +265,7 @@ fn write_index_entry(w: &mut Writer, entry: &IndexEntry) {
         }
         IndexEntry::Stmt(pc) => {
             w.u8(2);
-            write_pc(w, *pc);
+            w.pc(*pc);
         }
     }
 }
@@ -306,7 +283,7 @@ fn read_index_entry(r: &mut Reader<'_>) -> Result<IndexEntry, DecodeError> {
             let outcome = r.bool()?;
             IndexEntry::Branch { func, key, outcome }
         }
-        2 => IndexEntry::Stmt(read_pc(r)?),
+        2 => IndexEntry::Stmt(r.pc()?),
         t => return r.err(format!("bad index entry tag {t}")),
     })
 }
@@ -337,7 +314,7 @@ fn write_point(w: &mut Writer, p: &PreemptionPoint) {
     w.uvarint(p.sync_seq as u64);
     w.u8(candidate_kind_tag(p.kind));
     w.uvarint(p.step);
-    write_opt_pc(w, p.pc);
+    w.opt_pc(p.pc);
 }
 
 fn read_point(r: &mut Reader<'_>) -> Result<PreemptionPoint, DecodeError> {
@@ -348,7 +325,7 @@ fn read_point(r: &mut Reader<'_>) -> Result<PreemptionPoint, DecodeError> {
         return r.err(format!("bad candidate kind tag {tag}"));
     };
     let step = r.uvarint()?;
-    let pc = read_opt_pc(r)?;
+    let pc = r.opt_pc()?;
     Ok(PreemptionPoint {
         tid,
         sync_seq,
@@ -362,7 +339,7 @@ fn write_ranked(w: &mut Writer, a: &RankedAccess) {
     w.uvarint(a.serial);
     w.uvarint(a.step);
     w.uvarint(a.tid.0 as u64);
-    write_pc(w, a.pc);
+    w.pc(a.pc);
     write_memloc(w, a.loc);
     w.bool(a.is_write);
     w.uvarint(a.priority as u64);
@@ -373,7 +350,7 @@ fn read_ranked(r: &mut Reader<'_>) -> Result<RankedAccess, DecodeError> {
         serial: r.uvarint()?,
         step: r.uvarint()?,
         tid: ThreadId(r.uvarint()? as u32),
-        pc: read_pc(r)?,
+        pc: r.pc()?,
         loc: read_memloc(r)?,
         is_write: r.bool()?,
         priority: r.uvarint()? as u32,
@@ -465,7 +442,7 @@ fn write_trace_event(w: &mut Writer, e: &TraceEvent) {
     w.uvarint(e.serial);
     w.uvarint(e.step);
     w.uvarint(e.tid.0 as u64);
-    write_pc(w, e.pc);
+    w.pc(e.pc);
     w.uvarint(e.uses.len() as u64);
     for &(loc, writer) in &e.uses {
         write_memloc(w, loc);
@@ -487,7 +464,7 @@ fn read_trace_event(r: &mut Reader<'_>) -> Result<TraceEvent, DecodeError> {
     let serial = r.uvarint()?;
     let step = r.uvarint()?;
     let tid = ThreadId(r.uvarint()? as u32);
-    let pc = read_pc(r)?;
+    let pc = r.pc()?;
     let n = r.len("trace uses")?;
     let mut uses = Vec::with_capacity(n.min(65536));
     for _ in 0..n {
@@ -582,7 +559,7 @@ impl AlignmentArtifact {
             for a in &info.shared_accesses {
                 w.uvarint(a.step);
                 w.uvarint(a.tid.0 as u64);
-                write_pc(w, a.pc);
+                w.pc(a.pc);
                 write_memloc(w, a.loc);
                 w.bool(a.is_write);
             }
@@ -620,7 +597,7 @@ impl AlignmentArtifact {
             shared_accesses.push(SharedAccess {
                 step: r.uvarint()?,
                 tid: ThreadId(r.uvarint()? as u32),
-                pc: read_pc(&mut r)?,
+                pc: r.pc()?,
                 loc: read_memloc(&mut r)?,
                 is_write: r.bool()?,
             });
@@ -771,6 +748,7 @@ impl SearchArtifact {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcr_lang::Pc;
 
     #[test]
     fn index_artifact_round_trip() {

@@ -18,6 +18,14 @@
 //!   ([`CancelToken`]), per-phase budgets ([`PhaseBudget`]), and
 //!   checkpoint/resume across processes.
 //!
+//! The five phases are implementations of the generic [`PipelinePhase`]
+//! trait and the session is a thin driver over them; each phase unit is
+//! identified by a content-addressed [`PhaseKey`], so attaching an
+//! [`ArtifactStore`] (e.g. an in-memory [`MemoryStore`] LRU or a
+//! persistable [`BytesStore`]) makes sessions skip any phase whose key
+//! was already computed — by themselves, by an earlier run, or by
+//! another session of a batch fleet (see the `mcr-batch` crate).
+//!
 //! ```no_run
 //! use mcr_core::{find_failure, ReproOptions, Reproducer};
 //!
@@ -61,8 +69,10 @@
 
 pub mod artifact;
 pub mod observe;
+pub mod phase;
 pub mod pipeline;
 pub mod session;
+pub mod store;
 pub mod stress;
 
 pub use artifact::{
@@ -70,12 +80,19 @@ pub use artifact::{
     SearchArtifact,
 };
 pub use observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES};
+pub use phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
 pub use pipeline::{
     has_sync_points, AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions,
     ReproOptionsBuilder, ReproReport, ReproTimings, Reproducer,
 };
 pub use session::ReproSession;
-pub use stress::{find_failure, find_failure_par, passes_deterministically, StressFailure};
+pub use store::{
+    program_fingerprint, ArtifactStore, BytesStore, MemoryStore, NullStore, PhaseKey, StoreStats,
+};
+pub use stress::{
+    find_failure, find_failure_par, find_failure_par_cancellable, find_failure_pool,
+    passes_deterministically, StressFailure,
+};
 
 // Cancellation lives in `mcr-search` (its budget polls the token inside
 // the hot search loop) but is part of the session API surface.

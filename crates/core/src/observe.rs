@@ -50,6 +50,30 @@ impl Phase {
         }
     }
 
+    /// The phase executed immediately before this one, if any (the one
+    /// whose artifact this phase consumes).
+    pub fn prev(self) -> Option<Phase> {
+        match self {
+            Phase::Index => None,
+            Phase::Align => Some(Phase::Index),
+            Phase::Diff => Some(Phase::Align),
+            Phase::Rank => Some(Phase::Diff),
+            Phase::Search => Some(Phase::Rank),
+        }
+    }
+
+    /// Position of the phase in the pipeline (0-based, execution order).
+    /// Stable — it doubles as the phase tag of the wire formats.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Index => 0,
+            Phase::Align => 1,
+            Phase::Diff => 2,
+            Phase::Rank => 3,
+            Phase::Search => 4,
+        }
+    }
+
     /// A stable lowercase name (used in progress output and errors).
     pub fn name(self) -> &'static str {
         match self {
@@ -102,23 +126,37 @@ pub enum PhaseEvent {
         /// The phase.
         phase: Phase,
     },
+    /// The phase was *not* executed: its content-addressed key hit the
+    /// session's [`ArtifactStore`](crate::ArtifactStore) and the cached
+    /// artifact was rehydrated instead. No `Started`/`Finished` pair
+    /// fires for a cache hit.
+    CacheHit {
+        /// The phase.
+        phase: Phase,
+    },
 }
 
 /// Receives [`PhaseEvent`]s from a running session.
 ///
 /// Implementations must be cheap: events fire synchronously on the
 /// session's thread, between (not inside) the hot per-statement loops.
+/// Sessions travel across executor threads in a batch fleet, so the
+/// observer attached to one must be [`Send`] (see
+/// [`ReproSession::set_observer`](crate::ReproSession::set_observer)).
 pub trait PhaseObserver {
     /// Called for every event, in order.
     fn on_event(&mut self, event: &PhaseEvent);
 }
 
 /// Forwarding impl so a shared, inspectable observer can be attached:
-/// clone the `Rc` into the session and keep the other clone to read the
-/// collected events afterwards.
-impl<T: PhaseObserver> PhaseObserver for std::rc::Rc<std::cell::RefCell<T>> {
+/// clone the `Arc` into the session and keep the other clone to read the
+/// collected events afterwards (including from another thread — the
+/// shape a fleet scheduler uses for its per-job event streams).
+impl<T: PhaseObserver> PhaseObserver for std::sync::Arc<std::sync::Mutex<T>> {
     fn on_event(&mut self, event: &PhaseEvent) {
-        self.borrow_mut().on_event(event);
+        self.lock()
+            .expect("phase observer poisoned")
+            .on_event(event);
     }
 }
 
@@ -154,6 +192,17 @@ impl TimingLog {
             })
             .collect()
     }
+
+    /// The phases rehydrated from an artifact store, in event order.
+    pub fn cache_hits(&self) -> Vec<Phase> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                PhaseEvent::CacheHit { phase } => Some(*phase),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 impl PhaseObserver for TimingLog {
@@ -170,9 +219,15 @@ mod tests {
     fn phase_order_and_names() {
         assert_eq!(Phase::Index.next(), Some(Phase::Align));
         assert_eq!(Phase::Search.next(), None);
+        assert_eq!(Phase::Index.prev(), None);
+        assert_eq!(Phase::Search.prev(), Some(Phase::Rank));
         let names: Vec<&str> = PHASES.iter().map(|p| p.name()).collect();
         assert_eq!(names, ["index", "align", "diff", "rank", "search"]);
         assert_eq!(Phase::Diff.to_string(), "diff");
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(p.prev(), i.checked_sub(1).map(|j| PHASES[j]));
+        }
     }
 
     #[test]

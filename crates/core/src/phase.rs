@@ -1,0 +1,684 @@
+//! The generic phase abstraction of the reproduction pipeline.
+//!
+//! Each of the five stages — Index → Align → Diff → Rank → Search — is a
+//! unit struct implementing [`PipelinePhase`]: a *typed* phase with an
+//! input artifact (`Input`, the upstream phase's output), an output
+//! artifact (`Artifact`), a wire codec ([`PipelinePhase::encode`] /
+//! [`PipelinePhase::decode`]), a per-phase budget hook
+//! ([`PipelinePhase::budget`]), and a compute body that observes the
+//! session's [`CancelToken`] and reports through
+//! its [`PhaseObserver`](crate::PhaseObserver).
+//!
+//! [`ReproSession`] is a thin driver over these implementations (see
+//! [`ReproSession::run`]): it resolves prerequisites, derives the
+//! phase's content-addressed [`PhaseKey`](crate::PhaseKey), consults the
+//! session's [`ArtifactStore`](crate::ArtifactStore) — rehydrating a hit
+//! instead of computing — and persists fresh artifacts back. Everything
+//! phase-*specific* lives here; everything phase-*generic* (keying,
+//! caching, memoization, event plumbing) lives once, in the driver.
+//!
+//! The trait is sealed: the pipeline's phase set is the paper's, and the
+//! driver relies on the five implementations agreeing with the
+//! [`Phase`] enum.
+
+use crate::artifact::{
+    AlignmentArtifact, DumpDeltaArtifact, FailureIndexArtifact, RankedAccessesArtifact,
+    SearchArtifact,
+};
+use crate::observe::{Phase, PhaseEvent};
+use crate::pipeline::{AlignMode, PhaseBudget, ReproError};
+use crate::session::ReproSession;
+use mcr_dump::{
+    reachable_vars, resolve_loc, CoreDump, DecodeError, DumpDiff, DumpReason, ResolvedVar,
+};
+use mcr_index::{AlignSignal, Aligner, Alignment};
+use mcr_search::{annotate, find_schedule, CancelToken, SearchConfig};
+use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
+use mcr_vm::{run_until, DeterministicScheduler, MemLoc, Outcome, Tee, ThreadId, Vm};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+mod sealed {
+    /// Seals [`PipelinePhase`](super::PipelinePhase): the five stages of
+    /// the paper's pipeline are the complete set.
+    pub trait Sealed {}
+    impl Sealed for super::IndexPhase {}
+    impl Sealed for super::AlignPhase {}
+    impl Sealed for super::DiffPhase {}
+    impl Sealed for super::RankPhase {}
+    impl Sealed for super::SearchPhase {}
+}
+
+/// One typed, cacheable stage of the reproduction pipeline.
+///
+/// See the [module docs](crate::phase) for how [`ReproSession::run`]
+/// drives implementations generically.
+pub trait PipelinePhase: sealed::Sealed {
+    /// The upstream artifact this phase consumes ([`CoreDump`] for the
+    /// first phase, which consumes the session's failure dump directly).
+    type Input;
+
+    /// The artifact this phase produces.
+    type Artifact: Clone + PartialEq + std::fmt::Debug;
+
+    /// The pipeline position this implementation occupies.
+    const PHASE: Phase;
+
+    /// Whether a fired cancel token refuses phase *entry*. True for
+    /// every phase except the search, which always runs and converts
+    /// cancellation into a partial artifact instead.
+    const GUARDED_ENTRY: bool = true;
+
+    /// Serializes the artifact on the [`mcr_dump::wire`] layout — the
+    /// same bytes the session checkpoint embeds and the artifact store
+    /// caches.
+    fn encode(artifact: &Self::Artifact) -> Vec<u8>;
+
+    /// Decodes an artifact (store rehydration, checkpoint resume).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated or malformed input.
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError>;
+
+    /// The upstream artifact, when it has been produced.
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Input>;
+
+    /// This phase's artifact, when it has been produced.
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact>;
+
+    /// Stores a produced (or rehydrated) artifact in the session.
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact);
+
+    /// The wall-clock/step budget configured for this phase.
+    fn budget(session: &ReproSession<'_>) -> Option<PhaseBudget> {
+        session.options().budgets.get(Self::PHASE)
+    }
+
+    /// Whether a freshly computed artifact may enter the store. Partial
+    /// results — a cancelled or budget-cut search — must not poison the
+    /// cache, since a later run with a larger budget would rehydrate
+    /// them as if complete.
+    fn cacheable(_artifact: &Self::Artifact) -> bool {
+        true
+    }
+
+    /// Runs the phase. Implementations emit their own
+    /// `Started`/`Stage`/`Finished`/`Interrupted` events and honor the
+    /// session's cancel token and this phase's budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReproError`].
+    fn compute(session: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError>;
+}
+
+/// How many interruption polls share one `Instant::now()` read inside
+/// the align/diff step loops (cancellation is checked on every poll —
+/// an atomic load — only the wall clock is cached).
+const WALL_POLL_PERIOD: u32 = 256;
+
+/// Polls cancellation and a phase's wall-clock budget from inside a
+/// `run_until` stop predicate.
+struct Interrupt {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    polls: u32,
+    expired: bool,
+}
+
+impl Interrupt {
+    fn new(cancel: CancelToken, budget: Option<PhaseBudget>) -> Interrupt {
+        Interrupt {
+            cancel,
+            deadline: budget
+                .and_then(|b| b.wall)
+                .map(|wall| Instant::now() + wall),
+            polls: 0,
+            expired: false,
+        }
+    }
+
+    /// Whether the phase should stop now. Called once per VM step.
+    fn fired(&mut self) -> bool {
+        if self.cancel.is_cancelled() {
+            return true;
+        }
+        if self.expired {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        let n = self.polls;
+        self.polls = n.wrapping_add(1);
+        if !n.is_multiple_of(WALL_POLL_PERIOD) {
+            return false;
+        }
+        self.expired = Instant::now() >= deadline;
+        self.expired
+    }
+
+    /// Converts an interruption into the phase's error (cancellation
+    /// wins over budget expiry when both hold).
+    fn error(&self, phase: Phase) -> ReproError {
+        if self.cancel.is_cancelled() {
+            ReproError::Cancelled(phase)
+        } else {
+            ReproError::BudgetExhausted(phase)
+        }
+    }
+
+    fn interrupted(&self) -> bool {
+        self.cancel.is_cancelled() || self.expired
+    }
+}
+
+/// Step cap for a phase: the options default, tightened by the phase
+/// budget when one is set.
+fn effective_steps(default: u64, budget: Option<PhaseBudget>) -> u64 {
+    match budget.and_then(|b| b.max_steps) {
+        Some(cap) => default.min(cap),
+        None => default,
+    }
+}
+
+/// Phase 1: reverse engineering the failure's execution index (§3.2,
+/// Algorithm 1). Under [`AlignMode::InstructionCount`] the artifact
+/// carries no index.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexPhase;
+
+impl PipelinePhase for IndexPhase {
+    type Input = CoreDump;
+    type Artifact = FailureIndexArtifact;
+    const PHASE: Phase = Phase::Index;
+
+    fn encode(artifact: &Self::Artifact) -> Vec<u8> {
+        artifact.to_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError> {
+        FailureIndexArtifact::from_bytes(bytes)
+    }
+
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s CoreDump> {
+        Some(&session.failure_dump)
+    }
+
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact> {
+        session.artifacts.index.as_ref()
+    }
+
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact) {
+        session.artifacts.index = Some(artifact);
+    }
+
+    fn compute(s: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError> {
+        s.emit(PhaseEvent::Started {
+            phase: Phase::Index,
+        });
+        let t0 = Instant::now();
+        let index = match s.options.align_mode {
+            AlignMode::ExecutionIndex => {
+                match mcr_index::reverse_index(s.program, &s.analysis, &s.failure_dump) {
+                    Ok(idx) => Some(idx),
+                    Err(e) => {
+                        s.emit(PhaseEvent::Interrupted {
+                            phase: Phase::Index,
+                        });
+                        return Err(e.into());
+                    }
+                }
+            }
+            AlignMode::InstructionCount => None,
+        };
+        let elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Finished {
+            phase: Phase::Index,
+            elapsed,
+        });
+        Ok(FailureIndexArtifact { index, elapsed })
+    }
+}
+
+/// Phase 2: the deterministic passing run — aligned-point location
+/// (§3.3, Fig. 7) plus the sync/shared-access log the search needs.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignPhase;
+
+impl PipelinePhase for AlignPhase {
+    type Input = FailureIndexArtifact;
+    type Artifact = AlignmentArtifact;
+    const PHASE: Phase = Phase::Align;
+
+    fn encode(artifact: &Self::Artifact) -> Vec<u8> {
+        artifact.to_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError> {
+        AlignmentArtifact::from_bytes(bytes)
+    }
+
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Input> {
+        session.artifacts.index.as_ref()
+    }
+
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact> {
+        session.artifacts.align.as_ref()
+    }
+
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact) {
+        session.artifacts.align = Some(artifact);
+    }
+
+    fn compute(s: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError> {
+        // Validation precedes the Started event so observers never see a
+        // phase start that can have no terminal event.
+        let focus = s.failure_dump.focus;
+        if focus.0 as usize >= 1 && s.program.funcs.is_empty() {
+            return Err(ReproError::NoSuchThread(focus));
+        }
+        s.emit(PhaseEvent::Started {
+            phase: Phase::Align,
+        });
+        let budget = Self::budget(s);
+        let max_steps = effective_steps(s.options.max_steps, budget);
+        let mut guard = Interrupt::new(s.cancel.clone(), budget);
+
+        let t0 = Instant::now();
+        let mut vm = Vm::new(s.program, &s.input);
+        let mut logger = mcr_search::SyncLogger::new();
+        let index = Self::input(s).expect("index phase ran").index.clone();
+        let (alignment, deterministic_repro, passing_run) = match &index {
+            Some(idx) => {
+                let mut aligner = Aligner::new(s.program, &s.analysis, focus, idx);
+                let outcome = {
+                    let mut tee = Tee {
+                        a: &mut aligner,
+                        b: &mut logger,
+                    };
+                    let mut sched = DeterministicScheduler::new();
+                    run_until(&mut vm, &mut sched, &mut tee, max_steps, |_| guard.fired())
+                };
+                if guard.interrupted() {
+                    s.emit(PhaseEvent::Interrupted {
+                        phase: Phase::Align,
+                    });
+                    return Err(guard.error(Phase::Align));
+                }
+                let deterministic =
+                    matches!(outcome, Outcome::Crashed(f) if f.same_bug(&s.failure));
+                (aligner.finish(), deterministic, logger.finish())
+            }
+            None => {
+                // Instruction-count alignment (Table 5 baseline): one
+                // full logged run; the aligned point is found on the
+                // fly, so no second execution is needed.
+                let target_instrs = s.failure_dump.focus_thread().instrs;
+                let failure_pc = s.failure.pc;
+                let mut sched = DeterministicScheduler::new();
+                let mut reached: Option<u64> = None;
+                let mut aligned_at: Option<u64> = None;
+                let mut scanning = true;
+                let outcome = run_until(&mut vm, &mut sched, &mut logger, max_steps, |vm| {
+                    if guard.fired() {
+                        return true;
+                    }
+                    if scanning {
+                        if let Some(th) = vm.threads().get(focus.0 as usize) {
+                            if th.instrs >= target_instrs {
+                                if reached.is_none() {
+                                    reached = Some(vm.steps());
+                                }
+                                // Scan for the failure PC from here on.
+                                if th.pc() == Some(failure_pc) {
+                                    aligned_at = Some(vm.steps());
+                                    scanning = false;
+                                } else if vm.steps() > reached.unwrap() + 200_000 {
+                                    // Give up the PC scan after a grace
+                                    // window.
+                                    aligned_at = reached;
+                                    scanning = false;
+                                }
+                            }
+                        }
+                    }
+                    false
+                });
+                if guard.interrupted() {
+                    s.emit(PhaseEvent::Interrupted {
+                        phase: Phase::Align,
+                    });
+                    return Err(guard.error(Phase::Align));
+                }
+                // If the run ended before the scan concluded, align at
+                // the point the count was reached (or the end).
+                let step = aligned_at
+                    .or(reached)
+                    .unwrap_or_else(|| vm.steps().saturating_sub(1));
+                let deterministic =
+                    matches!(outcome, Outcome::Crashed(f) if f.same_bug(&s.failure));
+                let alignment = Alignment {
+                    signal: AlignSignal::Closest,
+                    step,
+                    remaining: 0,
+                };
+                (alignment, deterministic, logger.finish())
+            }
+        };
+        let elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Finished {
+            phase: Phase::Align,
+            elapsed,
+        });
+        Ok(AlignmentArtifact {
+            alignment,
+            deterministic_repro,
+            passing_run,
+            elapsed,
+        })
+    }
+}
+
+/// Phase 3: replay to the aligned point, capture the aligned dump and
+/// the dependence trace, and compare the dumps to find the critical
+/// shared variables (§4).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffPhase;
+
+impl PipelinePhase for DiffPhase {
+    type Input = AlignmentArtifact;
+    type Artifact = DumpDeltaArtifact;
+    const PHASE: Phase = Phase::Diff;
+
+    fn encode(artifact: &Self::Artifact) -> Vec<u8> {
+        artifact.to_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError> {
+        DumpDeltaArtifact::from_bytes(bytes)
+    }
+
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Input> {
+        session.artifacts.align.as_ref()
+    }
+
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact> {
+        session.artifacts.delta.as_ref()
+    }
+
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact) {
+        session.artifacts.delta = Some(artifact);
+    }
+
+    fn compute(s: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError> {
+        s.emit(PhaseEvent::Started { phase: Phase::Diff });
+        let budget = Self::budget(s);
+        let max_steps = effective_steps(s.options.max_steps, budget);
+        let mut guard = Interrupt::new(s.cancel.clone(), budget);
+        let alignment = Self::input(s).expect("align ran").alignment;
+        let focus = s.failure_dump.focus;
+
+        // Replay to the aligned point; capture dump + trace.
+        let t0 = Instant::now();
+        let mut replay = Vm::new(s.program, &s.input);
+        let mut collector = TraceCollector::new(s.program, &s.analysis, s.options.trace_window);
+        {
+            let mut sched = DeterministicScheduler::new();
+            let stop_after = alignment.step;
+            run_until(&mut replay, &mut sched, &mut collector, max_steps, |vm| {
+                guard.fired() || vm.steps() > stop_after
+            });
+        }
+        if guard.interrupted() {
+            s.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+            return Err(guard.error(Phase::Diff));
+        }
+        let aligned_focus = if (focus.0 as usize) < replay.threads().len() {
+            focus
+        } else {
+            ThreadId(0)
+        };
+        let aligned_dump = CoreDump::capture(&replay, aligned_focus, DumpReason::Aligned);
+        let trace = collector.finish();
+        let replay_elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Stage {
+            phase: Phase::Diff,
+            stage: "replay",
+            elapsed: replay_elapsed,
+        });
+
+        // Dump comparison ("parse" covers encode/decode and traversal,
+        // the GDB-dominated cost of the paper's Table 6).
+        let t0 = Instant::now();
+        let failure_bytes = mcr_dump::encode(&s.failure_dump);
+        let aligned_bytes = mcr_dump::encode(&aligned_dump);
+        let failure_reparsed = match mcr_dump::decode(&failure_bytes) {
+            Ok(dump) => dump,
+            Err(e) => {
+                s.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+                return Err(ReproError::Codec(e));
+            }
+        };
+        let aligned_reparsed = match mcr_dump::decode(&aligned_bytes) {
+            Ok(dump) => dump,
+            Err(e) => {
+                s.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
+                return Err(ReproError::Codec(e));
+            }
+        };
+        let vars_fail = reachable_vars(&failure_reparsed, s.options.limits);
+        let vars_aligned = reachable_vars(&aligned_reparsed, s.options.limits);
+        let parse_elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Stage {
+            phase: Phase::Diff,
+            stage: "dump-parse",
+            elapsed: parse_elapsed,
+        });
+
+        let t0 = Instant::now();
+        let diff = DumpDiff::compare_maps(&vars_fail, &vars_aligned);
+        let diff_elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Stage {
+            phase: Phase::Diff,
+            stage: "diff",
+            elapsed: diff_elapsed,
+        });
+
+        // Resolve CSV paths to passing-run locations.
+        let csv_locs: Vec<MemLoc> = diff
+            .csvs
+            .iter()
+            .filter_map(|path| resolve_loc(&aligned_dump, path))
+            .filter_map(|rv| match rv {
+                ResolvedVar::Global(g) => Some(MemLoc::Global(g)),
+                ResolvedVar::GlobalElem(g, i) => Some(MemLoc::GlobalElem(g, i)),
+                ResolvedVar::Heap(o, i) => Some(MemLoc::Heap(o, i)),
+                _ => None,
+            })
+            .collect();
+
+        let elapsed = replay_elapsed + parse_elapsed + diff_elapsed;
+        s.emit(PhaseEvent::Finished {
+            phase: Phase::Diff,
+            elapsed,
+        });
+        Ok(DumpDeltaArtifact {
+            failure_dump_bytes: failure_bytes.len(),
+            aligned_dump_bytes: aligned_bytes.len(),
+            vars: diff.vars_a,
+            diffs: diff.diff_count(),
+            shared: diff.shared_compared,
+            csv_paths: diff.csvs,
+            csv_locs,
+            trace,
+            replay_elapsed,
+            parse_elapsed,
+            diff_elapsed,
+        })
+    }
+}
+
+/// Phase 4: prioritize the CSV accesses of the dependence trace
+/// (temporal closeness or dependence distance, per
+/// [`ReproOptions::strategy`](crate::ReproOptions::strategy)).
+#[derive(Debug, Clone, Copy)]
+pub struct RankPhase;
+
+impl PipelinePhase for RankPhase {
+    type Input = DumpDeltaArtifact;
+    type Artifact = RankedAccessesArtifact;
+    const PHASE: Phase = Phase::Rank;
+
+    fn encode(artifact: &Self::Artifact) -> Vec<u8> {
+        artifact.to_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError> {
+        RankedAccessesArtifact::from_bytes(bytes)
+    }
+
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Input> {
+        session.artifacts.delta.as_ref()
+    }
+
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact> {
+        session.artifacts.ranked.as_ref()
+    }
+
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact) {
+        session.artifacts.ranked = Some(artifact);
+    }
+
+    fn compute(s: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError> {
+        s.emit(PhaseEvent::Started { phase: Phase::Rank });
+        let t0 = Instant::now();
+        let ranked = {
+            let delta = Self::input(s).expect("diff ran");
+            let trace = &delta.trace;
+            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
+            let aligned_serial = trace.last().map(|e| e.serial).unwrap_or(0);
+            let slice = match s.options.strategy {
+                Strategy::Dependence => {
+                    let criteria: Vec<u64> = trace.last().map(|e| e.serial).into_iter().collect();
+                    Some(backward_slice(trace, &criteria))
+                }
+                Strategy::Temporal => None,
+            };
+            rank_csv_accesses(
+                trace,
+                aligned_serial,
+                &csv_set,
+                s.options.strategy,
+                slice.as_ref(),
+            )
+        };
+        let elapsed = t0.elapsed();
+        s.emit(PhaseEvent::Finished {
+            phase: Phase::Rank,
+            elapsed,
+        });
+        Ok(RankedAccessesArtifact { ranked, elapsed })
+    }
+}
+
+/// Phase 5: the directed schedule search (§5, Algorithm 2).
+///
+/// Cancellation mid-search does *not* error: the phase completes with a
+/// partial artifact whose result carries `cancelled = true` — which is
+/// also why such artifacts are excluded from the store (see
+/// [`PipelinePhase::cacheable`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchPhase;
+
+impl PipelinePhase for SearchPhase {
+    type Input = RankedAccessesArtifact;
+    type Artifact = SearchArtifact;
+    const PHASE: Phase = Phase::Search;
+    const GUARDED_ENTRY: bool = false;
+
+    fn encode(artifact: &Self::Artifact) -> Vec<u8> {
+        artifact.to_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self::Artifact, DecodeError> {
+        SearchArtifact::from_bytes(bytes)
+    }
+
+    fn input<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Input> {
+        session.artifacts.ranked.as_ref()
+    }
+
+    fn artifact<'s>(session: &'s ReproSession<'_>) -> Option<&'s Self::Artifact> {
+        session.artifacts.search.as_ref()
+    }
+
+    fn install(session: &mut ReproSession<'_>, artifact: Self::Artifact) {
+        session.artifacts.search = Some(artifact);
+    }
+
+    fn cacheable(artifact: &Self::Artifact) -> bool {
+        // Partial results must not be mistaken for the search's answer
+        // by a warm run with a larger budget.
+        !artifact.result.cancelled && !artifact.result.cut_off
+    }
+
+    fn compute(s: &mut ReproSession<'_>) -> Result<Self::Artifact, ReproError> {
+        s.emit(PhaseEvent::Started {
+            phase: Phase::Search,
+        });
+        let t0 = Instant::now();
+        let (result, elapsed) = {
+            let ranked = &Self::input(s).expect("rank ran").ranked;
+            let delta = s.artifacts.delta.as_ref().expect("diff ran");
+            let align = s.artifacts.align.as_ref().expect("align ran");
+            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
+
+            let mut priorities: HashMap<(u64, MemLoc, bool), u32> = HashMap::new();
+            for r in ranked {
+                let e = priorities
+                    .entry((r.step, r.loc, r.is_write))
+                    .or_insert(r.priority);
+                *e = (*e).min(r.priority);
+            }
+            let (candidates, future) = annotate(&align.passing_run, &csv_set, &priorities);
+            let fresh = Vm::new(s.program, &s.input);
+            let budget = Self::budget(s);
+            let mut search_config = SearchConfig {
+                parallelism: s.options.parallelism.max(1),
+                cancel: s.cancel.clone(),
+                // The session-level executor handle (a fleet's shared
+                // pool) wins over one set directly on the search config.
+                pool: s.options.pool.clone().or(s.options.search.pool.clone()),
+                ..s.options.search.clone()
+            };
+            if let Some(b) = budget {
+                if let Some(wall) = b.wall {
+                    search_config.time_budget =
+                        Some(search_config.time_budget.map_or(wall, |t| t.min(wall)));
+                }
+                if let Some(steps) = b.max_steps {
+                    search_config.max_steps = search_config.max_steps.min(steps);
+                }
+            }
+            let result = find_schedule(
+                &fresh,
+                &candidates,
+                &future,
+                s.failure,
+                s.options.algorithm,
+                &search_config,
+            );
+            (result, t0.elapsed())
+        };
+        // A cancelled search still Finishes (with a partial artifact,
+        // `result.cancelled` set); Interrupted is reserved for phases
+        // that produced nothing.
+        s.emit(PhaseEvent::Finished {
+            phase: Phase::Search,
+            elapsed,
+        });
+        Ok(SearchArtifact { result, elapsed })
+    }
+}

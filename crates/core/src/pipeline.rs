@@ -152,6 +152,20 @@ pub struct ReproOptions {
     pub parallelism: usize,
     /// Per-phase wall-clock/step budgets.
     pub budgets: PhaseBudgets,
+    /// Content-addressed artifact store consulted before every phase
+    /// (see [`ArtifactStore`](crate::ArtifactStore)): a phase whose
+    /// [`PhaseKey`](crate::PhaseKey) hits the store is skipped and its
+    /// cached artifact rehydrated. `None` caches nothing. A runtime
+    /// attachment: not serialized in checkpoints and not part of phase
+    /// keys.
+    pub store: Option<std::sync::Arc<dyn crate::ArtifactStore>>,
+    /// Injected executor handle for the schedule search (and any other
+    /// fan-out this session performs). A batch fleet hands every job a
+    /// clone of one handle carrying a shared [`minipool::Limit`], so all
+    /// sessions draw from a single thread budget; `None` builds private
+    /// pools from [`ReproOptions::parallelism`], the historical
+    /// behavior. A runtime attachment like `store`.
+    pub pool: Option<minipool::Pool>,
 }
 
 impl Default for ReproOptions {
@@ -166,6 +180,8 @@ impl Default for ReproOptions {
             limits: TraverseLimits::default(),
             parallelism: minipool::available_parallelism(),
             budgets: PhaseBudgets::default(),
+            store: None,
+            pool: None,
         }
     }
 }
@@ -253,6 +269,18 @@ impl ReproOptionsBuilder {
         self
     }
 
+    /// Attaches a content-addressed artifact store.
+    pub fn store(mut self, store: std::sync::Arc<dyn crate::ArtifactStore>) -> Self {
+        self.options.store = Some(store);
+        self
+    }
+
+    /// Injects a shared executor handle.
+    pub fn pool(mut self, pool: minipool::Pool) -> Self {
+        self.options.pool = Some(pool);
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> ReproOptions {
         self.options
@@ -264,7 +292,7 @@ impl ReproOptionsBuilder {
 /// Assembled from the per-phase durations persisted inside the session
 /// artifacts, so the numbers survive checkpoint/resume; live progress
 /// goes through [`PhaseObserver`](crate::PhaseObserver) instead.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReproTimings {
     /// Reverse engineering the failure index.
     pub reverse: Duration,
@@ -283,7 +311,13 @@ pub struct ReproTimings {
 }
 
 /// The full reproduction report (feeds Tables 3–6).
-#[derive(Debug, Clone)]
+///
+/// Equality is total — timings included — so `a == b` states that `b`
+/// is the *bit-identical* outcome of the same work (rehydrated phase
+/// artifacts embed the original run's durations, which is what makes
+/// warm and batched runs literally indistinguishable from their cold
+/// originals).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReproReport {
     /// The reverse-engineered failure index (when EI alignment is used).
     pub index: Option<ExecutionIndex>,
@@ -574,6 +608,8 @@ mod tests {
             .parallelism(2)
             .budget(Phase::Search, PhaseBudget::steps(10))
             .budget(Phase::Align, PhaseBudget::wall(Duration::from_secs(9)))
+            .store(std::sync::Arc::new(crate::store::MemoryStore::unbounded()))
+            .pool(minipool::Pool::new(3))
             .build();
         assert_eq!(options.strategy, Strategy::Dependence);
         assert_eq!(options.align_mode, AlignMode::InstructionCount);
@@ -592,5 +628,7 @@ mod tests {
             Some(PhaseBudget::wall(Duration::from_secs(9)))
         );
         assert_eq!(options.budgets.get(Phase::Rank), None);
+        assert!(options.store.is_some());
+        assert_eq!(options.pool.as_ref().map(minipool::Pool::threads), Some(3));
     }
 }

@@ -1,17 +1,29 @@
-//! The staged, resumable reproduction session.
+//! The staged, resumable, cache-aware reproduction session.
 //!
-//! [`ReproSession`] drives the paper's pipeline as a typed phase state
-//! machine — `Indexed` → `Aligned` → `Diffed` → `Ranked` → `Searched` —
-//! where every phase is an independently runnable method producing an
-//! owned, serializable artifact (see [`crate::artifact`]):
+//! [`ReproSession`] drives the paper's pipeline as a typed phase graph —
+//! `Indexed` → `Aligned` → `Diffed` → `Ranked` → `Searched` — where each
+//! stage is an implementation of the generic
+//! [`PipelinePhase`] trait (see [`crate::phase`]):
 //!
-//! | phase | method | artifact |
+//! | phase | implementation | artifact |
 //! |---|---|---|
-//! | [`Phase::Index`] | [`ReproSession::run_index`] | [`FailureIndexArtifact`] |
-//! | [`Phase::Align`] | [`ReproSession::run_align`] | [`AlignmentArtifact`] |
-//! | [`Phase::Diff`] | [`ReproSession::run_diff`] | [`DumpDeltaArtifact`] |
-//! | [`Phase::Rank`] | [`ReproSession::run_rank`] | [`RankedAccessesArtifact`] |
-//! | [`Phase::Search`] | [`ReproSession::run_search`] | [`SearchArtifact`] |
+//! | [`Phase::Index`] | [`IndexPhase`] | [`FailureIndexArtifact`] |
+//! | [`Phase::Align`] | [`AlignPhase`] | [`AlignmentArtifact`] |
+//! | [`Phase::Diff`] | [`DiffPhase`] | [`DumpDeltaArtifact`] |
+//! | [`Phase::Rank`] | [`RankPhase`] | [`RankedAccessesArtifact`] |
+//! | [`Phase::Search`] | [`SearchPhase`] | [`SearchArtifact`] |
+//!
+//! The session itself is a *thin driver* ([`ReproSession::run`]): it
+//! resolves prerequisites, derives each phase's content-addressed
+//! [`PhaseKey`] — a stable hash of *(program fingerprint, input, failure
+//! dump, options, upstream artifact)* on the [`mcr_dump::wire`] encoding
+//! — and consults the session's [`ArtifactStore`]. A key hit skips the
+//! phase and rehydrates the cached artifact
+//! ([`PhaseEvent::CacheHit`]); a computed artifact is written back, so a
+//! fleet of sessions over near-duplicate dumps pays for each distinct
+//! phase unit once. Because phases are deterministic, cached and
+//! computed artifacts are bit-identical — the final [`ReproReport`] is
+//! pinned to be the same cold, warm, or batched.
 //!
 //! Running a phase implicitly runs any prerequisite phase that has not
 //! produced its artifact yet, and re-running a completed phase is a
@@ -38,112 +50,59 @@ use crate::artifact::{
     SearchArtifact,
 };
 use crate::observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver};
+use crate::phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
 use crate::pipeline::{
     AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions, ReproReport, ReproTimings,
 };
+use crate::store::{program_fingerprint, ArtifactStore, NullStore, PhaseKey};
 use mcr_analysis::ProgramAnalysis;
-use mcr_dump::wire::{Reader, Writer};
-use mcr_dump::{
-    reachable_vars, resolve_loc, CoreDump, DecodeError, DumpDiff, DumpReason, ResolvedVar,
-    TraverseLimits,
-};
-use mcr_index::{reverse_index, AlignSignal, Aligner, Alignment};
+use mcr_dump::wire::{ContentHash, ContentHasher, Reader, Writer};
+use mcr_dump::{CoreDump, DecodeError, TraverseLimits};
 use mcr_lang::Program;
-use mcr_search::{annotate, find_schedule, Algorithm, CancelToken, SearchConfig, SyncLogger};
-use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
-use mcr_vm::{run_until, DeterministicScheduler, Failure, MemLoc, Outcome, Tee, ThreadId, Vm};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use mcr_search::{Algorithm, CancelToken, SearchConfig};
+use mcr_slice::Strategy;
+use mcr_vm::Failure;
+use std::cell::Cell;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"MCRS";
 const VERSION: u8 = 1;
 
-/// How many interruption polls share one `Instant::now()` read inside
-/// the align/diff step loops (cancellation is checked on every poll —
-/// an atomic load — only the wall clock is cached).
-const WALL_POLL_PERIOD: u32 = 256;
-
-/// Polls cancellation and a phase's wall-clock budget from inside a
-/// `run_until` stop predicate.
-struct Interrupt {
-    cancel: CancelToken,
-    deadline: Option<Instant>,
-    polls: u32,
-    expired: bool,
-}
-
-impl Interrupt {
-    fn new(cancel: CancelToken, budget: Option<PhaseBudget>) -> Interrupt {
-        Interrupt {
-            cancel,
-            deadline: budget
-                .and_then(|b| b.wall)
-                .map(|wall| Instant::now() + wall),
-            polls: 0,
-            expired: false,
-        }
-    }
-
-    /// Whether the phase should stop now. Called once per VM step.
-    fn fired(&mut self) -> bool {
-        if self.cancel.is_cancelled() {
-            return true;
-        }
-        if self.expired {
-            return true;
-        }
-        let Some(deadline) = self.deadline else {
-            return false;
-        };
-        let n = self.polls;
-        self.polls = n.wrapping_add(1);
-        if !n.is_multiple_of(WALL_POLL_PERIOD) {
-            return false;
-        }
-        self.expired = Instant::now() >= deadline;
-        self.expired
-    }
-
-    /// Converts an interruption into the phase's error (cancellation
-    /// wins over budget expiry when both hold).
-    fn error(&self, phase: Phase) -> ReproError {
-        if self.cancel.is_cancelled() {
-            ReproError::Cancelled(phase)
-        } else {
-            ReproError::BudgetExhausted(phase)
-        }
-    }
-
-    fn interrupted(&self) -> bool {
-        self.cancel.is_cancelled() || self.expired
-    }
-}
-
 /// The artifacts a session has produced so far.
 #[derive(Debug, Clone, Default, PartialEq)]
-struct Artifacts {
-    index: Option<FailureIndexArtifact>,
-    align: Option<AlignmentArtifact>,
-    delta: Option<DumpDeltaArtifact>,
-    ranked: Option<RankedAccessesArtifact>,
-    search: Option<SearchArtifact>,
+pub(crate) struct Artifacts {
+    pub(crate) index: Option<FailureIndexArtifact>,
+    pub(crate) align: Option<AlignmentArtifact>,
+    pub(crate) delta: Option<DumpDeltaArtifact>,
+    pub(crate) ranked: Option<RankedAccessesArtifact>,
+    pub(crate) search: Option<SearchArtifact>,
 }
 
 /// A staged, resumable reproduction job on one failure dump.
 ///
-/// See the [module docs](crate::session) for the phase model and
-/// checkpoint/resume semantics, and [`Reproducer`](crate::Reproducer)
-/// for the one-call wrapper.
+/// See the [module docs](crate::session) for the phase model, the
+/// content-addressed caching, and checkpoint/resume semantics; see
+/// [`Reproducer`](crate::Reproducer) for the one-call wrapper.
 pub struct ReproSession<'p> {
-    program: &'p Program,
-    analysis: ProgramAnalysis,
-    options: ReproOptions,
-    input: Vec<i64>,
-    failure_dump: CoreDump,
-    failure: Failure,
-    cancel: CancelToken,
-    observer: Box<dyn PhaseObserver + 'p>,
-    artifacts: Artifacts,
+    pub(crate) program: &'p Program,
+    pub(crate) analysis: ProgramAnalysis,
+    pub(crate) options: ReproOptions,
+    pub(crate) input: Vec<i64>,
+    pub(crate) failure_dump: CoreDump,
+    pub(crate) failure: Failure,
+    pub(crate) cancel: CancelToken,
+    observer: Box<dyn PhaseObserver + Send + 'p>,
+    store: Arc<dyn ArtifactStore>,
+    /// Content hash of the session identity: program fingerprint,
+    /// failing input, failure dump, and the *result-relevant* options.
+    /// Every phase key chains off this. Computed lazily — a session
+    /// whose store never caches ([`NullStore`]) pays nothing for it.
+    basis: Cell<Option<ContentHash>>,
+    pub(crate) artifacts: Artifacts,
+    /// Content hash of each produced artifact's encoded bytes, indexed
+    /// by [`Phase::index`]; filled lazily (encoding an artifact just to
+    /// hash it is wasted work unless keys are actually consulted).
+    hashes: [Cell<Option<ContentHash>>; 5],
 }
 
 impl std::fmt::Debug for ReproSession<'_> {
@@ -152,6 +111,7 @@ impl std::fmt::Debug for ReproSession<'_> {
             .field("options", &self.options)
             .field("input", &self.input)
             .field("failure", &self.failure)
+            .field("basis", &self.basis.get())
             .field("completed", &self.completed())
             .finish_non_exhaustive()
     }
@@ -186,6 +146,7 @@ impl<'p> ReproSession<'p> {
         options: ReproOptions,
     ) -> Result<Self, ReproError> {
         let failure = failure_dump.failure().ok_or(ReproError::NotAFailureDump)?;
+        let store = options.store.clone().unwrap_or_else(|| Arc::new(NullStore));
         Ok(ReproSession {
             program,
             analysis,
@@ -195,7 +156,10 @@ impl<'p> ReproSession<'p> {
             failure,
             cancel: CancelToken::new(),
             observer: Box::new(NullPhaseObserver),
+            store,
+            basis: Cell::new(None),
             artifacts: Artifacts::default(),
+            hashes: std::array::from_fn(|_| Cell::new(None)),
         })
     }
 
@@ -221,9 +185,42 @@ impl<'p> ReproSession<'p> {
         self.cancel.clone()
     }
 
-    /// Attaches a progress observer (replacing any previous one).
-    pub fn set_observer(&mut self, observer: Box<dyn PhaseObserver + 'p>) {
+    /// Attaches a progress observer (replacing any previous one). The
+    /// observer must be [`Send`] because batch schedulers move sessions
+    /// across executor threads; share state with the caller through an
+    /// `Arc<Mutex<_>>` observer (see
+    /// [`TimingLog`](crate::TimingLog)).
+    pub fn set_observer(&mut self, observer: Box<dyn PhaseObserver + Send + 'p>) {
         self.observer = observer;
+    }
+
+    /// Attaches a content-addressed artifact store (replacing the one
+    /// from [`ReproOptions::store`], or the default [`NullStore`]).
+    /// Every phase whose [`PhaseKey`] hits the store is skipped and its
+    /// artifact rehydrated.
+    pub fn set_store(&mut self, store: Arc<dyn ArtifactStore>) {
+        self.store = store;
+    }
+
+    /// The artifact store this session consults.
+    pub fn store(&self) -> &Arc<dyn ArtifactStore> {
+        &self.store
+    }
+
+    /// The session's identity hash: program fingerprint, input, failure
+    /// dump, and result-relevant options, hashed on the wire encoding.
+    /// Two sessions with equal bases produce bit-identical artifacts for
+    /// every phase. Parallelism knobs and runtime attachments are
+    /// deliberately excluded — results are independent of them (pinned
+    /// by the parallel-equivalence suite), so a cache populated on an
+    /// 8-core worker still hits on a 4-core one. Computed lazily.
+    pub fn basis(&self) -> ContentHash {
+        if let Some(b) = self.basis.get() {
+            return b;
+        }
+        let b = session_basis(self.program, &self.input, &self.failure_dump, &self.options);
+        self.basis.set(Some(b));
+        b
     }
 
     /// The latest completed phase, if any.
@@ -282,7 +279,7 @@ impl<'p> ReproSession<'p> {
         self.artifacts.search.as_ref()
     }
 
-    fn emit(&mut self, event: PhaseEvent) {
+    pub(crate) fn emit(&mut self, event: PhaseEvent) {
         self.observer.on_event(&event);
     }
 
@@ -296,6 +293,119 @@ impl<'p> ReproSession<'p> {
         Ok(())
     }
 
+    /// The content hash of `phase`'s encoded artifact, once produced
+    /// (`None` while the artifact is missing). Computed lazily — a
+    /// session that never consults keys never encodes artifacts just to
+    /// hash them.
+    pub fn artifact_hash(&self, phase: Phase) -> Option<ContentHash> {
+        let cell = &self.hashes[phase.index()];
+        if let Some(h) = cell.get() {
+            return Some(h);
+        }
+        let bytes = self.encode_artifact(phase)?;
+        let h = ContentHash::of(&bytes);
+        cell.set(Some(h));
+        Some(h)
+    }
+
+    /// The wire encoding of `phase`'s artifact, when present.
+    fn encode_artifact(&self, phase: Phase) -> Option<Vec<u8>> {
+        Some(match phase {
+            Phase::Index => self.artifacts.index.as_ref()?.to_bytes(),
+            Phase::Align => self.artifacts.align.as_ref()?.to_bytes(),
+            Phase::Diff => self.artifacts.delta.as_ref()?.to_bytes(),
+            Phase::Rank => self.artifacts.ranked.as_ref()?.to_bytes(),
+            Phase::Search => self.artifacts.search.as_ref()?.to_bytes(),
+        })
+    }
+
+    /// The content-addressed key identifying `phase`'s work unit:
+    /// derived from the session [`basis`](ReproSession::basis) and the
+    /// upstream artifact's hash. `None` until the upstream artifact
+    /// exists (the key cannot be known before then).
+    pub fn phase_key(&self, phase: Phase) -> Option<PhaseKey> {
+        let upstream = match phase.prev() {
+            None => None,
+            Some(p) => Some(self.artifact_hash(p)?),
+        };
+        Some(PhaseKey::derive(self.basis(), phase, upstream))
+    }
+
+    /// The key of the next phase to execute — what a fleet scheduler
+    /// single-flights on. `None` when the session is complete.
+    pub fn next_phase_key(&self) -> Option<PhaseKey> {
+        self.phase_key(self.next_phase()?)
+    }
+
+    /// The generic phase driver: runs prerequisites, consults the
+    /// artifact store under the phase's content-addressed key
+    /// (rehydrating a hit, observed as [`PhaseEvent::CacheHit`]), and
+    /// otherwise computes the phase and writes its artifact back.
+    /// Re-running a completed phase returns the stored artifact.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReproError`].
+    pub fn run<P: PipelinePhase>(&mut self) -> Result<&P::Artifact, ReproError> {
+        if let Some(prev) = P::PHASE.prev() {
+            self.run_phase(prev)?;
+        }
+        if P::artifact(self).is_none() {
+            if P::GUARDED_ENTRY {
+                self.check_entry(P::PHASE)?;
+            }
+            // Keys and artifact hashes exist only to address the store:
+            // with a non-caching store (the default NullStore) the whole
+            // machinery is skipped and the phase runs exactly as the
+            // pre-caching pipeline did.
+            let key = self
+                .store
+                .is_caching()
+                .then(|| self.phase_key(P::PHASE).expect("prerequisites just ran"));
+            // A corrupted store entry is treated as a miss, never an
+            // error: the store is a cache, recomputing is always sound.
+            let cached = key
+                .as_ref()
+                .and_then(|k| self.store.get(k))
+                .and_then(|bytes| P::decode(&bytes).ok().map(|a| (a, ContentHash::of(&bytes))));
+            match cached {
+                Some((artifact, hash)) => {
+                    self.hashes[P::PHASE.index()].set(Some(hash));
+                    P::install(self, artifact);
+                    self.emit(PhaseEvent::CacheHit { phase: P::PHASE });
+                }
+                None => {
+                    let artifact = P::compute(self)?;
+                    if let Some(key) = key {
+                        let bytes = P::encode(&artifact);
+                        if P::cacheable(&artifact) {
+                            self.store.put(&key, &bytes);
+                        }
+                        self.hashes[P::PHASE.index()].set(Some(ContentHash::of(&bytes)));
+                    }
+                    P::install(self, artifact);
+                }
+            }
+        }
+        Ok(P::artifact(self).expect("just installed"))
+    }
+
+    /// Dynamic-dispatch form of [`ReproSession::run`], for drivers that
+    /// hold a [`Phase`] value (the fleet scheduler's wave loop).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReproError`].
+    pub fn run_phase(&mut self, phase: Phase) -> Result<(), ReproError> {
+        match phase {
+            Phase::Index => self.run::<IndexPhase>().map(drop),
+            Phase::Align => self.run::<AlignPhase>().map(drop),
+            Phase::Diff => self.run::<DiffPhase>().map(drop),
+            Phase::Rank => self.run::<RankPhase>().map(drop),
+            Phase::Search => self.run::<SearchPhase>().map(drop),
+        }
+    }
+
     /// Phase 1: reverse engineering the failure's execution index
     /// (§3.2, Algorithm 1). Under
     /// [`AlignMode::InstructionCount`] the artifact carries no index.
@@ -305,34 +415,7 @@ impl<'p> ReproSession<'p> {
     /// [`ReproError::Reverse`] when the index cannot be reconstructed,
     /// [`ReproError::Cancelled`] when the token fired first.
     pub fn run_index(&mut self) -> Result<&FailureIndexArtifact, ReproError> {
-        if self.artifacts.index.is_none() {
-            self.check_entry(Phase::Index)?;
-            self.emit(PhaseEvent::Started {
-                phase: Phase::Index,
-            });
-            let t0 = Instant::now();
-            let index = match self.options.align_mode {
-                AlignMode::ExecutionIndex => {
-                    match reverse_index(self.program, &self.analysis, &self.failure_dump) {
-                        Ok(idx) => Some(idx),
-                        Err(e) => {
-                            self.emit(PhaseEvent::Interrupted {
-                                phase: Phase::Index,
-                            });
-                            return Err(e.into());
-                        }
-                    }
-                }
-                AlignMode::InstructionCount => None,
-            };
-            let elapsed = t0.elapsed();
-            self.artifacts.index = Some(FailureIndexArtifact { index, elapsed });
-            self.emit(PhaseEvent::Finished {
-                phase: Phase::Index,
-                elapsed,
-            });
-        }
-        Ok(self.artifacts.index.as_ref().expect("just stored"))
+        self.run::<IndexPhase>()
     }
 
     /// Phase 2: the deterministic passing run — aligned-point location
@@ -344,122 +427,7 @@ impl<'p> ReproSession<'p> {
     /// [`ReproError::NoSuchThread`], [`ReproError::Cancelled`] and
     /// [`ReproError::BudgetExhausted`].
     pub fn run_align(&mut self) -> Result<&AlignmentArtifact, ReproError> {
-        self.run_index()?;
-        if self.artifacts.align.is_none() {
-            self.check_entry(Phase::Align)?;
-            // Validation precedes the Started event so observers never
-            // see a phase start that can have no terminal event.
-            let focus = self.failure_dump.focus;
-            if focus.0 as usize >= 1 && self.program.funcs.is_empty() {
-                return Err(ReproError::NoSuchThread(focus));
-            }
-            self.emit(PhaseEvent::Started {
-                phase: Phase::Align,
-            });
-            let budget = self.options.budgets.get(Phase::Align);
-            let max_steps = effective_steps(self.options.max_steps, budget);
-            let mut guard = Interrupt::new(self.cancel.clone(), budget);
-
-            let t0 = Instant::now();
-            let mut vm = Vm::new(self.program, &self.input);
-            let mut logger = SyncLogger::new();
-            let index = self
-                .artifacts
-                .index
-                .as_ref()
-                .expect("index phase ran")
-                .index
-                .clone();
-            let (alignment, deterministic_repro, passing_run) = match &index {
-                Some(idx) => {
-                    let mut aligner = Aligner::new(self.program, &self.analysis, focus, idx);
-                    let outcome = {
-                        let mut tee = Tee {
-                            a: &mut aligner,
-                            b: &mut logger,
-                        };
-                        let mut sched = DeterministicScheduler::new();
-                        run_until(&mut vm, &mut sched, &mut tee, max_steps, |_| guard.fired())
-                    };
-                    if guard.interrupted() {
-                        self.emit(PhaseEvent::Interrupted {
-                            phase: Phase::Align,
-                        });
-                        return Err(guard.error(Phase::Align));
-                    }
-                    let deterministic =
-                        matches!(outcome, Outcome::Crashed(f) if f.same_bug(&self.failure));
-                    (aligner.finish(), deterministic, logger.finish())
-                }
-                None => {
-                    // Instruction-count alignment (Table 5 baseline): one
-                    // full logged run; the aligned point is found on the
-                    // fly, so no second execution is needed.
-                    let target_instrs = self.failure_dump.focus_thread().instrs;
-                    let failure_pc = self.failure.pc;
-                    let mut sched = DeterministicScheduler::new();
-                    let mut reached: Option<u64> = None;
-                    let mut aligned_at: Option<u64> = None;
-                    let mut scanning = true;
-                    let outcome = run_until(&mut vm, &mut sched, &mut logger, max_steps, |vm| {
-                        if guard.fired() {
-                            return true;
-                        }
-                        if scanning {
-                            if let Some(th) = vm.threads().get(focus.0 as usize) {
-                                if th.instrs >= target_instrs {
-                                    if reached.is_none() {
-                                        reached = Some(vm.steps());
-                                    }
-                                    // Scan for the failure PC from here on.
-                                    if th.pc() == Some(failure_pc) {
-                                        aligned_at = Some(vm.steps());
-                                        scanning = false;
-                                    } else if vm.steps() > reached.unwrap() + 200_000 {
-                                        // Give up the PC scan after a
-                                        // grace window.
-                                        aligned_at = reached;
-                                        scanning = false;
-                                    }
-                                }
-                            }
-                        }
-                        false
-                    });
-                    if guard.interrupted() {
-                        self.emit(PhaseEvent::Interrupted {
-                            phase: Phase::Align,
-                        });
-                        return Err(guard.error(Phase::Align));
-                    }
-                    // If the run ended before the scan concluded, align at
-                    // the point the count was reached (or the end).
-                    let step = aligned_at
-                        .or(reached)
-                        .unwrap_or_else(|| vm.steps().saturating_sub(1));
-                    let deterministic =
-                        matches!(outcome, Outcome::Crashed(f) if f.same_bug(&self.failure));
-                    let alignment = Alignment {
-                        signal: AlignSignal::Closest,
-                        step,
-                        remaining: 0,
-                    };
-                    (alignment, deterministic, logger.finish())
-                }
-            };
-            let elapsed = t0.elapsed();
-            self.artifacts.align = Some(AlignmentArtifact {
-                alignment,
-                deterministic_repro,
-                passing_run,
-                elapsed,
-            });
-            self.emit(PhaseEvent::Finished {
-                phase: Phase::Align,
-                elapsed,
-            });
-        }
-        Ok(self.artifacts.align.as_ref().expect("just stored"))
+        self.run::<AlignPhase>()
     }
 
     /// Phase 3: replay to the aligned point, capture the aligned dump
@@ -471,158 +439,18 @@ impl<'p> ReproSession<'p> {
     /// Those of [`ReproSession::run_align`], plus [`ReproError::Codec`]
     /// when a dump fails to round-trip through the codec.
     pub fn run_diff(&mut self) -> Result<&DumpDeltaArtifact, ReproError> {
-        self.run_align()?;
-        if self.artifacts.delta.is_none() {
-            self.check_entry(Phase::Diff)?;
-            self.emit(PhaseEvent::Started { phase: Phase::Diff });
-            let budget = self.options.budgets.get(Phase::Diff);
-            let max_steps = effective_steps(self.options.max_steps, budget);
-            let mut guard = Interrupt::new(self.cancel.clone(), budget);
-            let alignment = self.artifacts.align.as_ref().expect("align ran").alignment;
-            let focus = self.failure_dump.focus;
-
-            // Replay to the aligned point; capture dump + trace.
-            let t0 = Instant::now();
-            let mut replay = Vm::new(self.program, &self.input);
-            let mut collector =
-                TraceCollector::new(self.program, &self.analysis, self.options.trace_window);
-            {
-                let mut sched = DeterministicScheduler::new();
-                let stop_after = alignment.step;
-                run_until(&mut replay, &mut sched, &mut collector, max_steps, |vm| {
-                    guard.fired() || vm.steps() > stop_after
-                });
-            }
-            if guard.interrupted() {
-                self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
-                return Err(guard.error(Phase::Diff));
-            }
-            let aligned_focus = if (focus.0 as usize) < replay.threads().len() {
-                focus
-            } else {
-                ThreadId(0)
-            };
-            let aligned_dump = CoreDump::capture(&replay, aligned_focus, DumpReason::Aligned);
-            let trace = collector.finish();
-            let replay_elapsed = t0.elapsed();
-            self.emit(PhaseEvent::Stage {
-                phase: Phase::Diff,
-                stage: "replay",
-                elapsed: replay_elapsed,
-            });
-
-            // Dump comparison ("parse" covers encode/decode and
-            // traversal, the GDB-dominated cost of the paper's Table 6).
-            let t0 = Instant::now();
-            let failure_bytes = mcr_dump::encode(&self.failure_dump);
-            let aligned_bytes = mcr_dump::encode(&aligned_dump);
-            let failure_reparsed = match mcr_dump::decode(&failure_bytes) {
-                Ok(dump) => dump,
-                Err(e) => {
-                    self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
-                    return Err(ReproError::Codec(e));
-                }
-            };
-            let aligned_reparsed = match mcr_dump::decode(&aligned_bytes) {
-                Ok(dump) => dump,
-                Err(e) => {
-                    self.emit(PhaseEvent::Interrupted { phase: Phase::Diff });
-                    return Err(ReproError::Codec(e));
-                }
-            };
-            let vars_fail = reachable_vars(&failure_reparsed, self.options.limits);
-            let vars_aligned = reachable_vars(&aligned_reparsed, self.options.limits);
-            let parse_elapsed = t0.elapsed();
-            self.emit(PhaseEvent::Stage {
-                phase: Phase::Diff,
-                stage: "dump-parse",
-                elapsed: parse_elapsed,
-            });
-
-            let t0 = Instant::now();
-            let diff = DumpDiff::compare_maps(&vars_fail, &vars_aligned);
-            let diff_elapsed = t0.elapsed();
-            self.emit(PhaseEvent::Stage {
-                phase: Phase::Diff,
-                stage: "diff",
-                elapsed: diff_elapsed,
-            });
-
-            // Resolve CSV paths to passing-run locations.
-            let csv_locs: Vec<MemLoc> = diff
-                .csvs
-                .iter()
-                .filter_map(|path| resolve_loc(&aligned_dump, path))
-                .filter_map(|rv| match rv {
-                    ResolvedVar::Global(g) => Some(MemLoc::Global(g)),
-                    ResolvedVar::GlobalElem(g, i) => Some(MemLoc::GlobalElem(g, i)),
-                    ResolvedVar::Heap(o, i) => Some(MemLoc::Heap(o, i)),
-                    _ => None,
-                })
-                .collect();
-
-            let elapsed = replay_elapsed + parse_elapsed + diff_elapsed;
-            self.artifacts.delta = Some(DumpDeltaArtifact {
-                failure_dump_bytes: failure_bytes.len(),
-                aligned_dump_bytes: aligned_bytes.len(),
-                vars: diff.vars_a,
-                diffs: diff.diff_count(),
-                shared: diff.shared_compared,
-                csv_paths: diff.csvs,
-                csv_locs,
-                trace,
-                replay_elapsed,
-                parse_elapsed,
-                diff_elapsed,
-            });
-            self.emit(PhaseEvent::Finished {
-                phase: Phase::Diff,
-                elapsed,
-            });
-        }
-        Ok(self.artifacts.delta.as_ref().expect("just stored"))
+        self.run::<DiffPhase>()
     }
 
     /// Phase 4: prioritize the CSV accesses of the dependence trace
     /// (temporal closeness or dependence distance, per
-    /// [`ReproOptions::strategy`]).
+    /// [`ReproOptions::strategy`](crate::ReproOptions::strategy)).
     ///
     /// # Errors
     ///
     /// Those of [`ReproSession::run_diff`].
     pub fn run_rank(&mut self) -> Result<&RankedAccessesArtifact, ReproError> {
-        self.run_diff()?;
-        if self.artifacts.ranked.is_none() {
-            self.check_entry(Phase::Rank)?;
-            self.emit(PhaseEvent::Started { phase: Phase::Rank });
-            let delta = self.artifacts.delta.as_ref().expect("diff ran");
-            let trace = &delta.trace;
-            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
-
-            let t0 = Instant::now();
-            let aligned_serial = trace.last().map(|e| e.serial).unwrap_or(0);
-            let slice = match self.options.strategy {
-                Strategy::Dependence => {
-                    let criteria: Vec<u64> = trace.last().map(|e| e.serial).into_iter().collect();
-                    Some(backward_slice(trace, &criteria))
-                }
-                Strategy::Temporal => None,
-            };
-            let ranked = rank_csv_accesses(
-                trace,
-                aligned_serial,
-                &csv_set,
-                self.options.strategy,
-                slice.as_ref(),
-            );
-            let elapsed = t0.elapsed();
-            self.artifacts.ranked = Some(RankedAccessesArtifact { ranked, elapsed });
-            self.emit(PhaseEvent::Finished {
-                phase: Phase::Rank,
-                elapsed,
-            });
-        }
-        Ok(self.artifacts.ranked.as_ref().expect("just stored"))
+        self.run::<RankPhase>()
     }
 
     /// Phase 5: the directed schedule search (§5, Algorithm 2).
@@ -636,60 +464,7 @@ impl<'p> ReproSession<'p> {
     ///
     /// Those of [`ReproSession::run_rank`].
     pub fn run_search(&mut self) -> Result<&SearchArtifact, ReproError> {
-        self.run_rank()?;
-        if self.artifacts.search.is_none() {
-            self.emit(PhaseEvent::Started {
-                phase: Phase::Search,
-            });
-            let ranked = &self.artifacts.ranked.as_ref().expect("rank ran").ranked;
-            let delta = self.artifacts.delta.as_ref().expect("diff ran");
-            let align = self.artifacts.align.as_ref().expect("align ran");
-            let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
-
-            let t0 = Instant::now();
-            let mut priorities: HashMap<(u64, MemLoc, bool), u32> = HashMap::new();
-            for r in ranked {
-                let e = priorities
-                    .entry((r.step, r.loc, r.is_write))
-                    .or_insert(r.priority);
-                *e = (*e).min(r.priority);
-            }
-            let (candidates, future) = annotate(&align.passing_run, &csv_set, &priorities);
-            let fresh = Vm::new(self.program, &self.input);
-            let budget = self.options.budgets.get(Phase::Search);
-            let mut search_config = SearchConfig {
-                parallelism: self.options.parallelism.max(1),
-                cancel: self.cancel.clone(),
-                ..self.options.search.clone()
-            };
-            if let Some(b) = budget {
-                if let Some(wall) = b.wall {
-                    search_config.time_budget =
-                        Some(search_config.time_budget.map_or(wall, |t| t.min(wall)));
-                }
-                if let Some(steps) = b.max_steps {
-                    search_config.max_steps = search_config.max_steps.min(steps);
-                }
-            }
-            let result = find_schedule(
-                &fresh,
-                &candidates,
-                &future,
-                self.failure,
-                self.options.algorithm,
-                &search_config,
-            );
-            let elapsed = t0.elapsed();
-            // A cancelled search still Finishes (with a partial
-            // artifact, `result.cancelled` set); Interrupted is reserved
-            // for phases that produced nothing.
-            self.artifacts.search = Some(SearchArtifact { result, elapsed });
-            self.emit(PhaseEvent::Finished {
-                phase: Phase::Search,
-                elapsed,
-            });
-        }
-        Ok(self.artifacts.search.as_ref().expect("just stored"))
+        self.run::<SearchPhase>()
     }
 
     /// Runs every remaining phase and returns the final report.
@@ -737,6 +512,8 @@ impl<'p> ReproSession<'p> {
     /// Serializes the whole session — options, input, failure dump, and
     /// every artifact produced so far — to bytes. The compiled program
     /// is *not* included; supply it again to [`ReproSession::resume`].
+    /// (The artifact store and executor handle are process-local
+    /// runtime attachments and are likewise not serialized.)
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.raw(MAGIC);
@@ -791,13 +568,11 @@ impl<'p> ReproSession<'p> {
             input.push(r.ivarint()?);
         }
         let failure_dump = mcr_dump::decode(r.bytes()?)?;
-        let artifacts = Artifacts {
-            index: read_artifact(&mut r, FailureIndexArtifact::from_bytes)?,
-            align: read_artifact(&mut r, AlignmentArtifact::from_bytes)?,
-            delta: read_artifact(&mut r, DumpDeltaArtifact::from_bytes)?,
-            ranked: read_artifact(&mut r, RankedAccessesArtifact::from_bytes)?,
-            search: read_artifact(&mut r, SearchArtifact::from_bytes)?,
-        };
+        let index = read_artifact(&mut r, FailureIndexArtifact::from_bytes)?;
+        let align = read_artifact(&mut r, AlignmentArtifact::from_bytes)?;
+        let delta = read_artifact(&mut r, DumpDeltaArtifact::from_bytes)?;
+        let ranked = read_artifact(&mut r, RankedAccessesArtifact::from_bytes)?;
+        let search = read_artifact(&mut r, SearchArtifact::from_bytes)?;
         r.finish()?;
         let mut session = Self::from_parts(
             program,
@@ -806,17 +581,86 @@ impl<'p> ReproSession<'p> {
             input,
             options,
         )?;
-        session.artifacts = artifacts;
+        session.artifacts = Artifacts {
+            index: index.as_ref().map(|(a, _)| a.clone()),
+            align: align.as_ref().map(|(a, _)| a.clone()),
+            delta: delta.as_ref().map(|(a, _)| a.clone()),
+            ranked: ranked.as_ref().map(|(a, _)| a.clone()),
+            search: search.as_ref().map(|(a, _)| a.clone()),
+        };
+        session.hashes = [
+            Cell::new(index.map(|(_, h)| h)),
+            Cell::new(align.map(|(_, h)| h)),
+            Cell::new(delta.map(|(_, h)| h)),
+            Cell::new(ranked.map(|(_, h)| h)),
+            Cell::new(search.map(|(_, h)| h)),
+        ];
         Ok(session)
     }
 }
 
-/// Step cap for a phase: the options default, tightened by the phase
-/// budget when one is set.
-fn effective_steps(default: u64, budget: Option<PhaseBudget>) -> u64 {
-    match budget.and_then(|b| b.max_steps) {
-        Some(cap) => default.min(cap),
-        None => default,
+/// Hashes the session identity — program fingerprint, failing input,
+/// failure dump, and result-relevant options — on the wire encoding.
+fn session_basis(
+    program: &Program,
+    input: &[i64],
+    failure_dump: &CoreDump,
+    options: &ReproOptions,
+) -> ContentHash {
+    let mut w = Writer::new();
+    w.uvarint(input.len() as u64);
+    for v in input {
+        w.ivarint(*v);
+    }
+    write_key_options(&mut w, options);
+    let mut h = ContentHasher::new();
+    h.update(b"MCRB1");
+    h.update(&program_fingerprint(program).to_le_bytes());
+    h.update(&mcr_dump::encode(failure_dump));
+    h.update(&w.into_bytes());
+    h.finish128()
+}
+
+/// The options bytes that enter a session's key basis: like
+/// [`write_options`] but *excluding* the worker counts
+/// (`ReproOptions::parallelism`, `SearchConfig::parallelism`). The
+/// parallel-equivalence suite pins that results are independent of
+/// worker count, so folding it into keys would only break cache sharing
+/// between machines with different core counts (a shipped
+/// [`BytesStore`](crate::BytesStore) snapshot would silently never
+/// hit). Checkpoints still serialize the full options via
+/// [`write_options`].
+fn write_key_options(w: &mut Writer, o: &ReproOptions) {
+    w.u8(match o.strategy {
+        Strategy::Temporal => 0,
+        Strategy::Dependence => 1,
+    });
+    w.u8(match o.align_mode {
+        AlignMode::ExecutionIndex => 0,
+        AlignMode::InstructionCount => 1,
+    });
+    w.u8(match o.algorithm {
+        Algorithm::Chess => 0,
+        Algorithm::ChessX => 1,
+    });
+    w.uvarint(o.search.preemption_bound as u64);
+    w.uvarint(o.search.max_tries);
+    w.opt_duration(o.search.time_budget);
+    w.uvarint(o.search.max_steps);
+    w.uvarint(o.search.pair_pool as u64);
+    w.uvarint(o.trace_window as u64);
+    w.uvarint(o.max_steps);
+    w.uvarint(o.limits.max_depth as u64);
+    w.uvarint(o.limits.max_paths as u64);
+    for phase in crate::observe::PHASES {
+        match o.budgets.get(phase) {
+            None => w.bool(false),
+            Some(b) => {
+                w.bool(true);
+                w.opt_uvarint(b.max_steps);
+                w.opt_duration(b.wall);
+            }
+        }
     }
 }
 
@@ -830,17 +674,25 @@ fn write_artifact<T>(w: &mut Writer, artifact: &Option<T>, to_bytes: impl Fn(&T)
     }
 }
 
+/// Reads an optional artifact, returning it together with the content
+/// hash of its encoded bytes (so a resumed session can derive phase
+/// keys without re-encoding).
 fn read_artifact<T>(
     r: &mut Reader<'_>,
     from_bytes: impl Fn(&[u8]) -> Result<T, DecodeError>,
-) -> Result<Option<T>, DecodeError> {
+) -> Result<Option<(T, ContentHash)>, DecodeError> {
     Ok(if r.bool()? {
-        Some(from_bytes(r.bytes()?)?)
+        let bytes = r.bytes()?;
+        Some((from_bytes(bytes)?, ContentHash::of(bytes)))
     } else {
         None
     })
 }
 
+/// Serializes the options' *semantic* knobs (runtime attachments — the
+/// cancel token, artifact store, and executor handle — are
+/// process-local and excluded; they also do not contribute to session
+/// bases, so attaching a store never changes a phase key).
 fn write_options(w: &mut Writer, o: &ReproOptions) {
     w.u8(match o.strategy {
         Strategy::Temporal => 0,
@@ -901,8 +753,9 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
         pair_pool: r.uvarint()? as usize,
         parallelism: r.uvarint()? as usize,
         // The token is process-local state; a resumed session gets a
-        // fresh one.
+        // fresh one. Likewise the executor handle.
         cancel: CancelToken::new(),
+        pool: None,
     };
     let trace_window = r.uvarint()? as usize;
     let max_steps = r.uvarint()?;
@@ -933,6 +786,8 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
         limits,
         parallelism,
         budgets,
+        store: None,
+        pool: None,
     })
 }
 
@@ -940,9 +795,9 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
 mod tests {
     use super::*;
     use crate::observe::TimingLog;
+    use crate::store::MemoryStore;
     use crate::stress::find_failure;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
     use std::time::Duration;
 
     const FIG1: &str = r#"
@@ -1009,11 +864,12 @@ mod tests {
     fn observer_sees_all_phases_in_order() {
         let p = mcr_lang::compile(FIG1).unwrap();
         let mut s = fig1_session(&p, ReproOptions::default());
-        let log = Rc::new(RefCell::new(TimingLog::new()));
-        s.set_observer(Box::new(Rc::clone(&log)));
+        let log = Arc::new(Mutex::new(TimingLog::new()));
+        s.set_observer(Box::new(Arc::clone(&log)));
         s.run_to_end().unwrap();
         let finished: Vec<Phase> = log
-            .borrow()
+            .lock()
+            .unwrap()
             .finished()
             .iter()
             .map(|(phase, _)| *phase)
@@ -1021,7 +877,8 @@ mod tests {
         assert_eq!(finished, crate::observe::PHASES);
         // The diff phase's sub-stages were reported too.
         let stages: Vec<&str> = log
-            .borrow()
+            .lock()
+            .unwrap()
             .events
             .iter()
             .filter_map(|e| match e {
@@ -1056,5 +913,90 @@ mod tests {
         ));
         // The index artifact survived; lifting the budget resumes.
         assert!(s.index_artifact().is_some());
+    }
+
+    #[test]
+    fn warm_session_rehydrates_every_phase_from_the_store() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let input = [0i64, 1];
+        let sf = find_failure(&p, &input, 0..200_000, 1_000_000).expect("stress exposes");
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+
+        let mut cold =
+            ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
+        cold.set_store(Arc::clone(&store));
+        let cold_report = cold.run_to_end().unwrap();
+        assert_eq!(store.stats().inserts, 5, "every phase cached");
+
+        let mut warm =
+            ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
+        warm.set_store(Arc::clone(&store));
+        let log = Arc::new(Mutex::new(TimingLog::new()));
+        warm.set_observer(Box::new(Arc::clone(&log)));
+        let warm_report = warm.run_to_end().unwrap();
+
+        // All five phases were cache hits; nothing Started.
+        assert_eq!(log.lock().unwrap().cache_hits(), crate::observe::PHASES);
+        assert!(log.lock().unwrap().finished().is_empty());
+        // The rehydrated report is bit-identical, *including* timings
+        // (they are part of the cached artifacts).
+        assert_eq!(cold_report, warm_report);
+        // And both sessions derived identical keys.
+        assert_eq!(cold.basis(), warm.basis());
+        for phase in crate::observe::PHASES {
+            assert_eq!(cold.phase_key(phase), warm.phase_key(phase));
+        }
+    }
+
+    #[test]
+    fn phase_keys_differ_across_inputs_and_options() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let input = [0i64, 1];
+        let sf = find_failure(&p, &input, 0..200_000, 1_000_000).expect("stress exposes");
+        let a = ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
+        let b =
+            ReproSession::new(&p, sf.dump.clone(), &[0, 1, 2], ReproOptions::default()).unwrap();
+        let c = ReproSession::new(
+            &p,
+            sf.dump.clone(),
+            &input,
+            ReproOptions::builder().trace_window(7).build(),
+        )
+        .unwrap();
+        assert_ne!(a.basis(), b.basis(), "input is part of the key basis");
+        assert_ne!(a.basis(), c.basis(), "options are part of the key basis");
+        // Worker counts are NOT part of the basis: a cache populated on
+        // one machine must hit on another with different cores.
+        let d = ReproSession::new(
+            &p,
+            sf.dump.clone(),
+            &input,
+            ReproOptions::builder().parallelism(64).build(),
+        )
+        .unwrap();
+        assert_eq!(a.basis(), d.basis(), "parallelism must not affect keys");
+        assert_ne!(
+            a.phase_key(Phase::Index),
+            b.phase_key(Phase::Index),
+            "index keys diverge with the basis"
+        );
+        // Keys of later phases are unknown before their upstream exists.
+        assert_eq!(a.phase_key(Phase::Align), None);
+        assert_eq!(a.next_phase_key().unwrap().phase, Phase::Index);
+    }
+
+    #[test]
+    fn partial_search_results_are_not_cached() {
+        let p = mcr_lang::compile(FIG1).unwrap();
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+        let mut s = fig1_session(&p, ReproOptions::default());
+        s.set_store(Arc::clone(&store));
+        s.run_rank().unwrap();
+        // Cancel before the search: it completes with a partial result.
+        s.cancel_token().cancel();
+        let artifact = s.run_search().unwrap();
+        assert!(artifact.result.cancelled);
+        // Rank and everything before it were cached; the search was not.
+        assert_eq!(store.stats().inserts, 4);
     }
 }

@@ -1,0 +1,462 @@
+//! Content-addressed artifact stores.
+//!
+//! Every phase of a [`ReproSession`](crate::ReproSession) is keyed by a
+//! [`PhaseKey`]: a stable [`ContentHash`] over *(program fingerprint,
+//! failing input, failure dump, options, upstream artifact)* computed on
+//! the [`mcr_dump::wire`] encoding. Because each phase is a
+//! deterministic function of exactly that material, two phase units with
+//! the same key produce byte-identical artifacts — so a session whose
+//! key hits an [`ArtifactStore`] skips the phase entirely and rehydrates
+//! the cached bytes (observed as
+//! [`PhaseEvent::CacheHit`](crate::PhaseEvent::CacheHit)).
+//!
+//! This is the dedup-by-content idea of ShareJIT-style code caches
+//! applied to MCR's per-phase artifacts: a triage service ingesting
+//! streams of near-duplicate core dumps from the same bug pays for each
+//! distinct `(dump, input, options)` pipeline once, fleet-wide.
+//!
+//! Three stores ship here:
+//!
+//! * [`NullStore`] — caches nothing (the default of a bare session),
+//! * [`MemoryStore`] — an in-memory LRU bounded by total artifact bytes,
+//! * [`BytesStore`] — an unbounded store whose whole content serializes
+//!   to one byte string on the same wire codec the session checkpoints
+//!   use, so a warm cache can be persisted or shipped between processes
+//!   like a checkpoint.
+//!
+//! All stores are `Send + Sync` and internally synchronized: one store
+//! handle (an `Arc`) is shared by every session of a fleet.
+
+use crate::observe::Phase;
+use mcr_dump::wire::{ContentHash, ContentHasher, Reader, Writer};
+use mcr_dump::DecodeError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 4] = b"MCRC";
+const VERSION: u8 = 1;
+
+/// Identity of one unit of phase work: the phase plus the content hash
+/// of everything that determines its artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaseKey {
+    /// The pipeline phase this key belongs to.
+    pub phase: Phase,
+    /// Content hash of the phase's full input closure: session basis
+    /// (program fingerprint, input, failure dump, options) chained with
+    /// the upstream artifact's content hash.
+    pub hash: ContentHash,
+}
+
+impl PhaseKey {
+    /// Derives the key for `phase` from the session `basis` and the
+    /// hash of the immediate upstream artifact (`None` for the first
+    /// phase).
+    pub fn derive(basis: ContentHash, phase: Phase, upstream: Option<ContentHash>) -> PhaseKey {
+        let mut h = ContentHasher::new();
+        h.update(b"MCRPK1");
+        h.update(&basis.to_le_bytes());
+        h.update(&[phase.index() as u8]);
+        match upstream {
+            None => h.update(&[0]),
+            Some(u) => {
+                h.update(&[1]);
+                h.update(&u.to_le_bytes());
+            }
+        }
+        PhaseKey {
+            phase,
+            hash: h.finish128(),
+        }
+    }
+}
+
+impl fmt::Display for PhaseKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.phase, self.hash)
+    }
+}
+
+/// Counters every store tracks; a fleet summary reports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// `put` calls that stored a new entry.
+    pub inserts: u64,
+    /// Entries dropped to stay under a capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total artifact bytes currently resident.
+    pub bytes: usize,
+}
+
+impl StoreStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared, content-addressed artifact cache.
+///
+/// Implementations are internally synchronized (`&self` methods) so one
+/// handle serves a whole fleet. A store is a *cache*, never a source of
+/// truth: `get` may forget anything at any time, and `put` may decline
+/// to retain.
+pub trait ArtifactStore: Send + Sync + fmt::Debug {
+    /// The artifact bytes stored under `key`, if any.
+    fn get(&self, key: &PhaseKey) -> Option<Vec<u8>>;
+
+    /// Stores `bytes` under `key` (last write wins; identical keys carry
+    /// identical bytes by construction).
+    fn put(&self, key: &PhaseKey, bytes: &[u8]);
+
+    /// Lookup/insert/eviction counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Whether this store can ever return a hit. [`NullStore`] says
+    /// `false`, which lets the session driver skip key derivation and
+    /// artifact hashing entirely — a plain uncached pipeline run pays
+    /// nothing for the caching machinery.
+    fn is_caching(&self) -> bool {
+        true
+    }
+}
+
+/// A store that caches nothing: every lookup misses, every insert is
+/// dropped. The default for sessions constructed without a store.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStore;
+
+impl ArtifactStore for NullStore {
+    fn get(&self, _key: &PhaseKey) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn put(&self, _key: &PhaseKey, _bytes: &[u8]) {}
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    fn is_caching(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    map: HashMap<PhaseKey, (Vec<u8>, u64)>,
+    tick: u64,
+    stats: StoreStats,
+}
+
+/// An in-memory LRU store bounded by total artifact bytes.
+///
+/// Eviction drops least-recently-used entries until the configured byte
+/// capacity holds again; a single entry larger than the whole capacity
+/// is retained alone (evicting it immediately would make the store
+/// useless for exactly the artifacts worth caching most).
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    capacity: Option<usize>,
+    inner: Mutex<MemInner>,
+}
+
+impl MemoryStore {
+    /// An unbounded store.
+    pub fn unbounded() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// A store that evicts LRU entries beyond `bytes` total capacity.
+    pub fn with_capacity(bytes: usize) -> MemoryStore {
+        MemoryStore {
+            capacity: Some(bytes),
+            inner: Mutex::default(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        self.inner.lock().expect("artifact store poisoned")
+    }
+
+    /// Every resident entry, ordered by key (deterministic snapshots).
+    fn entries_sorted(&self) -> Vec<(PhaseKey, Vec<u8>)> {
+        let inner = self.lock();
+        let mut entries: Vec<(PhaseKey, Vec<u8>)> = inner
+            .map
+            .iter()
+            .map(|(k, (b, _))| (*k, b.clone()))
+            .collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn get(&self, key: &PhaseKey) -> Option<Vec<u8>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((bytes, used)) => {
+                *used = tick;
+                let out = bytes.clone();
+                inner.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &PhaseKey, bytes: &[u8]) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.insert(*key, (bytes.to_vec(), tick)) {
+            Some((old, _)) => {
+                inner.stats.bytes -= old.len();
+            }
+            None => {
+                inner.stats.inserts += 1;
+                inner.stats.entries += 1;
+            }
+        }
+        inner.stats.bytes += bytes.len();
+        if let Some(cap) = self.capacity {
+            while inner.stats.bytes > cap && inner.stats.entries > 1 {
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(k, _)| *k)
+                    .expect("entries > 1");
+                let (dropped, _) = inner.map.remove(&victim).expect("victim resident");
+                inner.stats.bytes -= dropped.len();
+                inner.stats.entries -= 1;
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+}
+
+/// An unbounded store whose entire content round-trips through one byte
+/// string on the session-checkpoint wire codec (`MCRC` framing), so a
+/// warm cache can be persisted to disk, shipped to another triage
+/// worker, and restored with [`BytesStore::from_bytes`].
+///
+/// Storage and accounting delegate to an unbounded [`MemoryStore`];
+/// this type adds only the snapshot layer.
+#[derive(Debug, Default)]
+pub struct BytesStore {
+    inner: MemoryStore,
+}
+
+impl BytesStore {
+    /// An empty store.
+    pub fn new() -> BytesStore {
+        BytesStore::default()
+    }
+
+    /// Serializes every entry to bytes (deterministic: entries are
+    /// ordered by key).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u8(VERSION);
+        let entries = self.inner.entries_sorted();
+        w.uvarint(entries.len() as u64);
+        for (key, bytes) in entries {
+            w.u8(key.phase.index() as u8);
+            w.hash(key.hash);
+            w.bytes(&bytes);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a store from [`BytesStore::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BytesStore, DecodeError> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(MAGIC)?;
+        let version = r.u8()?;
+        if version != VERSION {
+            return r.err(format!("unsupported store version {version}"));
+        }
+        let n = r.len("store entries")?;
+        let store = BytesStore::new();
+        for _ in 0..n {
+            let tag = r.u8()? as usize;
+            let Some(&phase) = crate::observe::PHASES.get(tag) else {
+                return r.err(format!("bad phase tag {tag}"));
+            };
+            let hash = r.hash()?;
+            store.inner.put(&PhaseKey { phase, hash }, r.bytes()?);
+        }
+        r.finish()?;
+        Ok(store)
+    }
+}
+
+impl ArtifactStore for BytesStore {
+    fn get(&self, key: &PhaseKey) -> Option<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &PhaseKey, bytes: &[u8]) {
+        self.inner.put(key, bytes);
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+/// A stable fingerprint of a compiled program: the FNV-128 digest of the
+/// IR's canonical `Hash` byte stream. Part of every session's key basis,
+/// so artifacts of different programs can never be confused even when
+/// dumps and inputs coincide.
+pub fn program_fingerprint(program: &mcr_lang::Program) -> ContentHash {
+    use std::hash::Hash;
+    let mut h = ContentHasher::new();
+    h.update(b"MCRP1");
+    program.hash(&mut h);
+    h.finish128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(phase: Phase, seed: u8) -> PhaseKey {
+        PhaseKey::derive(ContentHash::of(&[seed]), phase, None)
+    }
+
+    #[test]
+    fn phase_key_derivation_is_stable_and_distinct() {
+        let basis = ContentHash::of(b"basis");
+        let a = PhaseKey::derive(basis, Phase::Index, None);
+        let b = PhaseKey::derive(basis, Phase::Index, None);
+        assert_eq!(a, b);
+        let up = ContentHash::of(b"artifact");
+        assert_ne!(a, PhaseKey::derive(basis, Phase::Align, Some(up)));
+        assert_ne!(
+            PhaseKey::derive(basis, Phase::Align, Some(up)),
+            PhaseKey::derive(basis, Phase::Align, Some(ContentHash::of(b"other"))),
+        );
+        assert_ne!(
+            a.hash,
+            PhaseKey::derive(ContentHash::of(b"other basis"), Phase::Index, None).hash
+        );
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_counts() {
+        let store = MemoryStore::unbounded();
+        let k = key(Phase::Index, 1);
+        assert_eq!(store.get(&k), None);
+        store.put(&k, b"artifact");
+        assert_eq!(store.get(&k).as_deref(), Some(b"artifact".as_ref()));
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 8);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let store = MemoryStore::with_capacity(8);
+        let (a, b, c) = (
+            key(Phase::Index, 1),
+            key(Phase::Index, 2),
+            key(Phase::Index, 3),
+        );
+        store.put(&a, b"aaaa");
+        store.put(&b, b"bbbb");
+        // Touch `a` so `b` is now least recently used.
+        assert!(store.get(&a).is_some());
+        store.put(&c, b"cccc");
+        assert!(store.get(&a).is_some(), "recently used survives");
+        assert!(store.get(&b).is_none(), "LRU entry evicted");
+        assert!(store.get(&c).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 8);
+    }
+
+    #[test]
+    fn oversized_entry_is_retained_alone() {
+        let store = MemoryStore::with_capacity(4);
+        let k = key(Phase::Search, 9);
+        store.put(&k, b"waytoobig");
+        assert!(store.get(&k).is_some());
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn bytes_store_round_trips_through_the_wire_codec() {
+        let store = BytesStore::new();
+        store.put(&key(Phase::Index, 1), b"one");
+        store.put(&key(Phase::Search, 2), b"two");
+        let blob = store.to_bytes();
+        let restored = BytesStore::from_bytes(&blob).unwrap();
+        assert_eq!(
+            restored.get(&key(Phase::Index, 1)).as_deref(),
+            Some(b"one".as_ref())
+        );
+        assert_eq!(
+            restored.get(&key(Phase::Search, 2)).as_deref(),
+            Some(b"two".as_ref())
+        );
+        assert_eq!(restored.stats().entries, 2);
+        // Deterministic snapshot.
+        assert_eq!(blob, restored.to_bytes());
+        // Truncations never panic.
+        for cut in 0..blob.len() {
+            assert!(BytesStore::from_bytes(&blob[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn null_store_forgets_everything() {
+        let store = NullStore;
+        let k = key(Phase::Rank, 0);
+        store.put(&k, b"bytes");
+        assert_eq!(store.get(&k), None);
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn program_fingerprint_distinguishes_programs() {
+        let a = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
+        let a2 = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
+        let b = mcr_lang::compile("global x: int; fn main() { x = 2; }").unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&a2));
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+}

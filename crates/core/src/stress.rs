@@ -8,7 +8,9 @@
 
 use mcr_dump::CoreDump;
 use mcr_lang::Program;
+use mcr_search::CancelToken;
 use mcr_vm::{run, NullObserver, Outcome, StressScheduler, Vm};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Outcome of a stress campaign.
 #[derive(Debug, Clone)]
@@ -69,24 +71,104 @@ pub fn find_failure_par(
     if parallelism <= 1 {
         return find_failure(program, input, seeds, max_steps);
     }
+    find_failure_pool(
+        program,
+        input,
+        seeds,
+        max_steps,
+        &minipool::Pool::new(parallelism),
+    )
+}
+
+/// [`find_failure_par`] over an *injected* executor handle — the form a
+/// fleet scheduler uses so that every stress scan it launches draws from
+/// one shared worker budget instead of constructing its own pool.
+pub fn find_failure_pool(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    pool: &minipool::Pool,
+) -> Option<StressFailure> {
+    scan(program, input, seeds, max_steps, pool, None)
+}
+
+/// Cancellable parallel seed scan.
+///
+/// Firing `cancel` (from any thread) stops workers from starting new
+/// seed runs; the scan then returns the lowest crashing seed found **if
+/// and only if** every lower seed already completed — i.e. any `Some`
+/// answer is exactly the seed the uninterrupted serial scan would
+/// return. When cancellation leaves that undetermined (or nothing
+/// crashed), the scan returns `None`.
+pub fn find_failure_par_cancellable(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    parallelism: usize,
+    cancel: &CancelToken,
+) -> Option<StressFailure> {
+    scan(
+        program,
+        input,
+        seeds,
+        max_steps,
+        &minipool::Pool::new(parallelism.max(1)),
+        Some(cancel),
+    )
+}
+
+fn scan(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    pool: &minipool::Pool,
+    cancel: Option<&CancelToken>,
+) -> Option<StressFailure> {
     let start = seeds.start;
     let n = usize::try_from(seeds.end.saturating_sub(start)).unwrap_or(usize::MAX);
     // Lowest crashing seed found so far (u64::MAX = none).
-    let winner = std::sync::atomic::AtomicU64::new(u64::MAX);
-    minipool::Pool::new(parallelism).for_each_index(n, |i| {
+    let winner = AtomicU64::new(u64::MAX);
+    // With cancellation in play, per-seed completion flags let the scan
+    // prove (or refuse to claim) serial equivalence afterwards.
+    let done: Option<Vec<AtomicBool>> =
+        cancel.map(|_| (0..n).map(|_| AtomicBool::new(false)).collect());
+    pool.for_each_index(n, |i| {
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                return;
+            }
+        }
         let seed = start + i as u64;
         // A seed above the current winner can never become the answer
         // (`fetch_min` only lowers it); seeds below always run.
-        if seed > winner.load(std::sync::atomic::Ordering::Acquire) {
+        if seed > winner.load(Ordering::Acquire) {
             return;
         }
         if crashes(program, input, seed, max_steps) {
-            winner.fetch_min(seed, std::sync::atomic::Ordering::AcqRel);
+            winner.fetch_min(seed, Ordering::AcqRel);
+        }
+        if let Some(flags) = &done {
+            flags[i].store(true, Ordering::Release);
         }
     });
-    let seed = winner.load(std::sync::atomic::Ordering::Acquire);
+    let seed = winner.load(Ordering::Acquire);
     if seed == u64::MAX {
         return None;
+    }
+    if let (Some(token), Some(flags)) = (cancel, &done) {
+        // A skipped seed is always above the final winner (the winner
+        // only decreases), so incompleteness below it can only come from
+        // cancellation — in which case a lower seed might still crash
+        // and the serial answer is unknown: refuse to guess.
+        if token.is_cancelled() {
+            let w_idx = (seed - start) as usize;
+            if !flags[..w_idx].iter().all(|f| f.load(Ordering::Acquire)) {
+                return None;
+            }
+        }
     }
     // Replay the winning seed to capture the dump: stress runs are pure
     // functions of the seed, so this reproduces the identical crash state
@@ -202,5 +284,73 @@ mod tests {
     fn parallel_scan_handles_no_failure() {
         let p = mcr_lang::compile("global x: int; fn main() { x = 1; }").unwrap();
         assert!(find_failure_par(&p, &[], 0..50, 10_000, 4).is_none());
+    }
+
+    #[test]
+    fn repeated_scans_are_seed_deterministic() {
+        // Equivalence, not wall time: CI may be single-core, so the
+        // property pinned is that serial, parallel, and injected-pool
+        // scans all settle on the identical winner, run after run.
+        let p = mcr_lang::compile(RACE).unwrap();
+        let serial = find_failure(&p, &[], 0..100_000, 100_000).expect("stress exposes");
+        for _ in 0..2 {
+            let par = find_failure_par(&p, &[], 0..100_000, 100_000, 3).unwrap();
+            assert_eq!(
+                (par.seed, par.seeds_tried),
+                (serial.seed, serial.seeds_tried)
+            );
+            assert_eq!(par.dump, serial.dump);
+        }
+        let limit = minipool::Limit::new(2);
+        let pool = minipool::Pool::with_limit(4, limit.clone());
+        let pooled = find_failure_pool(&p, &[], 0..100_000, 100_000, &pool).unwrap();
+        assert_eq!(pooled.seed, serial.seed);
+        assert_eq!(pooled.dump, serial.dump);
+        assert_eq!(limit.available(), limit.capacity(), "permits returned");
+    }
+
+    #[test]
+    fn uncancelled_cancellable_scan_matches_serial() {
+        let p = mcr_lang::compile(RACE).unwrap();
+        let serial = find_failure(&p, &[], 0..100_000, 100_000).expect("stress exposes");
+        let token = CancelToken::new();
+        let scan = find_failure_par_cancellable(&p, &[], 0..100_000, 100_000, 4, &token)
+            .expect("token never fired");
+        assert_eq!(scan.seed, serial.seed);
+        assert_eq!(scan.seeds_tried, serial.seeds_tried);
+        assert_eq!(scan.dump, serial.dump);
+    }
+
+    #[test]
+    fn pre_cancelled_scan_returns_nothing() {
+        let p = mcr_lang::compile(RACE).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(find_failure_par_cancellable(&p, &[], 0..100_000, 100_000, 4, &token).is_none());
+    }
+
+    #[test]
+    fn mid_scan_cancellation_never_contradicts_the_serial_winner() {
+        // Fire the token from another thread at staggered delays; any
+        // answer the cancelled scan *does* return must be the serial
+        // winner — never a later seed that merely crashed first.
+        let p = mcr_lang::compile(RACE).unwrap();
+        let serial = find_failure(&p, &[], 0..100_000, 100_000).expect("stress exposes");
+        for delay_us in [0u64, 50, 200, 1_000, 5_000] {
+            let token = CancelToken::new();
+            let fired = token.clone();
+            let result = std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    fired.cancel();
+                });
+                find_failure_par_cancellable(&p, &[], 0..100_000, 100_000, 4, &token)
+            });
+            if let Some(sf) = result {
+                assert_eq!(sf.seed, serial.seed, "delay {delay_us}us");
+                assert_eq!(sf.seeds_tried, serial.seeds_tried);
+                assert_eq!(sf.dump, serial.dump);
+            }
+        }
     }
 }

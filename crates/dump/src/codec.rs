@@ -9,8 +9,8 @@
 
 use crate::dump::{CoreDump, DumpReason, FrameImage, ThreadImage};
 use crate::wire::{Reader, Writer};
-use mcr_lang::{FuncId, Pc, StmtId};
-use mcr_vm::{Failure, FailureKind, GSlot, ThreadId, ThreadState};
+use mcr_lang::{FuncId, StmtId};
+use mcr_vm::{GSlot, ThreadId, ThreadState};
 use std::error::Error;
 use std::fmt;
 
@@ -46,10 +46,7 @@ pub fn encode(dump: &CoreDump) -> Vec<u8> {
         DumpReason::Aligned => w.u8(1),
         DumpReason::Failure(f) => {
             w.u8(2);
-            w.u8(failure_kind_tag(f.kind));
-            w.uvarint(f.pc.func.0 as u64);
-            w.uvarint(f.pc.stmt.0 as u64);
-            w.uvarint(f.thread.0 as u64);
+            w.failure(f);
         }
     }
     w.uvarint(dump.focus.0 as u64);
@@ -142,20 +139,7 @@ pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
     let reason = match r.u8()? {
         0 => DumpReason::Manual,
         1 => DumpReason::Aligned,
-        2 => {
-            let kind = failure_kind_from_tag(r.u8()?).ok_or_else(|| DecodeError {
-                msg: "bad failure kind".into(),
-                offset: r.pos(),
-            })?;
-            let func = FuncId(r.uvarint()? as u32);
-            let stmt = StmtId(r.uvarint()? as u32);
-            let thread = ThreadId(r.uvarint()? as u32);
-            DumpReason::Failure(Failure {
-                kind,
-                pc: Pc::new(func, stmt),
-                thread,
-            })
-        }
+        2 => DumpReason::Failure(r.failure()?),
         t => return r.err(format!("bad reason tag {t}")),
     };
     let focus = ThreadId(r.uvarint()? as u32);
@@ -264,37 +248,6 @@ pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
         threads,
         locks,
         steps,
-    })
-}
-
-fn failure_kind_tag(k: FailureKind) -> u8 {
-    match k {
-        FailureKind::NullDeref => 0,
-        FailureKind::OutOfBounds => 1,
-        FailureKind::GlobalOutOfBounds => 2,
-        FailureKind::AssertFailed => 3,
-        FailureKind::DivByZero => 4,
-        FailureKind::TypeConfusion => 5,
-        FailureKind::LockMisuse => 6,
-        FailureKind::JoinInvalid => 7,
-        FailureKind::StackOverflow => 8,
-        FailureKind::AllocTooLarge => 9,
-    }
-}
-
-fn failure_kind_from_tag(t: u8) -> Option<FailureKind> {
-    Some(match t {
-        0 => FailureKind::NullDeref,
-        1 => FailureKind::OutOfBounds,
-        2 => FailureKind::GlobalOutOfBounds,
-        3 => FailureKind::AssertFailed,
-        4 => FailureKind::DivByZero,
-        5 => FailureKind::TypeConfusion,
-        6 => FailureKind::LockMisuse,
-        7 => FailureKind::JoinInvalid,
-        8 => FailureKind::StackOverflow,
-        9 => FailureKind::AllocTooLarge,
-        _ => return None,
     })
 }
 

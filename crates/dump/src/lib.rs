@@ -12,7 +12,9 @@
 //! * [`codec`] — stable binary format, so dump sizes and parsing costs
 //!   are measurable (Tables 3 and 6),
 //! * [`wire`] — the codec's reusable varint primitives, shared with the
-//!   phase-artifact formats of `mcr-core`'s resumable sessions,
+//!   phase-artifact formats of `mcr-core`'s resumable sessions, plus the
+//!   [`ContentHash`] identity the content-addressed artifact stores key
+//!   on,
 //! * [`refpath`] — reachability traversal producing cross-run variable
 //!   identities,
 //! * [`DumpDiff`] — comparison and CSV identification (§4).
@@ -48,3 +50,4 @@ pub use dump::{CoreDump, DumpReason, FrameImage, ThreadImage};
 pub use refpath::{
     reachable_vars, resolve_loc, PathRoot, PathValue, RefPath, ResolvedVar, TraverseLimits, VarMap,
 };
+pub use wire::{ContentHash, ContentHasher};

@@ -13,11 +13,112 @@
 //! * signed integers are ZigZag-mapped varints ([`Writer::ivarint`]),
 //! * sequences are a length varint followed by the elements,
 //! * options are a `0`/`1` presence byte followed by the payload,
-//! * durations are whole nanoseconds (saturating at `u64::MAX`).
+//! * durations are whole nanoseconds (saturating at `u64::MAX`),
+//! * program counters and failure records use [`Writer::pc`] /
+//!   [`Writer::failure`] (shared by the dump codec and the phase
+//!   artifacts, so one layout serves both),
+//! * [`ContentHash`] identifies wire-encoded content for the
+//!   content-addressed artifact stores built on top.
 
 use crate::codec::DecodeError;
-use mcr_vm::{ObjId, Value};
+use mcr_lang::{FuncId, Pc, StmtId};
+use mcr_vm::{Failure, FailureKind, ObjId, ThreadId, Value};
 use std::time::Duration;
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// A 128-bit content hash over wire-format bytes (FNV-1a).
+///
+/// This is the identity the content-addressed artifact stores of
+/// `mcr-core` key on: two byte strings with the same hash are treated as
+/// the same content. FNV-1a is not cryptographic — the stores are a
+/// cache, not a trust boundary — but at 128 bits accidental collisions
+/// are out of reach for any realistic corpus.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// Hashes a byte string in one call.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        let mut h = ContentHasher::new();
+        h.update(bytes);
+        h.finish128()
+    }
+
+    /// The hash as 16 little-endian bytes (the wire layout).
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Rebuilds a hash from its wire layout.
+    pub fn from_le_bytes(bytes: [u8; 16]) -> ContentHash {
+        ContentHash(u128::from_le_bytes(bytes))
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({self})")
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming [`ContentHash`] builder.
+///
+/// Also implements [`std::hash::Hasher`], so `#[derive(Hash)]` types —
+/// a compiled [`mcr_lang::Program`], say — can be folded into a content
+/// hash without a bespoke byte encoding: the derive feeds its canonical
+/// field-order byte stream straight into the FNV state.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Folds `bytes` into the hash state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The 128-bit digest of everything folded in so far.
+    pub fn finish128(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+impl std::hash::Hasher for ContentHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        (self.state as u64) ^ ((self.state >> 64) as u64)
+    }
+}
 
 /// Appends wire-format primitives to a byte buffer.
 #[derive(Debug, Default)]
@@ -125,6 +226,35 @@ impl Writer {
                 self.uvarint(o.0 as u64);
             }
         }
+    }
+
+    /// Appends a program counter (function + statement varints).
+    pub fn pc(&mut self, pc: Pc) {
+        self.uvarint(pc.func.0 as u64);
+        self.uvarint(pc.stmt.0 as u64);
+    }
+
+    /// Appends an optional program counter (presence byte + payload).
+    pub fn opt_pc(&mut self, pc: Option<Pc>) {
+        match pc {
+            None => self.bool(false),
+            Some(pc) => {
+                self.bool(true);
+                self.pc(pc);
+            }
+        }
+    }
+
+    /// Appends a failure record (kind tag, pc, failing thread).
+    pub fn failure(&mut self, f: Failure) {
+        self.u8(failure_kind_tag(f.kind));
+        self.pc(f.pc);
+        self.uvarint(f.thread.0 as u64);
+    }
+
+    /// Appends a content hash (16 little-endian bytes).
+    pub fn hash(&mut self, h: ContentHash) {
+        self.raw(&h.to_le_bytes());
     }
 }
 
@@ -315,6 +445,87 @@ impl<'a> Reader<'a> {
             t => self.err(format!("bad value tag {t}")),
         }
     }
+
+    /// Reads a program counter.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::uvarint`].
+    pub fn pc(&mut self) -> Result<Pc, DecodeError> {
+        let func = FuncId(self.uvarint()? as u32);
+        let stmt = StmtId(self.uvarint()? as u32);
+        Ok(Pc::new(func, stmt))
+    }
+
+    /// Reads an optional program counter.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::bool`] and [`Reader::pc`].
+    pub fn opt_pc(&mut self) -> Result<Option<Pc>, DecodeError> {
+        Ok(if self.bool()? { Some(self.pc()?) } else { None })
+    }
+
+    /// Reads a failure record.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown kind tag or truncation.
+    pub fn failure(&mut self) -> Result<Failure, DecodeError> {
+        let tag = self.u8()?;
+        let Some(kind) = failure_kind_from_tag(tag) else {
+            return self.err(format!("bad failure kind tag {tag}"));
+        };
+        let pc = self.pc()?;
+        let thread = ThreadId(self.uvarint()? as u32);
+        Ok(Failure { kind, pc, thread })
+    }
+
+    /// Reads a content hash.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn hash(&mut self) -> Result<ContentHash, DecodeError> {
+        let Some(slice) = self.buf.get(self.pos..self.pos + 16) else {
+            return self.err("content hash truncated");
+        };
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(slice);
+        self.pos += 16;
+        Ok(ContentHash::from_le_bytes(bytes))
+    }
+}
+
+fn failure_kind_tag(k: FailureKind) -> u8 {
+    match k {
+        FailureKind::NullDeref => 0,
+        FailureKind::OutOfBounds => 1,
+        FailureKind::GlobalOutOfBounds => 2,
+        FailureKind::AssertFailed => 3,
+        FailureKind::DivByZero => 4,
+        FailureKind::TypeConfusion => 5,
+        FailureKind::LockMisuse => 6,
+        FailureKind::JoinInvalid => 7,
+        FailureKind::StackOverflow => 8,
+        FailureKind::AllocTooLarge => 9,
+    }
+}
+
+fn failure_kind_from_tag(t: u8) -> Option<FailureKind> {
+    Some(match t {
+        0 => FailureKind::NullDeref,
+        1 => FailureKind::OutOfBounds,
+        2 => FailureKind::GlobalOutOfBounds,
+        3 => FailureKind::AssertFailed,
+        4 => FailureKind::DivByZero,
+        5 => FailureKind::TypeConfusion,
+        6 => FailureKind::LockMisuse,
+        7 => FailureKind::JoinInvalid,
+        8 => FailureKind::StackOverflow,
+        9 => FailureKind::AllocTooLarge,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -371,5 +582,76 @@ mod tests {
         // Continuation bit set, then end of input.
         let mut r = Reader::new(&[0x80]);
         assert!(r.uvarint().is_err());
+    }
+
+    #[test]
+    fn pc_and_failure_round_trip() {
+        let pc = Pc::new(FuncId(7), StmtId(13));
+        let f = Failure {
+            kind: FailureKind::OutOfBounds,
+            pc,
+            thread: ThreadId(3),
+        };
+        let mut w = Writer::new();
+        w.pc(pc);
+        w.opt_pc(None);
+        w.opt_pc(Some(pc));
+        w.failure(f);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.pc().unwrap(), pc);
+        assert_eq!(r.opt_pc().unwrap(), None);
+        assert_eq!(r.opt_pc().unwrap(), Some(pc));
+        assert_eq!(r.failure().unwrap(), f);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_failure_kind_rejected() {
+        let mut w = Writer::new();
+        w.u8(99);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.failure().is_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let a = ContentHash::of(b"hello");
+        let b = ContentHash::of(b"hello");
+        let c = ContentHash::of(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(ContentHash::of(b""), ContentHash::of(b"\0"));
+        // Streaming equals one-shot.
+        let mut h = ContentHasher::new();
+        h.update(b"he");
+        h.update(b"llo");
+        assert_eq!(h.finish128(), a);
+        // Wire round-trip.
+        assert_eq!(ContentHash::from_le_bytes(a.to_le_bytes()), a);
+        let mut w = Writer::new();
+        w.hash(a);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.hash().unwrap(), a);
+        r.finish().unwrap();
+        assert!(Reader::new(&bytes[..15]).hash().is_err());
+        // Display is 32 hex digits.
+        assert_eq!(a.to_string().len(), 32);
+    }
+
+    #[test]
+    fn content_hasher_works_as_std_hasher() {
+        use std::hash::{Hash, Hasher};
+        let mut h1 = ContentHasher::new();
+        let mut h2 = ContentHasher::new();
+        ("abc", 7u32).hash(&mut h1);
+        ("abc", 7u32).hash(&mut h2);
+        assert_eq!(h1.finish128(), h2.finish128());
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = ContentHasher::new();
+        ("abd", 7u32).hash(&mut h3);
+        assert_ne!(h1.finish128(), h3.finish128());
     }
 }

@@ -99,7 +99,7 @@ pub enum BinOp {
 }
 
 /// A side-effect-free expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Expr {
     /// Integer literal.
     Const(i64),
@@ -137,7 +137,7 @@ impl Expr {
 }
 
 /// An assignable location.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Place {
     /// A local slot.
     Local(LocalId),
@@ -155,7 +155,7 @@ pub enum Place {
 }
 
 /// One statement of the IR.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Inst {
     /// `dst = src`.
     Assign {
@@ -274,7 +274,7 @@ impl Inst {
 }
 
 /// Metadata about one loop in a function.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct LoopInfo {
     /// The header branch statement.
     pub header: StmtId,
@@ -286,7 +286,7 @@ pub struct LoopInfo {
 }
 
 /// Shape of one short-circuit condition group after lowering.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct CondGroup {
     /// Branch statements belonging to the group, in evaluation order; the
     /// first member is the entry ("root") predicate.
@@ -316,7 +316,7 @@ impl CondGroup {
 }
 
 /// A function: a flat statement list with explicit control flow.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Function {
     /// Function name (unique within the program).
     pub name: String,
@@ -373,7 +373,7 @@ impl Function {
 }
 
 /// Shape of a global variable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum GlobalKind {
     /// A single slot, integer-initialized.
     Scalar {
@@ -392,7 +392,7 @@ pub enum GlobalKind {
 }
 
 /// A global variable declaration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct GlobalDecl {
     /// Name (unique within the program).
     pub name: String,
@@ -401,7 +401,7 @@ pub struct GlobalDecl {
 }
 
 /// A complete program.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Program {
     /// Global variables; `GlobalId(i)` indexes this vector.
     pub globals: Vec<GlobalDecl>,

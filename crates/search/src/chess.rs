@@ -63,6 +63,14 @@ pub struct SearchConfig {
     /// partial [`SearchResult`] with `cancelled` (and `cut_off`) set.
     /// The default token never fires.
     pub cancel: CancelToken,
+    /// An injected executor handle. `None` (the default) builds a
+    /// private pool of [`SearchConfig::parallelism`] workers per search,
+    /// the historical behavior; a batch scheduler instead hands every
+    /// search a clone of *one* handle (typically carrying a shared
+    /// [`minipool::Limit`]) so concurrent searches draw from a single
+    /// fleet-wide thread budget. When set, the handle's
+    /// [`threads()`](minipool::Pool::threads) supersedes `parallelism`.
+    pub pool: Option<minipool::Pool>,
 }
 
 impl Default for SearchConfig {
@@ -75,7 +83,18 @@ impl Default for SearchConfig {
             pair_pool: 512,
             parallelism: 1,
             cancel: CancelToken::new(),
+            pool: None,
         }
+    }
+}
+
+impl SearchConfig {
+    /// The executor this search will fan out over: the injected handle,
+    /// or a private pool of `parallelism` workers.
+    pub fn executor(&self) -> minipool::Pool {
+        self.pool
+            .clone()
+            .unwrap_or_else(|| minipool::Pool::new(self.parallelism))
     }
 }
 
@@ -122,9 +141,11 @@ pub fn find_schedule(
         Algorithm::ChessX => Guidance::CsvOverlap,
     };
 
-    if config.parallelism > 1 && worklist.len() > 1 {
+    let executor = config.executor();
+    if executor.threads() > 1 && worklist.len() > 1 {
         return find_schedule_parallel(
-            fresh_vm, candidates, future, target, guidance, config, &worklist, deadline, start,
+            fresh_vm, candidates, future, target, guidance, config, &executor, &worklist, deadline,
+            start,
         );
     }
 
@@ -197,6 +218,7 @@ fn find_schedule_parallel(
     target: Failure,
     guidance: Guidance,
     config: &SearchConfig,
+    executor: &minipool::Pool,
     worklist: &[Vec<usize>],
     deadline: Option<Instant>,
     start: Instant,
@@ -216,7 +238,7 @@ fn find_schedule_parallel(
     // relabel a complete result as partial.
     let cancel_stopped = std::sync::atomic::AtomicBool::new(false);
 
-    minipool::Pool::new(config.parallelism).for_each_index(n, |i| {
+    executor.for_each_index(n, |i| {
         // A combination past an already-found winner can never win
         // (`fetch_min` only lowers the index), so skip it. Combinations
         // below the winner run to completion unless the global budget
@@ -563,6 +585,41 @@ mod tests {
             assert_eq!(a.combinations_tested, b.combinations_tested, "{alg:?}");
             assert_eq!(points(&a), points(&b), "{alg:?}");
         }
+    }
+
+    #[test]
+    fn injected_shared_pool_matches_serial() {
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        let serial = find_schedule(
+            &fresh,
+            &s.candidates,
+            &s.future,
+            s.failure,
+            Algorithm::ChessX,
+            &SearchConfig::default(),
+        );
+        // A handle with a shared worker budget, as a fleet would inject;
+        // `parallelism` stays 1 to prove the handle supersedes it.
+        let limit = minipool::Limit::new(2);
+        let cfg = SearchConfig {
+            pool: Some(minipool::Pool::with_limit(4, limit.clone())),
+            ..Default::default()
+        };
+        let injected = find_schedule(
+            &fresh,
+            &s.candidates,
+            &s.future,
+            s.failure,
+            Algorithm::ChessX,
+            &cfg,
+        );
+        assert_eq!(serial.reproduced, injected.reproduced);
+        assert_eq!(serial.tries, injected.tries);
+        assert_eq!(serial.combinations_tested, injected.combinations_tested);
+        assert_eq!(serial.winning, injected.winning);
+        // Every claimed permit was returned.
+        assert_eq!(limit.available(), limit.capacity());
     }
 
     #[test]

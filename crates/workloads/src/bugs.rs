@@ -612,8 +612,25 @@ pub fn all_bugs() -> Vec<BugSpec> {
 }
 
 /// Looks up a bug by name.
+///
+/// Matching is forgiving the way bug trackers are: case-insensitive,
+/// with `_` and `-` interchangeable — `"APACHE-1"`, `"apache_1"` and
+/// `"apache-1"` all resolve to the same spec.
 pub fn bug_by_name(name: &str) -> Option<BugSpec> {
-    all_bugs().into_iter().find(|b| b.name == name)
+    let wanted = normalize_bug_name(name);
+    all_bugs()
+        .into_iter()
+        .find(|b| normalize_bug_name(b.name) == wanted)
+}
+
+/// Canonical form used by [`bug_by_name`]: ASCII-lowercased, `_` → `-`.
+fn normalize_bug_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '_' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -675,6 +692,27 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(input, bug.lengthened_input(10, 7));
         assert_ne!(bug.lengthened_input(10, 7), bug.lengthened_input(10, 8));
+    }
+
+    #[test]
+    fn bug_by_name_is_case_and_separator_insensitive() {
+        // Every canonical name round-trips through uppercase and
+        // underscore spellings to the same spec.
+        for bug in all_bugs() {
+            for variant in [
+                bug.name.to_string(),
+                bug.name.to_ascii_uppercase(),
+                bug.name.replace('-', "_"),
+                bug.name.replace('-', "_").to_ascii_uppercase(),
+            ] {
+                let found = bug_by_name(&variant)
+                    .unwrap_or_else(|| panic!("{variant:?} must resolve to {}", bug.name));
+                assert_eq!(found.name, bug.name, "via {variant:?}");
+                assert_eq!(found.bug_id, bug.bug_id);
+            }
+        }
+        assert!(bug_by_name("no-such-bug").is_none());
+        assert!(bug_by_name("").is_none());
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //! * [`splash`] — loop-intensive kernels standing in for splash-2 in the
 //!   Fig. 10 overhead measurement,
 //! * [`corpora`] — synthesized program corpora with apache/mysql/postgres
-//!   control-flow statistics for the Table 1 census.
+//!   control-flow statistics for the Table 1 census,
+//! * [`fleet`] — duplicate-heavy job mixes over the bug suite for the
+//!   `mcr-batch` fleet scheduler and its benchmarks.
 
 #![warn(missing_docs)]
 
 pub mod bugs;
 pub mod corpora;
+pub mod fleet;
 pub mod splash;
 
 pub use bugs::{all_bugs, bug_by_name, BugClass, BugSpec};
 pub use corpora::{generate, paper_profiles, small_profiles, CorpusProfile};
+pub use fleet::{fleet_corpus, fleet_mix, FleetSpec};
 pub use splash::{measure_overhead, overhead_workloads, OverheadResult, OverheadWorkload};

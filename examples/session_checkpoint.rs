@@ -31,6 +31,9 @@ impl PhaseObserver for Progress {
                 elapsed,
             } => println!("      [{phase}] {stage}: {elapsed:?}"),
             PhaseEvent::Interrupted { phase } => println!("    {phase} phase interrupted"),
+            PhaseEvent::CacheHit { phase } => {
+                println!("    {phase} phase rehydrated from the artifact store")
+            }
         }
     }
 }

@@ -1,0 +1,247 @@
+//! The batch-engine acceptance bar: for every bug in the suite, a cold
+//! run, a warm (cache-hit) run, and a batched fleet run produce
+//! identical `ReproReport`s; duplicate-heavy fleets show phase cache
+//! hits and single-flight dedup.
+
+use mcr_batch::{Fleet, FleetConfig, FleetJob};
+use mcr_core::{
+    ArtifactStore, BytesStore, MemoryStore, PhaseEvent, ReproReport, ReproSession, Reproducer,
+    PHASES,
+};
+use mcr_search::Algorithm;
+use mcr_slice::Strategy;
+use mcr_testsupport::{repro_options as options, stress_bug};
+use mcr_workloads::all_bugs;
+use std::sync::Arc;
+
+/// Everything observable about a report except wall-clock timings.
+fn assert_reports_equal(a: &ReproReport, b: &ReproReport, context: &str) {
+    assert_eq!(a.index, b.index, "{context}: index");
+    assert_eq!(a.alignment, b.alignment, "{context}: alignment");
+    assert_eq!(
+        a.failure_dump_bytes, b.failure_dump_bytes,
+        "{context}: failure dump size"
+    );
+    assert_eq!(
+        a.aligned_dump_bytes, b.aligned_dump_bytes,
+        "{context}: aligned dump size"
+    );
+    assert_eq!(a.vars, b.vars, "{context}: vars");
+    assert_eq!(a.diffs, b.diffs, "{context}: diffs");
+    assert_eq!(a.shared, b.shared, "{context}: shared");
+    assert_eq!(a.csv_paths, b.csv_paths, "{context}: csv paths");
+    assert_eq!(a.csv_locs, b.csv_locs, "{context}: csv locs");
+    assert_eq!(
+        a.deterministic_repro, b.deterministic_repro,
+        "{context}: deterministic_repro"
+    );
+    assert_eq!(
+        a.search.reproduced, b.search.reproduced,
+        "{context}: reproduced"
+    );
+    assert_eq!(a.search.tries, b.search.tries, "{context}: tries");
+    assert_eq!(
+        a.search.combinations_tested, b.search.combinations_tested,
+        "{context}: combinations"
+    );
+    assert_eq!(a.search.winning, b.search.winning, "{context}: winning");
+    assert_eq!(a.search.cut_off, b.search.cut_off, "{context}: cut_off");
+}
+
+/// Bit-identity including timings (valid when `b` was rehydrated from
+/// artifacts `a`'s run stored — cached artifacts embed the original
+/// durations, so full `ReproReport` equality holds).
+fn assert_reports_identical(a: &ReproReport, b: &ReproReport, context: &str) {
+    assert_eq!(a, b, "{context}: bit-identity");
+}
+
+/// The acceptance bar, per bug: (1) a fleet of three duplicate jobs
+/// computes one pipeline and dedupes the rest, (2) a warm session over
+/// the fleet's store rehydrates everything without running a phase,
+/// (3) cold, warm, and every fleet report agree.
+#[test]
+fn cold_warm_and_fleet_reports_agree_for_every_bug() {
+    for bug in all_bugs() {
+        let (program, sf) = stress_bug(&bug);
+        let input = bug.default_input();
+        let opts = options(Algorithm::ChessX, Strategy::Temporal);
+
+        // Cold: the plain blocking pipeline, no store anywhere.
+        let cold = Reproducer::new(&program, opts.clone())
+            .reproduce(&sf.dump, &input)
+            .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", bug.name));
+
+        // Fleet: three duplicate jobs sharing one executor and store.
+        let config = FleetConfig::default();
+        let store = Arc::clone(&config.store);
+        let mut fleet = Fleet::new(config);
+        for i in 0..3 {
+            fleet.push(
+                FleetJob::new(
+                    format!("{}#{i}", bug.name),
+                    &program,
+                    sf.dump.clone(),
+                    &input,
+                )
+                .with_options(opts.clone())
+                .with_priority(i),
+            );
+        }
+        let outcome = fleet.run();
+        assert_eq!(outcome.summary.completed, 3, "{}", bug.name);
+        assert_eq!(
+            outcome.summary.computed, 5,
+            "{}: one pipeline computes, duplicates rehydrate",
+            bug.name
+        );
+        assert_eq!(outcome.summary.cache_hits, 10, "{}", bug.name);
+        assert_eq!(outcome.summary.deduped_in_flight, 10, "{}", bug.name);
+        assert!(outcome.summary.store.hits >= 10, "{}", bug.name);
+        let fleet_reports: Vec<&ReproReport> = outcome
+            .jobs
+            .iter()
+            .map(|j| j.result.as_ref().expect("completed"))
+            .collect();
+        for (i, report) in fleet_reports.iter().enumerate() {
+            assert_reports_equal(report, &cold, &format!("{} fleet[{i}] vs cold", bug.name));
+        }
+        // Duplicates are bit-identical to each other (rehydrated bytes).
+        assert_reports_identical(
+            fleet_reports[1],
+            fleet_reports[2],
+            &format!("{} duplicates", bug.name),
+        );
+
+        // Warm: a fresh session over the fleet's store — every phase is
+        // a cache hit, and the report is bit-identical to the fleet's.
+        let mut warm_session =
+            ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+        warm_session.set_store(Arc::clone(&store));
+        let log = Arc::new(std::sync::Mutex::new(mcr_core::TimingLog::new()));
+        warm_session.set_observer(Box::new(Arc::clone(&log)));
+        let warm = warm_session
+            .run_to_end()
+            .unwrap_or_else(|e| panic!("{}: warm run failed: {e}", bug.name));
+        assert_eq!(
+            log.lock().unwrap().cache_hits(),
+            PHASES,
+            "{}: warm run must not compute anything",
+            bug.name
+        );
+        assert_reports_equal(&warm, &cold, &format!("{} warm vs cold", bug.name));
+        assert_reports_identical(
+            &warm,
+            fleet_reports[0],
+            &format!("{} warm vs fleet", bug.name),
+        );
+    }
+}
+
+/// A warm cache survives a process hop: exporting the fleet's artifacts
+/// through the `BytesStore` wire snapshot and importing them elsewhere
+/// still serves every phase from cache.
+#[test]
+fn persisted_store_snapshot_keeps_serving_hits() {
+    let bug = mcr_workloads::bug_by_name("mysql-3").unwrap();
+    let (program, sf) = stress_bug(&bug);
+    let input = bug.default_input();
+    let opts = options(Algorithm::ChessX, Strategy::Temporal);
+
+    // Populate a persistable store with one full run.
+    let bytes_store = Arc::new(BytesStore::new());
+    let mut session = ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+    session.set_store(bytes_store.clone());
+    let original = session.run_to_end().unwrap();
+
+    // Snapshot → bytes → fresh store, as a second triage worker would.
+    let snapshot = bytes_store.to_bytes();
+    let restored: Arc<dyn ArtifactStore> = Arc::new(BytesStore::from_bytes(&snapshot).unwrap());
+    let mut warm = ReproSession::new(&program, sf.dump, &input, opts).unwrap();
+    warm.set_store(restored);
+    let log = Arc::new(std::sync::Mutex::new(mcr_core::TimingLog::new()));
+    warm.set_observer(Box::new(Arc::clone(&log)));
+    let rehydrated = warm.run_to_end().unwrap();
+    assert_eq!(log.lock().unwrap().cache_hits(), PHASES);
+    assert_reports_identical(&original, &rehydrated, "snapshot hop");
+}
+
+/// Distinct jobs in one fleet never cross-contaminate: different inputs
+/// produce different phase keys and independently correct reports.
+#[test]
+fn fleet_mixing_distinct_bugs_matches_solo_runs() {
+    let picks = ["apache-2", "mysql-1"];
+    let mut programs = Vec::new();
+    let mut prepared = Vec::new();
+    for name in picks {
+        let bug = mcr_workloads::bug_by_name(name).unwrap();
+        let (program, sf) = stress_bug(&bug);
+        programs.push(program);
+        prepared.push((bug, sf));
+    }
+    let opts = options(Algorithm::ChessX, Strategy::Temporal);
+    let mut solos = Vec::new();
+    for (i, (bug, sf)) in prepared.iter().enumerate() {
+        solos.push(
+            Reproducer::new(&programs[i], opts.clone())
+                .reproduce(&sf.dump, &bug.default_input())
+                .unwrap(),
+        );
+    }
+
+    let config = FleetConfig::default();
+    let mut fleet = Fleet::new(config);
+    for (i, (bug, sf)) in prepared.iter().enumerate() {
+        fleet.push(
+            FleetJob::new(
+                bug.name,
+                &programs[i],
+                sf.dump.clone(),
+                &bug.default_input(),
+            )
+            .with_options(opts.clone()),
+        );
+    }
+    let outcome = fleet.run();
+    assert_eq!(outcome.summary.completed, 2);
+    // Nothing shared between distinct bugs: no dedup, no cache hits.
+    assert_eq!(outcome.summary.deduped_in_flight, 0);
+    assert_eq!(outcome.summary.cache_hits, 0);
+    assert_eq!(outcome.summary.computed, 10);
+    for (i, (bug, _)) in prepared.iter().enumerate() {
+        let job = outcome.job(bug.name).expect("job present");
+        assert_reports_equal(
+            job.result.as_ref().unwrap(),
+            &solos[i],
+            &format!("{} fleet vs solo", bug.name),
+        );
+        // The per-job observer stream saw five executed phases.
+        let finished = job
+            .events
+            .iter()
+            .filter(|e| matches!(e, PhaseEvent::Finished { .. }))
+            .count();
+        assert_eq!(finished, 5, "{}", bug.name);
+    }
+}
+
+/// `ReproOptions::store` plumbs caching through the one-call
+/// `Reproducer` API too — a service does not need the session layer to
+/// benefit.
+#[test]
+fn reproducer_with_store_caches_across_calls() {
+    let bug = mcr_workloads::bug_by_name("mysql-5").unwrap();
+    let (program, sf) = stress_bug(&bug);
+    let input = bug.default_input();
+    let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+    let mut opts = options(Algorithm::ChessX, Strategy::Temporal);
+    opts.store = Some(Arc::clone(&store));
+    let reproducer = Reproducer::new(&program, opts);
+    let first = reproducer.reproduce(&sf.dump, &input).unwrap();
+    let before = store.stats();
+    assert_eq!(before.inserts, 5);
+    let second = reproducer.reproduce(&sf.dump, &input).unwrap();
+    let after = store.stats();
+    assert_eq!(after.inserts, 5, "second run inserted nothing");
+    assert_eq!(after.hits, before.hits + 5, "second run was all hits");
+    assert_reports_identical(&first, &second, "reproducer warm");
+}

@@ -41,7 +41,97 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// A shared budget of worker threads, so many concurrent fan-outs — a
+/// fleet of schedule searches, say — draw from *one* executor-wide cap
+/// instead of each spawning its own full-width pool.
+///
+/// A [`Pool`] carrying a limit (see [`Pool::with_limit`]) acquires worker
+/// permits non-blockingly at the start of each [`Pool::for_each_index`]
+/// and releases them at the end; the calling thread always participates
+/// without a permit, so a fan-out that finds the budget spent simply runs
+/// serially on its caller — no call ever blocks waiting for capacity and
+/// nested fan-outs cannot deadlock.
+#[derive(Debug, Clone)]
+pub struct Limit {
+    inner: Arc<LimitInner>,
+}
+
+#[derive(Debug)]
+struct LimitInner {
+    available: Mutex<usize>,
+    cap: usize,
+}
+
+impl Limit {
+    /// A budget of `workers` spawnable worker threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Limit {
+        let cap = workers.max(1);
+        Limit {
+            inner: Arc::new(LimitInner {
+                available: Mutex::new(cap),
+                cap,
+            }),
+        }
+    }
+
+    /// The total budget.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Permits currently unclaimed.
+    pub fn available(&self) -> usize {
+        *self
+            .inner
+            .available
+            .lock()
+            .expect("minipool limit poisoned")
+    }
+
+    /// Claims up to `want` permits without blocking; returns how many
+    /// were actually claimed.
+    fn try_acquire(&self, want: usize) -> usize {
+        let mut avail = self
+            .inner
+            .available
+            .lock()
+            .expect("minipool limit poisoned");
+        let take = want.min(*avail);
+        *avail -= take;
+        take
+    }
+
+    fn release(&self, n: usize) {
+        // Runs from a drop guard, possibly mid-unwind: recover from a
+        // poisoned mutex instead of double-panicking.
+        let mut avail = self
+            .inner
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *avail += n;
+        debug_assert!(*avail <= self.inner.cap);
+    }
+}
+
+/// Returns claimed permits to their [`Limit`] on drop, so a panicking
+/// job inside a fan-out cannot leak executor budget (a long-running
+/// service catching the panic would otherwise degrade toward serial
+/// forever).
+struct Permits<'a> {
+    limit: Option<&'a Limit>,
+    n: usize,
+}
+
+impl Drop for Permits<'_> {
+    fn drop(&mut self) {
+        if let Some(limit) = self.limit {
+            limit.release(self.n);
+        }
+    }
+}
 
 /// A half-open range `[lo, hi)` of still-unclaimed indices owned by one
 /// worker.
@@ -63,9 +153,16 @@ impl Chunk {
 /// spawns scoped workers for the duration of one fan-out and joins them
 /// before returning, so borrowed data (programs, candidate tables,
 /// template VMs) can flow into jobs without `'static` bounds.
-#[derive(Debug, Clone, Copy)]
+///
+/// A pool is a cheap, clonable *handle*: clones share the same
+/// configuration (and, with [`Pool::with_limit`], the same worker
+/// budget), so one handle can be injected into many subsystems — every
+/// schedule search of a batch fleet, for example — and they all draw
+/// from a single executor-wide thread cap.
+#[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    limit: Option<Limit>,
 }
 
 impl Pool {
@@ -73,12 +170,30 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         Pool {
             threads: threads.max(1),
+            limit: None,
         }
     }
 
     /// A pool sized to the machine: one worker per available core.
     pub fn with_available_parallelism() -> Pool {
         Pool::new(available_parallelism())
+    }
+
+    /// A pool whose spawned workers are debited from `limit`, shared
+    /// with every other pool (and pool clone) holding the same limit.
+    /// Each fan-out claims permits non-blockingly and runs with whatever
+    /// it got — the caller thread always participates for free, so the
+    /// degenerate claim of zero permits is a plain serial loop.
+    pub fn with_limit(threads: usize, limit: Limit) -> Pool {
+        Pool {
+            threads: threads.max(1),
+            limit: Some(limit),
+        }
+    }
+
+    /// The shared worker budget, when this pool carries one.
+    pub fn limit(&self) -> Option<&Limit> {
+        self.limit.as_ref()
     }
 
     /// Number of worker threads this pool uses.
@@ -102,7 +217,21 @@ impl Pool {
         if n == 0 {
             return;
         }
-        let workers = self.threads.min(n);
+        let desired = self.threads.min(n);
+        // Under a shared limit only the *spawned* workers need permits;
+        // the caller thread participates unconditionally, so the claim
+        // never blocks and a spent budget degrades to a serial loop.
+        // The guard returns the permits even when a job panics.
+        let spawned = match (&self.limit, desired) {
+            (_, 1) => 0,
+            (Some(limit), d) => limit.try_acquire(d - 1),
+            (None, d) => d - 1,
+        };
+        let _permits = Permits {
+            limit: self.limit.as_ref(),
+            n: spawned,
+        };
+        let workers = spawned + 1;
         if workers == 1 {
             for i in 0..n {
                 job(i);
@@ -129,9 +258,12 @@ impl Pool {
         let job = &job;
 
         std::thread::scope(|s| {
-            for w in 0..workers {
+            for w in 1..workers {
                 s.spawn(move || worker_loop(w, chunks, job));
             }
+            // The caller owns chunk 0 (the low indices, which matter for
+            // the lowest-index-wins protocols built on top).
+            worker_loop(0, chunks, job);
         });
     }
 }
@@ -255,5 +387,75 @@ mod tests {
         assert_eq!(Pool::new(5).threads(), 5);
         assert!(Pool::with_available_parallelism().threads() >= 1);
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn limited_pool_runs_every_index_and_restores_budget() {
+        let limit = Limit::new(3);
+        assert_eq!(limit.capacity(), 3);
+        let pool = Pool::with_limit(8, limit.clone());
+        for n in [0usize, 1, 5, 100] {
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_index(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "n={n}"
+            );
+            assert_eq!(limit.available(), 3, "permits restored after n={n}");
+        }
+    }
+
+    #[test]
+    fn spent_limit_degrades_to_serial_on_caller() {
+        let limit = Limit::new(2);
+        assert_eq!(limit.try_acquire(2), 2); // drain the budget
+        let pool = Pool::with_limit(4, limit.clone());
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        pool.for_each_index(6, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..6).collect::<Vec<_>>());
+        limit.release(2);
+        assert_eq!(limit.available(), 2);
+    }
+
+    #[test]
+    fn panicking_job_returns_permits() {
+        let limit = Limit::new(3);
+        let pool = Pool::with_limit(3, limit.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.for_each_index(8, |i| {
+                if i == 0 {
+                    panic!("job blew up");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(limit.available(), 3, "permits restored despite the panic");
+        // The limit stays usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.for_each_index(4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_limited_fanouts_do_not_deadlock() {
+        let limit = Limit::new(2);
+        let pool = Pool::with_limit(2, limit.clone());
+        let hits = AtomicUsize::new(0);
+        let inner_pool = pool.clone();
+        pool.for_each_index(4, |_| {
+            inner_pool.for_each_index(4, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(limit.available(), 2);
     }
 }
