@@ -1,63 +1,105 @@
-//! # mcr-batch — the fleet scheduler
+//! # mcr-batch — the long-running triage service
 //!
-//! A production triage service does not reproduce one core dump at a
-//! time: it ingests *streams* of jobs, many of them near-duplicates of
-//! the same underlying bug. This crate schedules N reproduction jobs as
-//! one fleet:
+//! A production triage deployment never sees a closed job list: core
+//! dumps arrive continuously, many of them near-duplicates of the same
+//! underlying bug. This crate's centerpiece is [`TriageService`], a
+//! handle-based, long-running scheduler:
 //!
-//! * **one executor** — every session's schedule search (and any other
-//!   fan-out) draws from a single [`minipool::Limit`]-backed pool handle
-//!   instead of constructing its own thread pool;
+//! * **async job admission** — [`TriageService::submit`] hands back a
+//!   [`JobTicket`] immediately and admits jobs *while waves are
+//!   executing*; the scheduler loop drains the admission queue at every
+//!   wave boundary instead of consuming a pre-built `Vec`;
+//! * **back-pressure** — admission is governed by a configurable
+//!   [`AdmissionPolicy`] tied to the shared [`minipool::Limit`] executor
+//!   budget: `submit` can reject with [`AdmitError::Saturated`] (the
+//!   [`SubmitError`] hands the job back, so retries rebuild nothing) or
+//!   block until capacity frees up;
+//! * **ticket-based retrieval** — [`JobTicket::wait`] blocks for (and
+//!   helps drive) one job's [`JobOutcome`]; [`JobTicket::try_outcome`]
+//!   polls without blocking;
+//! * **graceful teardown** — [`TriageService::drain`] runs everything
+//!   admitted so far to completion; [`TriageService::shutdown`] closes
+//!   admission first and then drains. Firing the service's
+//!   [`CancelToken`] mid-run interrupts live sessions and marks
+//!   queued-but-unstarted tickets `Cancelled` — no ticket is ever lost;
+//! * **one executor** — every session's schedule search draws from a
+//!   single [`minipool::Limit`]-backed pool handle;
 //! * **one artifact store** — all sessions share a content-addressed
-//!   [`ArtifactStore`], so any phase already computed for the same
-//!   *(program, input, dump, options)* anywhere in the fleet is
-//!   rehydrated instead of re-run;
+//!   [`ArtifactStore`] (scale it horizontally with
+//!   [`ShardedStore`](mcr_core::ShardedStore)), so any phase already
+//!   computed for the same *(program, input, dump, options)* anywhere in
+//!   the fleet is rehydrated instead of re-run;
 //! * **single-flight dedup** — identical phase units scheduled in the
 //!   same wave run once: one leader computes, the duplicates wait and
 //!   rehydrate from the store;
-//! * **priorities and budgets** — jobs are scheduled in priority order,
-//!   and each carries its own [`ReproOptions`] with per-phase
-//!   [`PhaseBudget`](mcr_core::PhaseBudget)s;
-//! * **per-job observer streams** — each job's [`PhaseEvent`]s are
-//!   collected and returned,
-//!   along with a fleet-wide summary (units computed / cached / deduped,
-//!   store statistics, wall time).
+//! * **per-ticket observer streams** — attach a [`PhaseObserver`] per
+//!   job ([`FleetJob::with_observer`]) for live progress; every job's
+//!   [`PhaseEvent`]s are also collected into its [`JobOutcome`].
+//!
+//! ## Scheduling model
+//!
+//! There is no dedicated scheduler thread (sessions borrow the compiled
+//! [`Program`], so the service is lifetime-parameterized and cannot park
+//! work on a `'static` thread). Instead, whichever thread blocks on the
+//! service — a [`JobTicket::wait`], a [`TriageService::drain`], or an
+//! explicit [`TriageService::poll`] — *becomes* the scheduler while it
+//! waits: it opens newly admitted jobs, forms a *wave* (each live job's
+//! next phase in `(priority, submission)` order), single-flights
+//! duplicate [`PhaseKey`]s, fans the leaders out over the shared worker
+//! pool, and finalizes completed jobs. Threads that lose the race for
+//! the scheduler role sleep until the active wave completes. The
+//! service is `Sync`: submitting from many threads (e.g. via
+//! `std::thread::scope`) while another drains is the intended shape.
+//!
+//! ## Compatibility facade
+//!
+//! [`Fleet`] — the original consume-on-run batch API — survives as a
+//! thin wrapper: [`Fleet::run`] submits every pushed job to a private
+//! `TriageService` (unbounded admission), drains it, and assembles the
+//! same [`FleetOutcome`] as before. Reports are pinned bit-identical
+//! between the two APIs by the repository's `tests/batch.rs` and
+//! `tests/triage.rs`.
 //!
 //! ```no_run
-//! use mcr_batch::{Fleet, FleetConfig, FleetJob};
+//! use mcr_batch::{AdmissionPolicy, FleetConfig, FleetJob, TriageService};
 //! # let program = mcr_lang::compile("fn main() { }").unwrap();
 //! # let dump: mcr_dump::CoreDump = unimplemented!();
-//! let mut fleet = Fleet::new(FleetConfig::default());
-//! for i in 0..3 {
-//!     // Duplicate-heavy mixes are the common case: identical jobs
-//!     // cost one pipeline, fleet-wide.
-//!     fleet.push(FleetJob::new(format!("crash-{i}"), &program, dump.clone(), &[1, 2]));
-//! }
-//! let outcome = fleet.run();
-//! assert_eq!(outcome.summary.jobs, 3);
-//! assert!(outcome.summary.cache_hits + outcome.summary.deduped_in_flight > 0);
+//! let config = FleetConfig {
+//!     admission: AdmissionPolicy::Reject { max_pending: 64 },
+//!     ..FleetConfig::default()
+//! };
+//! let service = TriageService::new(config);
+//! let ticket = service
+//!     .submit(FleetJob::new("crash-1", &program, dump.clone(), &[1, 2]))
+//!     .expect("queue not saturated");
+//! // ... submit more from any thread while work executes ...
+//! let outcome = ticket.wait();
+//! assert!(outcome.result.is_ok());
+//! service.shutdown();
 //! ```
 //!
 //! Determinism carries over from the phase layer: a job's report is
-//! bit-identical whether it ran cold, warm (all cache hits), or batched
-//! behind a duplicate — the property pinned by the repository's
-//! `tests/batch.rs`.
+//! bit-identical whether it ran cold, warm (all cache hits), batched
+//! behind a duplicate, or trickled into a half-busy service — the
+//! property pinned by the repository's `tests/batch.rs` and
+//! `tests/triage.rs`.
 
 #![warn(missing_docs)]
 
 use mcr_core::{
-    ArtifactStore, CancelToken, MemoryStore, Phase, PhaseEvent, PhaseKey, ReproError, ReproOptions,
-    ReproReport, ReproSession, StoreStats, TimingLog,
+    ArtifactStore, CancelToken, MemoryStore, Phase, PhaseEvent, PhaseKey, PhaseObserver,
+    ReproError, ReproOptions, ReproReport, ReproSession, StoreStats, TimingLog,
 };
 use mcr_dump::CoreDump;
 use mcr_lang::Program;
-use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// One reproduction job: a failure dump plus everything needed to
 /// replay it.
-#[derive(Debug)]
 pub struct FleetJob<'p> {
     /// Job name, echoed in the [`JobOutcome`].
     pub name: String,
@@ -72,6 +114,20 @@ pub struct FleetJob<'p> {
     pub options: ReproOptions,
     /// Scheduling priority: lower runs earlier within each wave.
     pub priority: u32,
+    /// Optional per-ticket progress stream (see
+    /// [`FleetJob::with_observer`]).
+    observer: Option<Box<dyn PhaseObserver + Send + 'p>>,
+}
+
+impl fmt::Debug for FleetJob<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetJob")
+            .field("name", &self.name)
+            .field("input", &self.input)
+            .field("priority", &self.priority)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> FleetJob<'p> {
@@ -89,6 +145,7 @@ impl<'p> FleetJob<'p> {
             input: input.to_vec(),
             options: ReproOptions::default(),
             priority: 0,
+            observer: None,
         }
     }
 
@@ -103,9 +160,107 @@ impl<'p> FleetJob<'p> {
         self.priority = priority;
         self
     }
+
+    /// Attaches a live per-ticket progress stream: the observer receives
+    /// this job's [`PhaseEvent`]s as they happen, from whichever thread
+    /// is driving the scheduler. The events are additionally collected
+    /// into the job's [`JobOutcome::events`].
+    pub fn with_observer(mut self, observer: Box<dyn PhaseObserver + Send + 'p>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
 }
 
-/// Fleet-wide configuration.
+/// How [`TriageService::submit`] responds once the service is loaded.
+///
+/// The pending-job bound is deliberately expressed in *jobs*, tied to
+/// the executor budget the service runs on: a [`minipool::Limit`] of W
+/// workers makes progress on at most W phase units at a time, so a
+/// useful bound is a small multiple of W (see
+/// [`FleetConfig::admission_per_worker`], and [`minipool::Limit::in_use`]
+/// for live introspection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything immediately (the default; what [`Fleet::run`]
+    /// uses — a closed job list provides its own back-pressure).
+    #[default]
+    Unbounded,
+    /// Reject with [`AdmitError::Saturated`] while
+    /// admitted-but-unfinished jobs ≥ `max_pending`.
+    Reject {
+        /// Saturation threshold, in pending (queued + live) jobs.
+        max_pending: usize,
+    },
+    /// Block the submitting thread until pending jobs < `max_pending`
+    /// (or the service shuts down, which fails the submission with
+    /// [`AdmitError::ShutDown`]). While blocked, the submitter helps
+    /// drive scheduling waves — like [`JobTicket::wait`] — so a
+    /// single-threaded submit-only caller cannot deadlock itself.
+    Block {
+        /// Saturation threshold, in pending (queued + live) jobs.
+        max_pending: usize,
+    },
+}
+
+/// Why [`TriageService::submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The service is saturated per its [`AdmissionPolicy::Reject`]
+    /// policy; retry after draining some tickets.
+    Saturated {
+        /// Jobs pending (queued + live) at rejection time.
+        pending: usize,
+        /// The policy's threshold.
+        max_pending: usize,
+    },
+    /// [`TriageService::shutdown`] has closed admission.
+    ShutDown,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Saturated {
+                pending,
+                max_pending,
+            } => write!(
+                f,
+                "triage service saturated: {pending} jobs pending (cap {max_pending})"
+            ),
+            AdmitError::ShutDown => write!(f, "triage service is shut down"),
+        }
+    }
+}
+
+impl Error for AdmitError {}
+
+/// A refused submission: the typed [`AdmitError`] reason plus the job
+/// handed back untouched (dump, options, observer and all), so a caller
+/// retrying under back-pressure never rebuilds it — the
+/// [`std::sync::mpsc::TrySendError`] shape. Returned boxed (a job
+/// carries a whole core dump; the happy path shouldn't pay its size).
+#[derive(Debug)]
+pub struct SubmitError<'p> {
+    /// Why admission refused.
+    pub reason: AdmitError,
+    /// The refused job, returned for retry.
+    pub job: FleetJob<'p>,
+}
+
+impl fmt::Display for SubmitError<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (job {:?} returned)", self.reason, self.job.name)
+    }
+}
+
+impl Error for SubmitError<'_> {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.reason)
+    }
+}
+
+/// Fleet-wide configuration (shared by [`TriageService`] and the
+/// [`Fleet`] facade).
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Worker-thread budget shared by *everything* the fleet runs:
@@ -113,13 +268,17 @@ pub struct FleetConfig {
     /// the machine's available cores.
     pub workers: usize,
     /// The shared content-addressed artifact store. Defaults to an
-    /// unbounded [`MemoryStore`].
+    /// unbounded [`MemoryStore`]; swap in a
+    /// [`ShardedStore`](mcr_core::ShardedStore) to partition the cache.
     pub store: Arc<dyn ArtifactStore>,
     /// Fleet-wide cancellation: firing this token propagates to every
-    /// job's session token. In-flight searches complete with partial
-    /// results; other phases stop with
+    /// live job's session token and marks queued-but-unstarted jobs
+    /// [`ReproError::Cancelled`]. In-flight searches complete with
+    /// partial results; other phases stop with
     /// [`ReproError::Cancelled`].
     pub cancel: CancelToken,
+    /// Back-pressure applied by [`TriageService::submit`].
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for FleetConfig {
@@ -128,7 +287,20 @@ impl Default for FleetConfig {
             workers: minipool::available_parallelism(),
             store: Arc::new(MemoryStore::unbounded()),
             cancel: CancelToken::new(),
+            admission: AdmissionPolicy::Unbounded,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Sets a [`AdmissionPolicy::Reject`] bound of `per_worker` pending
+    /// jobs per worker of the executor budget — the back-pressure knob
+    /// tied to the shared [`minipool::Limit`].
+    pub fn admission_per_worker(mut self, per_worker: usize) -> Self {
+        self.admission = AdmissionPolicy::Reject {
+            max_pending: per_worker.max(1) * self.workers.max(1),
+        };
+        self
     }
 }
 
@@ -190,35 +362,771 @@ pub struct FleetOutcome {
     pub jobs: Vec<JobOutcome>,
     /// Fleet-wide totals.
     pub summary: FleetSummary,
+    /// Name → index into [`FleetOutcome::jobs`], built once. Duplicate
+    /// names resolve last-wins (see [`FleetOutcome::job`]).
+    by_name: HashMap<String, usize>,
 }
 
 impl FleetOutcome {
-    /// The outcome of the named job, if present.
+    fn new(jobs: Vec<JobOutcome>, summary: FleetSummary) -> FleetOutcome {
+        // Insertion order makes later submissions overwrite earlier
+        // ones: last-wins, documented on `job`.
+        let by_name = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.name.clone(), i))
+            .collect();
+        FleetOutcome {
+            jobs,
+            summary,
+            by_name,
+        }
+    }
+
+    /// The outcome of the named job, if present — an O(1) map lookup
+    /// (the index is built once when the outcome is assembled).
+    ///
+    /// Job names are not required to be unique; when several jobs share
+    /// a name, the **last-submitted** one wins (a triage queue's newest
+    /// report for a recurring crash is the interesting one). Iterate
+    /// [`FleetOutcome::jobs`] to see every duplicate.
     pub fn job(&self, name: &str) -> Option<&JobOutcome> {
-        self.jobs.iter().find(|j| j.name == name)
+        self.by_name.get(name).map(|&i| &self.jobs[i])
     }
 }
 
-/// A live job's scheduling state (boxed behind [`JobState`] — a
-/// session is orders of magnitude larger than a rejection record).
+/// Tees each event into the job's collected log and the optional
+/// user-supplied per-ticket observer.
+struct TeeObserver<'p> {
+    log: Arc<Mutex<TimingLog>>,
+    user: Option<Box<dyn PhaseObserver + Send + 'p>>,
+}
+
+impl PhaseObserver for TeeObserver<'_> {
+    fn on_event(&mut self, event: &PhaseEvent) {
+        self.log.lock().expect("tee log poisoned").on_event(event);
+        if let Some(user) = &mut self.user {
+            user.on_event(event);
+        }
+    }
+}
+
+/// A live job's scheduling state (boxed — a session is orders of
+/// magnitude larger than the other variants).
 struct LiveSlot<'p> {
     session: ReproSession<'p>,
     log: Arc<Mutex<TimingLog>>,
     error: Option<ReproError>,
     deduped: u32,
     busy: Duration,
+    cancel_sent: bool,
 }
 
-/// One job's scheduling state.
-enum JobState<'p> {
+/// A job admitted but not yet opened (its session does not exist yet —
+/// admission is cheap and never runs program analysis).
+struct QueuedJob<'p> {
+    program: &'p Program,
+    dump: CoreDump,
+    input: Vec<i64>,
+    options: ReproOptions,
+    observer: Option<Box<dyn PhaseObserver + Send + 'p>>,
+}
+
+/// One job's lifecycle inside the service.
+enum SlotState<'p> {
+    /// Admitted; opened into a session at the next wave boundary.
+    Queued(Box<QueuedJob<'p>>),
+    /// Session open, phases pending.
     Live(Box<LiveSlot<'p>>),
-    /// The session could not even be opened (e.g. the dump carries no
-    /// failure).
-    Rejected(Option<ReproError>),
+    /// Outcome ready for its ticket.
+    Done(Box<JobOutcome>),
+    /// Outcome handed to the ticket.
+    Claimed,
 }
 
-/// A batch of reproduction jobs scheduled over one shared executor and
-/// artifact store. See the [crate docs](crate) for the model.
+/// One job's slot: immutable identity plus mutable lifecycle state.
+/// Slots are individually locked so wave leaders can execute in
+/// parallel, each worker touching a distinct slot.
+struct Slot<'p> {
+    name: String,
+    priority: u32,
+    /// Submission index: tie-break for wave ordering (stable even after
+    /// earlier slots are compacted away).
+    seq: usize,
+    state: Mutex<SlotState<'p>>,
+}
+
+/// State under the service-wide mutex (never held while a phase runs).
+struct Shared<'p> {
+    /// Slots still holding work or an unclaimed outcome. Finalized
+    /// slots are dropped from here at the next wave boundary (their
+    /// tickets keep them alive), so a long-running service's wave
+    /// formation scales with *live* jobs, not lifetime submissions.
+    slots: Vec<Arc<Slot<'p>>>,
+    /// Jobs admitted over the service's lifetime.
+    submitted: usize,
+    /// Jobs in `Queued`/`Live` state.
+    pending: usize,
+    /// `shutdown` has closed admission.
+    closed: bool,
+    /// A thread currently holds the scheduler role (guards the
+    /// sleep-vs-retry decision in the waiter loop).
+    scheduling: bool,
+    waves: u64,
+    completed: usize,
+    failed: usize,
+    computed: u64,
+    cache_hits: u64,
+    deduped: u64,
+}
+
+/// A long-running, handle-based triage scheduler. See the [crate
+/// docs](crate) for the model; see [`Fleet`] for the closed-list
+/// compatibility facade.
+pub struct TriageService<'p> {
+    store: Arc<dyn ArtifactStore>,
+    cancel: CancelToken,
+    admission: AdmissionPolicy,
+    workers: usize,
+    limit: minipool::Limit,
+    pool: minipool::Pool,
+    shared: Mutex<Shared<'p>>,
+    /// Signalled on every wave boundary and admission-capacity change.
+    cv: Condvar,
+    /// Exclusive scheduler role; `try_lock` elects the driving thread.
+    sched: Mutex<()>,
+    started: Instant,
+}
+
+impl fmt::Debug for TriageService<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.lock_shared();
+        f.debug_struct("TriageService")
+            .field("workers", &self.workers)
+            .field("admission", &self.admission)
+            .field("jobs", &shared.submitted)
+            .field("pending", &shared.pending)
+            .field("closed", &shared.closed)
+            .field("waves", &shared.waves)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A claim on one submitted job's [`JobOutcome`].
+///
+/// Tickets borrow the service (dropping a ticket never cancels its job;
+/// the outcome simply stays unclaimed). [`JobTicket::wait`] helps drive
+/// the scheduler while it blocks, so a single-threaded caller that only
+/// ever submits and waits still makes progress.
+pub struct JobTicket<'s, 'p> {
+    service: &'s TriageService<'p>,
+    slot: Arc<Slot<'p>>,
+    id: usize,
+}
+
+impl fmt::Debug for JobTicket<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("id", &self.id)
+            .field("name", &self.slot.name)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<'s, 'p> JobTicket<'s, 'p> {
+    /// The job's submission index (also its position in
+    /// [`FleetOutcome::jobs`] under the facade).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.slot.name
+    }
+
+    /// Whether the outcome is ready — [`JobTicket::wait`] would return
+    /// without driving any further work. Never blocks: a job whose slot
+    /// is busy executing a phase is by definition not ready, so
+    /// contention reports `false` without waiting for the phase.
+    pub fn is_ready(&self) -> bool {
+        match self.slot.state.try_lock() {
+            Ok(state) => matches!(*state, SlotState::Done(_)),
+            Err(std::sync::TryLockError::WouldBlock) => false,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("triage slot poisoned"),
+        }
+    }
+
+    /// Claims the outcome if it is ready; otherwise hands the ticket
+    /// back untouched. Never blocks and never drives the scheduler —
+    /// a slot busy executing a phase (or being finalized) counts as not
+    /// ready — so pair it with [`TriageService::poll`] in event loops.
+    pub fn try_outcome(self) -> Result<JobOutcome, Self> {
+        let claimed = {
+            match self.slot.state.try_lock() {
+                Ok(mut state) => match std::mem::replace(&mut *state, SlotState::Claimed) {
+                    SlotState::Done(outcome) => Some(*outcome),
+                    other => {
+                        *state = other;
+                        None
+                    }
+                },
+                Err(std::sync::TryLockError::WouldBlock) => None,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("triage slot poisoned"),
+            }
+        };
+        match claimed {
+            Some(outcome) => Ok(outcome),
+            None => Err(self),
+        }
+    }
+
+    /// Blocks until the job's outcome is ready and returns it. The
+    /// waiting thread volunteers as the scheduler whenever the role is
+    /// free, so `wait` never depends on another thread driving the
+    /// service.
+    pub fn wait(mut self) -> JobOutcome {
+        loop {
+            self = match self.try_outcome() {
+                Ok(outcome) => return outcome,
+                Err(ticket) => ticket,
+            };
+            self.service.drive_or_park();
+        }
+    }
+}
+
+impl<'p> TriageService<'p> {
+    /// An idle service with no jobs. A bounded admission policy with
+    /// `max_pending: 0` would refuse all work (and livelock a blocking
+    /// submitter), so the bound is clamped to at least 1.
+    pub fn new(config: FleetConfig) -> TriageService<'p> {
+        let workers = config.workers.max(1);
+        let limit = minipool::Limit::new(workers);
+        let pool = minipool::Pool::with_limit(workers, limit.clone());
+        let admission = match config.admission {
+            AdmissionPolicy::Unbounded => AdmissionPolicy::Unbounded,
+            AdmissionPolicy::Reject { max_pending } => AdmissionPolicy::Reject {
+                max_pending: max_pending.max(1),
+            },
+            AdmissionPolicy::Block { max_pending } => AdmissionPolicy::Block {
+                max_pending: max_pending.max(1),
+            },
+        };
+        TriageService {
+            store: config.store,
+            cancel: config.cancel,
+            admission,
+            workers,
+            limit,
+            pool,
+            shared: Mutex::new(Shared {
+                slots: Vec::new(),
+                submitted: 0,
+                pending: 0,
+                closed: false,
+                scheduling: false,
+                waves: 0,
+                completed: 0,
+                failed: 0,
+                computed: 0,
+                cache_hits: 0,
+                deduped: 0,
+            }),
+            cv: Condvar::new(),
+            sched: Mutex::new(()),
+            started: Instant::now(),
+        }
+    }
+
+    fn lock_shared(&self) -> MutexGuard<'_, Shared<'p>> {
+        self.shared.lock().expect("triage service poisoned")
+    }
+
+    /// A clone of the fleet-wide cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The shared executor budget (inspect
+    /// [`minipool::Limit::in_use`] for instantaneous load).
+    pub fn limit(&self) -> &minipool::Limit {
+        &self.limit
+    }
+
+    /// Jobs admitted but not yet finished (queued + live).
+    pub fn pending(&self) -> usize {
+        self.lock_shared().pending
+    }
+
+    /// Whether [`TriageService::shutdown`] has closed admission.
+    pub fn is_closed(&self) -> bool {
+        self.lock_shared().closed
+    }
+
+    /// Admits a job, returning its [`JobTicket`]. Admission is cheap —
+    /// the session (program analysis included) is opened by the
+    /// scheduler at the next wave boundary, *while earlier waves may
+    /// still be executing on other threads*.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::ShutDown`] after [`TriageService::shutdown`];
+    /// [`AdmitError::Saturated`] under a [`AdmissionPolicy::Reject`]
+    /// bound. Either way the [`SubmitError`] hands the job back for
+    /// retry. An [`AdmissionPolicy::Block`] policy blocks instead —
+    /// and, like [`JobTicket::wait`], the blocked submitter volunteers
+    /// as the scheduler while it waits, so even a single-threaded
+    /// caller that only ever submits cannot deadlock on its own
+    /// back-pressure.
+    pub fn submit(&self, job: FleetJob<'p>) -> Result<JobTicket<'_, 'p>, Box<SubmitError<'p>>> {
+        let mut shared = self.lock_shared();
+        loop {
+            if shared.closed {
+                return Err(Box::new(SubmitError {
+                    reason: AdmitError::ShutDown,
+                    job,
+                }));
+            }
+            match self.admission {
+                AdmissionPolicy::Unbounded => break,
+                AdmissionPolicy::Reject { max_pending } => {
+                    if shared.pending >= max_pending {
+                        return Err(Box::new(SubmitError {
+                            reason: AdmitError::Saturated {
+                                pending: shared.pending,
+                                max_pending,
+                            },
+                            job,
+                        }));
+                    }
+                    break;
+                }
+                AdmissionPolicy::Block { max_pending } => {
+                    if shared.pending < max_pending {
+                        break;
+                    }
+                    // Help drain: drive a wave (or park until the
+                    // active scheduler finishes one), then re-check.
+                    drop(shared);
+                    self.drive_or_park();
+                    shared = self.lock_shared();
+                }
+            }
+        }
+        let FleetJob {
+            name,
+            program,
+            dump,
+            input,
+            options,
+            priority,
+            observer,
+        } = job;
+        let seq = shared.submitted;
+        shared.submitted += 1;
+        let slot = Arc::new(Slot {
+            name,
+            priority,
+            seq,
+            state: Mutex::new(SlotState::Queued(Box::new(QueuedJob {
+                program,
+                dump,
+                input,
+                options,
+                observer,
+            }))),
+        });
+        shared.slots.push(Arc::clone(&slot));
+        shared.pending += 1;
+        drop(shared);
+        Ok(JobTicket {
+            service: self,
+            slot,
+            id: seq,
+        })
+    }
+
+    /// Runs at most one scheduling wave on the calling thread (a no-op
+    /// when another thread holds the scheduler role). Returns whether
+    /// jobs are still pending — the event-loop integration point:
+    /// `while service.poll() { ... do other work ... }`.
+    pub fn poll(&self) -> bool {
+        self.try_drive();
+        self.pending() > 0
+    }
+
+    /// Blocks until every job admitted so far (and any admitted while
+    /// draining) has an outcome. Admission stays open; an empty queue
+    /// returns immediately.
+    pub fn drain(&self) {
+        loop {
+            if self.lock_shared().pending == 0 {
+                return;
+            }
+            self.drive_or_park();
+        }
+    }
+
+    /// Gracefully shuts down: closes admission (subsequent
+    /// [`TriageService::submit`]s fail with [`AdmitError::ShutDown`]),
+    /// then drains every already-admitted job to its outcome and
+    /// returns the final [`FleetSummary`]. Idempotent.
+    pub fn shutdown(&self) -> FleetSummary {
+        {
+            let mut shared = self.lock_shared();
+            shared.closed = true;
+            // Blocked submitters must observe the closure.
+            self.cv.notify_all();
+        }
+        self.drain();
+        self.summary()
+    }
+
+    /// A snapshot of the fleet-wide totals so far.
+    pub fn summary(&self) -> FleetSummary {
+        let shared = self.lock_shared();
+        FleetSummary {
+            jobs: shared.submitted,
+            completed: shared.completed,
+            failed: shared.failed,
+            phase_units: shared.computed + shared.cache_hits,
+            computed: shared.computed,
+            cache_hits: shared.cache_hits,
+            deduped_in_flight: shared.deduped,
+            waves: shared.waves,
+            workers: self.workers,
+            store: self.store.stats(),
+            wall: self.started.elapsed(),
+        }
+    }
+
+    /// Takes the scheduler role and runs one wave, if the role is free.
+    /// Returns whether this thread drove a step.
+    fn try_drive(&self) -> bool {
+        let role = match self.sched.try_lock() {
+            Ok(role) => role,
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+            // A previous scheduler panicked mid-wave. Propagate the
+            // failure instead of reporting "role busy" — treating the
+            // poison as busy would park every waiter forever.
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                panic!("triage scheduler poisoned by an earlier panic")
+            }
+        };
+        self.lock_shared().scheduling = true;
+        // Reset the flag and wake parked waiters even when the wave
+        // panics (the unwind drops this guard before releasing — and
+        // poisoning — `sched`), so blocked threads retry, observe the
+        // poison, and propagate the failure instead of sleeping.
+        struct SchedulingGuard<'a, 'p>(&'a TriageService<'p>);
+        impl Drop for SchedulingGuard<'_, '_> {
+            fn drop(&mut self) {
+                let mut shared = self
+                    .0
+                    .shared
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                shared.scheduling = false;
+                drop(shared);
+                self.0.cv.notify_all();
+            }
+        }
+        let _guard = SchedulingGuard(self);
+        self.advance(&role);
+        true
+    }
+
+    /// Tries to take the scheduler role and run one wave; otherwise
+    /// parks until the active scheduler signals a wave boundary.
+    fn drive_or_park(&self) {
+        if self.try_drive() {
+            return;
+        }
+        let shared = self.lock_shared();
+        if shared.scheduling {
+            // Timeout only as a safety net against lost wakeups; the
+            // scheduler notifies at every wave boundary.
+            let _ = self
+                .cv
+                .wait_timeout(shared, Duration::from_millis(100))
+                .expect("triage service poisoned");
+        }
+        // else: the role was freed between our try_lock and the check —
+        // loop around and try again.
+    }
+
+    /// One scheduler step, holding the role token: open newly admitted
+    /// jobs, form a wave, execute it, finalize completed jobs.
+    fn advance(&self, _role: &MutexGuard<'_, ()>) {
+        let cancelled = self.cancel.is_cancelled();
+        // Snapshot the slots in (priority, submission) order. New
+        // submissions during the wave are picked up next time.
+        let order: Vec<Arc<Slot<'p>>> = {
+            let shared = self.lock_shared();
+            let mut order: Vec<Arc<Slot<'p>>> = shared.slots.iter().map(Arc::clone).collect();
+            order.sort_unstable_by_key(|slot| (slot.priority, slot.seq));
+            order
+        };
+
+        // Open queued jobs (or cancel them before they ever start), and
+        // propagate a fired fleet token into live sessions.
+        let mut finalized: Vec<FinalizedDelta> = Vec::new();
+        for slot in &order {
+            let mut state = slot.state.lock().expect("triage slot poisoned");
+            match std::mem::replace(&mut *state, SlotState::Claimed) {
+                SlotState::Queued(_) if cancelled => {
+                    // Queued-but-unstarted: never lost, surfaced as a
+                    // cancelled outcome before any phase could start.
+                    finalized.push(FinalizedDelta::failed());
+                    *state = SlotState::Done(Box::new(failed_outcome(
+                        slot,
+                        ReproError::Cancelled(Phase::Index),
+                    )));
+                }
+                SlotState::Queued(queued) => {
+                    let QueuedJob {
+                        program,
+                        dump,
+                        input,
+                        mut options,
+                        observer,
+                    } = *queued;
+                    options.store = Some(Arc::clone(&self.store));
+                    options.pool = Some(self.pool.clone());
+                    match ReproSession::new(program, dump, &input, options) {
+                        Ok(mut session) => {
+                            let log = Arc::new(Mutex::new(TimingLog::new()));
+                            session.set_observer(Box::new(TeeObserver {
+                                log: Arc::clone(&log),
+                                user: observer,
+                            }));
+                            *state = SlotState::Live(Box::new(LiveSlot {
+                                session,
+                                log,
+                                error: None,
+                                deduped: 0,
+                                busy: Duration::ZERO,
+                                cancel_sent: false,
+                            }));
+                        }
+                        Err(e) => {
+                            // The dump could not even open a session
+                            // (e.g. it carries no failure).
+                            finalized.push(FinalizedDelta::failed());
+                            *state = SlotState::Done(Box::new(failed_outcome(slot, e)));
+                        }
+                    }
+                }
+                other => {
+                    if let SlotState::Live(mut live) = other {
+                        if cancelled && !live.cancel_sent {
+                            live.session.cancel_token().cancel();
+                            live.cancel_sent = true;
+                        }
+                        *state = SlotState::Live(live);
+                    } else {
+                        *state = other;
+                    }
+                }
+            }
+        }
+
+        // Form the wave: every live job's next phase, single-flighting
+        // identical content-addressed keys.
+        let mut leaders: Vec<(Arc<Slot<'p>>, Phase)> = Vec::new();
+        let mut followers: Vec<(Arc<Slot<'p>>, Phase)> = Vec::new();
+        let mut in_flight: HashSet<PhaseKey> = HashSet::new();
+        for slot in &order {
+            let state = slot.state.lock().expect("triage slot poisoned");
+            if let SlotState::Live(live) = &*state {
+                debug_assert!(live.error.is_none(), "errored lives are finalized");
+                let Some(phase) = live.session.next_phase() else {
+                    continue;
+                };
+                let key = live.session.next_phase_key().expect("upstream complete");
+                if in_flight.insert(key) {
+                    leaders.push((Arc::clone(slot), phase));
+                } else {
+                    followers.push((Arc::clone(slot), phase));
+                }
+            }
+        }
+
+        let ran_wave = !leaders.is_empty();
+        if ran_wave {
+            // Leaders fan out over the shared pool; distinct jobs, so
+            // each worker locks a distinct slot.
+            self.pool.for_each_index(leaders.len(), |k| {
+                let (slot, phase) = &leaders[k];
+                run_unit(slot, *phase);
+            });
+            // Followers run after their leader: their key now hits the
+            // store and rehydrates (or recomputes, if the leader's
+            // artifact was partial and uncacheable — still correct).
+            for (slot, phase) in &followers {
+                run_unit(slot, *phase);
+                if let SlotState::Live(live) =
+                    &mut *slot.state.lock().expect("triage slot poisoned")
+                {
+                    live.deduped += 1;
+                }
+            }
+
+            // Finalize jobs the wave completed or failed.
+            for (slot, _) in leaders.iter().chain(&followers) {
+                let mut state = slot.state.lock().expect("triage slot poisoned");
+                let done = match &*state {
+                    SlotState::Live(live) => live.error.is_some() || live.session.is_complete(),
+                    _ => false,
+                };
+                if !done {
+                    continue;
+                }
+                let SlotState::Live(live) = std::mem::replace(&mut *state, SlotState::Claimed)
+                else {
+                    unreachable!("checked above");
+                };
+                let (outcome, delta) = finalize(&slot.name, slot.priority, *live);
+                finalized.push(delta);
+                *state = SlotState::Done(Box::new(outcome));
+            }
+        }
+
+        // Publish the wave boundary.
+        let mut shared = self.lock_shared();
+        if ran_wave {
+            shared.waves += 1;
+        }
+        for delta in &finalized {
+            shared.pending -= 1;
+            shared.completed += usize::from(!delta.failed);
+            shared.failed += usize::from(delta.failed);
+            shared.computed += delta.computed as u64;
+            shared.cache_hits += delta.cache_hits as u64;
+            shared.deduped += delta.deduped as u64;
+        }
+        if !finalized.is_empty() {
+            // Compact finalized slots out of the wave-formation set: a
+            // ticket keeps its own slot alive, so a long-running
+            // service's per-wave cost tracks *live* jobs, not lifetime
+            // submissions. (Only this scheduler thread finalizes, so
+            // the try-lock can miss a slot only while its ticket is
+            // mid-claim — i.e. already finalized — and `retain` keeps
+            // it one wave longer, which is harmless.)
+            shared.slots.retain(|slot| match slot.state.try_lock() {
+                Ok(state) => !matches!(*state, SlotState::Done(_) | SlotState::Claimed),
+                Err(_) => true,
+            });
+        }
+        drop(shared);
+        self.cv.notify_all();
+    }
+}
+
+/// Totals one finalized job contributes to the fleet summary.
+struct FinalizedDelta {
+    failed: bool,
+    computed: u32,
+    cache_hits: u32,
+    deduped: u32,
+}
+
+impl FinalizedDelta {
+    fn failed() -> FinalizedDelta {
+        FinalizedDelta {
+            failed: true,
+            computed: 0,
+            cache_hits: 0,
+            deduped: 0,
+        }
+    }
+}
+
+/// The outcome of a job that failed before any phase could run
+/// (rejected dump, or cancelled while still queued).
+fn failed_outcome(slot: &Slot<'_>, err: ReproError) -> JobOutcome {
+    JobOutcome {
+        name: slot.name.clone(),
+        priority: slot.priority,
+        result: Err(err),
+        events: Vec::new(),
+        computed: 0,
+        cache_hits: 0,
+        deduped: 0,
+        busy: Duration::ZERO,
+    }
+}
+
+/// Runs one phase unit against a slot (skipping slots that finalized
+/// since the wave formed).
+fn run_unit(slot: &Slot<'_>, phase: Phase) {
+    let mut state = slot.state.lock().expect("triage slot poisoned");
+    if let SlotState::Live(live) = &mut *state {
+        let LiveSlot {
+            session,
+            error,
+            busy,
+            ..
+        } = live.as_mut();
+        let t0 = Instant::now();
+        if let Err(e) = session.run_phase(phase) {
+            *error = Some(e);
+        }
+        *busy += t0.elapsed();
+    }
+}
+
+/// Turns a finished live slot into its outcome + summary delta.
+fn finalize(name: &str, priority: u32, live: LiveSlot<'_>) -> (JobOutcome, FinalizedDelta) {
+    let LiveSlot {
+        session,
+        log,
+        error,
+        deduped,
+        busy,
+        ..
+    } = live;
+    let events = log.lock().expect("triage log poisoned").events.clone();
+    let computed = events
+        .iter()
+        .filter(|e| matches!(e, PhaseEvent::Finished { .. }))
+        .count() as u32;
+    let cache_hits = events
+        .iter()
+        .filter(|e| matches!(e, PhaseEvent::CacheHit { .. }))
+        .count() as u32;
+    let result = match error {
+        Some(e) => Err(e),
+        None => Ok(session.report().expect("no error means complete")),
+    };
+    let delta = FinalizedDelta {
+        failed: result.is_err(),
+        computed,
+        cache_hits,
+        deduped,
+    };
+    (
+        JobOutcome {
+            name: name.to_string(),
+            priority,
+            result,
+            events,
+            computed,
+            cache_hits,
+            deduped,
+            busy,
+        },
+        delta,
+    )
+}
+
+/// A closed batch of reproduction jobs scheduled over one shared
+/// executor and artifact store — the original `mcr-batch` API, kept as
+/// a thin facade over [`TriageService`]: [`Fleet::run`] submits every
+/// pushed job (unbounded admission), drains the service, and collects
+/// the outcomes in submission order.
 pub struct Fleet<'p> {
     config: FleetConfig,
     jobs: Vec<FleetJob<'p>>,
@@ -254,203 +1162,27 @@ impl<'p> Fleet<'p> {
     }
 
     /// Runs every job to completion (or error) and returns the
-    /// outcomes.
+    /// outcomes: submit-all + drain on a private [`TriageService`]
+    /// (admission is forced unbounded — a closed job list provides its
+    /// own back-pressure).
     ///
-    /// Scheduling model: the fleet repeatedly forms a *wave* — each
-    /// unfinished job's next phase, in `(priority, submission)` order —
-    /// deduplicates units with identical content-addressed
-    /// [`PhaseKey`]s (one leader per key; followers rehydrate from the
-    /// store afterwards), and fans the leaders out over the shared
-    /// worker pool. Budgets and cancellation act inside the phases
-    /// themselves.
+    /// Scheduling model: see [`TriageService`]; with every job admitted
+    /// up front the waves are exactly the classic fleet waves — each
+    /// unfinished job's next phase in `(priority, submission)` order,
+    /// deduplicated by content-addressed [`PhaseKey`].
     pub fn run(self) -> FleetOutcome {
-        let started = Instant::now();
         let Fleet { config, jobs } = self;
-        let limit = minipool::Limit::new(config.workers);
-        let pool = minipool::Pool::with_limit(config.workers, limit);
-
-        // Open one session per job, wiring in the shared store, the
-        // shared executor handle, and a per-job event log.
-        let names: Vec<(String, u32)> = jobs.iter().map(|j| (j.name.clone(), j.priority)).collect();
-        let slots: Vec<Mutex<JobState<'p>>> = jobs
+        let service = TriageService::new(FleetConfig {
+            admission: AdmissionPolicy::Unbounded,
+            ..config
+        });
+        let tickets: Vec<JobTicket<'_, 'p>> = jobs
             .into_iter()
-            .map(|job| {
-                let mut options = job.options;
-                options.store = Some(Arc::clone(&config.store));
-                options.pool = Some(pool.clone());
-                match ReproSession::new(job.program, job.dump, &job.input, options) {
-                    Ok(mut session) => {
-                        let log = Arc::new(Mutex::new(TimingLog::new()));
-                        session.set_observer(Box::new(Arc::clone(&log)));
-                        Mutex::new(JobState::Live(Box::new(LiveSlot {
-                            session,
-                            log,
-                            error: None,
-                            deduped: 0,
-                            busy: Duration::ZERO,
-                        })))
-                    }
-                    Err(e) => Mutex::new(JobState::Rejected(Some(e))),
-                }
-            })
+            .map(|job| service.submit(job).expect("unbounded admission"))
             .collect();
-
-        let mut order: Vec<usize> = (0..slots.len()).collect();
-        order.sort_by_key(|&i| (names[i].1, i));
-
-        let run_unit = |slot: &Mutex<JobState<'p>>, phase: Phase| {
-            let mut guard = slot.lock().expect("fleet slot poisoned");
-            if let JobState::Live(slot) = &mut *guard {
-                let LiveSlot {
-                    session,
-                    error,
-                    busy,
-                    ..
-                } = slot.as_mut();
-                let t0 = Instant::now();
-                if let Err(e) = session.run_phase(phase) {
-                    *error = Some(e);
-                }
-                *busy += t0.elapsed();
-            }
-        };
-
-        let mut waves = 0u64;
-        let mut cancelled_propagated = false;
-        loop {
-            if config.cancel.is_cancelled() && !cancelled_propagated {
-                cancelled_propagated = true;
-                for slot in &slots {
-                    if let JobState::Live(live) = &*slot.lock().expect("fleet slot poisoned") {
-                        live.session.cancel_token().cancel();
-                    }
-                }
-            }
-
-            // Form the wave: every unfinished, unfailed job's next
-            // phase, in priority order.
-            let mut leaders: Vec<(usize, Phase)> = Vec::new();
-            let mut followers: Vec<(usize, Phase)> = Vec::new();
-            let mut in_flight: HashSet<PhaseKey> = HashSet::new();
-            for &i in &order {
-                let guard = slots[i].lock().expect("fleet slot poisoned");
-                if let JobState::Live(live) = &*guard {
-                    if live.error.is_some() {
-                        continue;
-                    }
-                    let Some(phase) = live.session.next_phase() else {
-                        continue;
-                    };
-                    let key = live.session.next_phase_key().expect("upstream complete");
-                    if in_flight.insert(key) {
-                        leaders.push((i, phase));
-                    } else {
-                        followers.push((i, phase));
-                    }
-                }
-            }
-            if leaders.is_empty() {
-                break;
-            }
-            waves += 1;
-
-            // Leaders fan out over the shared pool; distinct jobs, so
-            // each worker locks a distinct slot.
-            pool.for_each_index(leaders.len(), |k| {
-                let (i, phase) = leaders[k];
-                run_unit(&slots[i], phase);
-            });
-            // Followers run after their leader: their key now hits the
-            // store and rehydrates (or recomputes, if the leader's
-            // artifact was partial and uncacheable — still correct).
-            for (i, phase) in followers {
-                run_unit(&slots[i], phase);
-                if let JobState::Live(live) = &mut *slots[i].lock().expect("fleet slot poisoned") {
-                    live.deduped += 1;
-                }
-            }
-        }
-
-        // Assemble outcomes in submission order.
-        let mut outcomes = Vec::with_capacity(slots.len());
-        let mut completed = 0usize;
-        let mut failed = 0usize;
-        let mut total_computed = 0u64;
-        let mut total_hits = 0u64;
-        let mut total_deduped = 0u64;
-        for (i, slot) in slots.into_iter().enumerate() {
-            let (name, priority) = names[i].clone();
-            let outcome = match slot.into_inner().expect("fleet slot poisoned") {
-                JobState::Rejected(e) => JobOutcome {
-                    name,
-                    priority,
-                    result: Err(e.expect("rejection recorded")),
-                    events: Vec::new(),
-                    computed: 0,
-                    cache_hits: 0,
-                    deduped: 0,
-                    busy: Duration::ZERO,
-                },
-                JobState::Live(live) => {
-                    let LiveSlot {
-                        session,
-                        log,
-                        error,
-                        deduped,
-                        busy,
-                    } = *live;
-                    let events = log.lock().expect("fleet log poisoned").events.clone();
-                    let computed = events
-                        .iter()
-                        .filter(|e| matches!(e, PhaseEvent::Finished { .. }))
-                        .count() as u32;
-                    let cache_hits = events
-                        .iter()
-                        .filter(|e| matches!(e, PhaseEvent::CacheHit { .. }))
-                        .count() as u32;
-                    let result = match error {
-                        Some(e) => Err(e),
-                        None => Ok(session.report().expect("no error means complete")),
-                    };
-                    JobOutcome {
-                        name,
-                        priority,
-                        result,
-                        events,
-                        computed,
-                        cache_hits,
-                        deduped,
-                        busy,
-                    }
-                }
-            };
-            match &outcome.result {
-                Ok(_) => completed += 1,
-                Err(_) => failed += 1,
-            }
-            total_computed += outcome.computed as u64;
-            total_hits += outcome.cache_hits as u64;
-            total_deduped += outcome.deduped as u64;
-            outcomes.push(outcome);
-        }
-
-        let summary = FleetSummary {
-            jobs: outcomes.len(),
-            completed,
-            failed,
-            phase_units: total_computed + total_hits,
-            computed: total_computed,
-            cache_hits: total_hits,
-            deduped_in_flight: total_deduped,
-            waves,
-            workers: config.workers,
-            store: config.store.stats(),
-            wall: started.elapsed(),
-        };
-        FleetOutcome {
-            jobs: outcomes,
-            summary,
-        }
+        service.drain();
+        let outcomes: Vec<JobOutcome> = tickets.into_iter().map(JobTicket::wait).collect();
+        FleetOutcome::new(outcomes, service.summary())
     }
 }
 
@@ -614,5 +1346,172 @@ mod tests {
         let warm = second.jobs[0].result.as_ref().unwrap();
         // Rehydrated reports are bit-identical, timings included.
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn outcome_lookup_is_indexed_and_duplicate_names_resolve_last_wins() {
+        let (program, dump) = fig1_failure();
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+        let mut fleet = Fleet::new(FleetConfig {
+            store,
+            ..Default::default()
+        });
+        // Two jobs sharing a name, with distinct priorities to tell the
+        // outcomes apart.
+        fleet.push(FleetJob::new("crash", &program, dump.clone(), &INPUT).with_priority(1));
+        fleet.push(FleetJob::new("crash", &program, dump.clone(), &INPUT).with_priority(2));
+        fleet.push(FleetJob::new("other", &program, dump, &INPUT).with_priority(3));
+        let outcome = fleet.run();
+        // Both duplicates are retained in submission order…
+        assert_eq!(outcome.jobs.len(), 3);
+        assert_eq!(outcome.jobs[0].priority, 1);
+        assert_eq!(outcome.jobs[1].priority, 2);
+        // …and the named lookup resolves to the last-submitted one.
+        assert_eq!(outcome.job("crash").unwrap().priority, 2);
+        assert_eq!(outcome.job("other").unwrap().priority, 3);
+        assert!(outcome.job("missing").is_none());
+    }
+
+    #[test]
+    fn service_admits_mid_run_and_matches_the_closed_list() {
+        let (program, dump) = fig1_failure();
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+
+        let baseline = Reproducer::new(&program, ReproOptions::default())
+            .reproduce(&dump, &INPUT)
+            .unwrap();
+
+        let service = TriageService::new(FleetConfig {
+            store,
+            ..Default::default()
+        });
+        let first = service
+            .submit(FleetJob::new("first", &program, dump.clone(), &INPUT))
+            .unwrap();
+        // Advance the service mid-pipeline, then admit more work — the
+        // definition of async admission.
+        assert!(service.poll(), "first job still pending");
+        let second = service
+            .submit(FleetJob::new("second", &program, dump.clone(), &INPUT))
+            .unwrap();
+        assert_eq!(service.pending(), 2);
+        let first = first.wait();
+        let second = second.wait();
+        service.drain(); // empty queue: returns immediately
+        let summary = service.shutdown();
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.failed, 0);
+        for outcome in [&first, &second] {
+            let report = outcome.result.as_ref().expect("completed");
+            assert_eq!(report.search.reproduced, baseline.search.reproduced);
+            assert_eq!(report.search.winning, baseline.search.winning);
+            assert_eq!(report.diffs, baseline.diffs);
+        }
+        // The duplicate rehydrated everything the first job computed.
+        assert_eq!(second.computed, 0);
+        assert_eq!(second.cache_hits, 5);
+    }
+
+    #[test]
+    fn reject_policy_saturates_and_recovers() {
+        let (program, dump) = fig1_failure();
+        let service = TriageService::new(FleetConfig {
+            admission: AdmissionPolicy::Reject { max_pending: 1 },
+            ..Default::default()
+        });
+        let ticket = service
+            .submit(FleetJob::new("only", &program, dump.clone(), &INPUT))
+            .unwrap();
+        let refused = service
+            .submit(FleetJob::new("over", &program, dump.clone(), &INPUT))
+            .expect_err("bound is full");
+        assert_eq!(
+            refused.reason,
+            AdmitError::Saturated {
+                pending: 1,
+                max_pending: 1
+            }
+        );
+        let outcome = ticket.wait();
+        assert!(outcome.result.is_ok());
+        // Capacity freed: the refused job was handed back and can be
+        // resubmitted as-is — no rebuild, no dump re-clone.
+        let again = service.submit(refused.job).unwrap();
+        assert_eq!(again.name(), "over");
+        assert!(again.wait().result.is_ok());
+    }
+
+    #[test]
+    fn block_policy_helps_drive_and_never_deadlocks_single_threaded() {
+        let (program, dump) = fig1_failure();
+        let service = TriageService::new(FleetConfig {
+            admission: AdmissionPolicy::Block { max_pending: 1 },
+            ..Default::default()
+        });
+        // The first job fills the bound; the second submit must block,
+        // help drive the first job to completion, and then admit —
+        // all on this one thread.
+        let first = service
+            .submit(FleetJob::new("first", &program, dump.clone(), &INPUT))
+            .unwrap();
+        let second = service
+            .submit(FleetJob::new("second", &program, dump, &INPUT))
+            .unwrap();
+        assert!(first.is_ready(), "blocked submit drove the first job");
+        assert!(first.wait().result.is_ok());
+        assert!(second.wait().result.is_ok());
+        assert_eq!(service.summary().completed, 2);
+    }
+
+    #[test]
+    fn zero_pending_bounds_are_clamped_to_one() {
+        let (program, dump) = fig1_failure();
+        // A literal zero bound would refuse all work (and livelock a
+        // blocking submitter); the service clamps it.
+        for admission in [
+            AdmissionPolicy::Reject { max_pending: 0 },
+            AdmissionPolicy::Block { max_pending: 0 },
+        ] {
+            let service = TriageService::new(FleetConfig {
+                admission,
+                ..Default::default()
+            });
+            let ticket = service
+                .submit(FleetJob::new("only", &program, dump.clone(), &INPUT))
+                .unwrap_or_else(|e| panic!("{admission:?} must admit one job: {e}"));
+            assert!(ticket.wait().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let (program, dump) = fig1_failure();
+        let service = TriageService::new(FleetConfig::default());
+        let summary = service.shutdown(); // empty: returns immediately
+        assert_eq!(summary.jobs, 0);
+        assert!(service.is_closed());
+        let refused = service
+            .submit(FleetJob::new("late", &program, dump, &INPUT))
+            .expect_err("admission is closed");
+        assert_eq!(refused.reason, AdmitError::ShutDown);
+        assert_eq!(refused.job.name, "late", "job handed back");
+    }
+
+    #[test]
+    fn try_outcome_is_nonblocking_and_tickets_survive_not_ready() {
+        let (program, dump) = fig1_failure();
+        let service = TriageService::new(FleetConfig::default());
+        let ticket = service
+            .submit(FleetJob::new("job", &program, dump, &INPUT))
+            .unwrap();
+        assert!(!ticket.is_ready());
+        let ticket = match ticket.try_outcome() {
+            Err(t) => t, // nothing has driven the service yet
+            Ok(_) => panic!("outcome cannot be ready before any wave"),
+        };
+        service.drain();
+        assert!(ticket.is_ready());
+        let outcome = ticket.try_outcome().expect("drained");
+        assert!(outcome.result.is_ok());
     }
 }

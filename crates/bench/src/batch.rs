@@ -14,14 +14,21 @@
 //! * **equivalence** — every fleet report must match its serial
 //!   counterpart (the determinism contract of the phase layer),
 //! * **cache accounting** — phase units computed vs rehydrated vs
-//!   single-flighted, plus the store's own counters.
+//!   single-flighted, plus the store's own counters *sliced by phase
+//!   kind* ([`StoreStats::per_phase`]),
+//! * **churn simulation** — the warm artifacts replayed through a
+//!   capacity-bounded LRU to record which phase kinds evict first (the
+//!   cache-sizing signal; see [`BatchReport::churn`]).
 //!
 //! `tables -- batch-json` serializes a [`BatchReport`] to
 //! `BENCH_batch.json` so successive PRs leave a measurable trajectory
 //! alongside `BENCH_search.json`.
 
 use mcr_batch::{Fleet, FleetConfig, FleetJob};
-use mcr_core::{find_failure_par, ReproOptions, ReproReport, Reproducer, StoreStats};
+use mcr_core::{
+    find_failure_par, ArtifactStore, MemoryStore, PhaseStats, ReproOptions, ReproReport,
+    Reproducer, StoreStats, PHASES,
+};
 use mcr_workloads::{all_bugs, fleet_mix, FleetSpec};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -89,8 +96,17 @@ pub struct BatchReport {
     /// Jobs whose failure was reproduced (same in both legs when
     /// `identical_results`).
     pub reproduced: usize,
-    /// Store counters at the end of the fleet run.
+    /// Store counters at the end of the fleet run (the per-phase
+    /// histograms live in [`StoreStats::per_phase`]).
     pub store: StoreStats,
+    /// Byte capacity of the churn probe (see [`BatchReport::churn`]).
+    pub churn_capacity: usize,
+    /// Cache-churn simulation: the fleet's warm artifacts replayed, in
+    /// deterministic key order, through an LRU [`MemoryStore`] bounded
+    /// at half the warm footprint. The per-phase eviction rows show
+    /// *which* phase kinds fall out first under memory pressure — the
+    /// capacity-planning signal an unbounded hit rate cannot show.
+    pub churn: [PhaseStats; 5],
 }
 
 /// Everything observable about a report except wall-clock timings.
@@ -170,9 +186,12 @@ pub fn batch_report() -> BatchReport {
         .collect();
     let serial_wall = t0.elapsed();
 
-    // Fleet run: shared executor + shared store.
+    // Fleet run: shared executor + shared store (typed handle kept so
+    // the churn probe can replay the warm entries afterwards).
+    let mem_store = Arc::new(MemoryStore::unbounded());
     let config = FleetConfig {
         workers,
+        store: Arc::clone(&mem_store) as Arc<dyn ArtifactStore>,
         ..Default::default()
     };
     let store = Arc::clone(&config.store);
@@ -208,6 +227,22 @@ pub fn batch_report() -> BatchReport {
         }
     }
 
+    // Churn probe: replay the warm cache through an LRU bounded at half
+    // its footprint and record which phase kinds get evicted. One put
+    // pass in key order (deterministic), then one full get scan over
+    // the same keys — the misses show what the pressure pushed out.
+    let entries = mem_store.entries();
+    let warm_bytes: usize = entries.iter().map(|(_, b)| b.len()).sum();
+    let churn_capacity = (warm_bytes / 2).max(1);
+    let probe = MemoryStore::with_capacity(churn_capacity);
+    for (key, bytes) in &entries {
+        probe.put(key, bytes);
+    }
+    for (key, _) in &entries {
+        let _ = probe.get(key);
+    }
+    let churn = probe.stats().per_phase;
+
     let s = outcome.summary;
     BatchReport {
         jobs,
@@ -232,6 +267,8 @@ pub fn batch_report() -> BatchReport {
         identical_results: identical,
         reproduced,
         store: store.stats(),
+        churn_capacity,
+        churn,
     }
 }
 
@@ -274,10 +311,34 @@ impl BatchReport {
         let _ = writeln!(s, "    \"bytes\": {},", self.store.bytes);
         let _ = writeln!(s, "    \"hits\": {},", self.store.hits);
         let _ = writeln!(s, "    \"misses\": {},", self.store.misses);
-        let _ = writeln!(s, "    \"evictions\": {}", self.store.evictions);
+        let _ = writeln!(s, "    \"evictions\": {},", self.store.evictions);
+        let _ = writeln!(s, "    \"per_phase\": {{");
+        write_phase_rows(&mut s, "      ", &self.store.per_phase);
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"churn\": {{");
+        let _ = writeln!(s, "    \"probe_capacity_bytes\": {},", self.churn_capacity);
+        let _ = writeln!(s, "    \"per_phase\": {{");
+        write_phase_rows(&mut s, "      ", &self.churn);
+        let _ = writeln!(s, "    }}");
         let _ = writeln!(s, "  }}");
         let _ = write!(s, "}}");
         s
+    }
+}
+
+/// Writes the five phase-kind rows of a [`PhaseStats`] histogram as JSON
+/// object members.
+fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 5]) {
+    for (i, phase) in PHASES.iter().enumerate() {
+        let row = &rows[phase.index()];
+        let comma = if i + 1 < PHASES.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "{indent}\"{phase}\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \
+             \"evictions\": {}, \"entries\": {}, \"bytes\": {}}}{comma}",
+            row.hits, row.misses, row.inserts, row.evictions, row.entries, row.bytes
+        );
     }
 }
 
@@ -317,7 +378,10 @@ mod tests {
                 evictions: 0,
                 entries: 30,
                 bytes: 123_456,
+                ..StoreStats::default()
             },
+            churn_capacity: 61_728,
+            churn: [PhaseStats::default(); 5],
         };
         let json = report.to_json();
         for key in [
@@ -330,6 +394,11 @@ mod tests {
             "\"identical_results\": true",
             "\"speedup_vs_serial\"",
             "\"store\"",
+            "\"per_phase\"",
+            "\"index\": {\"hits\": 0",
+            "\"search\": {\"hits\": 0",
+            "\"churn\"",
+            "\"probe_capacity_bytes\": 61728",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

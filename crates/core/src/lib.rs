@@ -87,7 +87,8 @@ pub use pipeline::{
 };
 pub use session::ReproSession;
 pub use store::{
-    program_fingerprint, ArtifactStore, BytesStore, MemoryStore, NullStore, PhaseKey, StoreStats,
+    program_fingerprint, ArtifactStore, BytesStore, MemoryStore, NullStore, PhaseKey, PhaseStats,
+    ShardedStore, StoreStats,
 };
 pub use stress::{
     find_failure, find_failure_par, find_failure_par_cancellable, find_failure_pool,

@@ -15,14 +15,22 @@
 //! streams of near-duplicate core dumps from the same bug pays for each
 //! distinct `(dump, input, options)` pipeline once, fleet-wide.
 //!
-//! Three stores ship here:
+//! Four stores ship here:
 //!
 //! * [`NullStore`] — caches nothing (the default of a bare session),
 //! * [`MemoryStore`] — an in-memory LRU bounded by total artifact bytes,
 //! * [`BytesStore`] — an unbounded store whose whole content serializes
 //!   to one byte string on the same wire codec the session checkpoints
 //!   use, so a warm cache can be persisted or shipped between processes
-//!   like a checkpoint.
+//!   like a checkpoint,
+//! * [`ShardedStore`] — a composite that partitions the key space across
+//!   N inner backends by consistent hashing on the key's
+//!   [`ContentHash`], so one logical cache scales horizontally and
+//!   shards can be snapshotted/rehydrated independently.
+//!
+//! Every store also slices its counters by phase kind
+//! ([`StoreStats::per_phase`]): a triage deployment sizes capacity from
+//! *which* phases churn, not just the global hit rate.
 //!
 //! All stores are `Send + Sync` and internally synchronized: one store
 //! handle (an `Arc`) is shared by every session of a fleet.
@@ -32,7 +40,7 @@ use mcr_dump::wire::{ContentHash, ContentHasher, Reader, Writer};
 use mcr_dump::DecodeError;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const MAGIC: &[u8; 4] = b"MCRC";
 const VERSION: u8 = 1;
@@ -78,6 +86,39 @@ impl fmt::Display for PhaseKey {
     }
 }
 
+/// One phase kind's slice of a store's counters — the capacity-planning
+/// histogram a triage service reports. Global totals answer "how well
+/// does the cache work"; the per-phase rows answer "*which* phases
+/// churn" (e.g. large search artifacts being evicted while tiny rank
+/// artifacts stay resident), which is what informs shard sizing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// `get` calls for this phase kind that found their key.
+    pub hits: u64,
+    /// `get` calls for this phase kind that missed.
+    pub misses: u64,
+    /// `put` calls that stored a new entry of this phase kind.
+    pub inserts: u64,
+    /// Entries of this phase kind dropped to stay under a capacity
+    /// bound.
+    pub evictions: u64,
+    /// Entries of this phase kind currently resident.
+    pub entries: usize,
+    /// Artifact bytes of this phase kind currently resident.
+    pub bytes: usize,
+}
+
+impl PhaseStats {
+    fn absorb(&mut self, o: &PhaseStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.inserts += o.inserts;
+        self.evictions += o.evictions;
+        self.entries += o.entries;
+        self.bytes += o.bytes;
+    }
+}
+
 /// Counters every store tracks; a fleet summary reports them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -93,6 +134,9 @@ pub struct StoreStats {
     pub entries: usize,
     /// Total artifact bytes currently resident.
     pub bytes: usize,
+    /// The same counters sliced by phase kind, indexed by
+    /// [`Phase::index`] (see [`StoreStats::phase`]).
+    pub per_phase: [PhaseStats; 5],
 }
 
 impl StoreStats {
@@ -103,6 +147,25 @@ impl StoreStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counters for one phase kind.
+    pub fn phase(&self, phase: Phase) -> PhaseStats {
+        self.per_phase[phase.index()]
+    }
+
+    /// Adds every counter of `o` into `self` (how a sharded composite
+    /// aggregates its shards).
+    pub fn absorb(&mut self, o: &StoreStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.inserts += o.inserts;
+        self.evictions += o.evictions;
+        self.entries += o.entries;
+        self.bytes += o.bytes;
+        for (mine, theirs) in self.per_phase.iter_mut().zip(&o.per_phase) {
+            mine.absorb(theirs);
         }
     }
 }
@@ -191,8 +254,11 @@ impl MemoryStore {
         self.inner.lock().expect("artifact store poisoned")
     }
 
-    /// Every resident entry, ordered by key (deterministic snapshots).
-    fn entries_sorted(&self) -> Vec<(PhaseKey, Vec<u8>)> {
+    /// Every resident entry, ordered by key — a deterministic snapshot,
+    /// usable for migrating a warm cache into a differently partitioned
+    /// [`ShardedStore`] or replaying it through a capacity-bounded store
+    /// to simulate churn before sizing a deployment.
+    pub fn entries(&self) -> Vec<(PhaseKey, Vec<u8>)> {
         let inner = self.lock();
         let mut entries: Vec<(PhaseKey, Vec<u8>)> = inner
             .map
@@ -209,15 +275,18 @@ impl ArtifactStore for MemoryStore {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        let kind = key.phase.index();
         match inner.map.get_mut(key) {
             Some((bytes, used)) => {
                 *used = tick;
                 let out = bytes.clone();
                 inner.stats.hits += 1;
+                inner.stats.per_phase[kind].hits += 1;
                 Some(out)
             }
             None => {
                 inner.stats.misses += 1;
+                inner.stats.per_phase[kind].misses += 1;
                 None
             }
         }
@@ -227,16 +296,21 @@ impl ArtifactStore for MemoryStore {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        let kind = key.phase.index();
         match inner.map.insert(*key, (bytes.to_vec(), tick)) {
             Some((old, _)) => {
                 inner.stats.bytes -= old.len();
+                inner.stats.per_phase[kind].bytes -= old.len();
             }
             None => {
                 inner.stats.inserts += 1;
                 inner.stats.entries += 1;
+                inner.stats.per_phase[kind].inserts += 1;
+                inner.stats.per_phase[kind].entries += 1;
             }
         }
         inner.stats.bytes += bytes.len();
+        inner.stats.per_phase[kind].bytes += bytes.len();
         if let Some(cap) = self.capacity {
             while inner.stats.bytes > cap && inner.stats.entries > 1 {
                 let victim = inner
@@ -246,9 +320,13 @@ impl ArtifactStore for MemoryStore {
                     .map(|(k, _)| *k)
                     .expect("entries > 1");
                 let (dropped, _) = inner.map.remove(&victim).expect("victim resident");
+                let vkind = victim.phase.index();
                 inner.stats.bytes -= dropped.len();
                 inner.stats.entries -= 1;
                 inner.stats.evictions += 1;
+                inner.stats.per_phase[vkind].bytes -= dropped.len();
+                inner.stats.per_phase[vkind].entries -= 1;
+                inner.stats.per_phase[vkind].evictions += 1;
             }
         }
     }
@@ -282,7 +360,7 @@ impl BytesStore {
         let mut w = Writer::new();
         w.raw(MAGIC);
         w.u8(VERSION);
-        let entries = self.inner.entries_sorted();
+        let entries = self.inner.entries();
         w.uvarint(entries.len() as u64);
         for (key, bytes) in entries {
             w.u8(key.phase.index() as u8);
@@ -330,6 +408,127 @@ impl ArtifactStore for BytesStore {
 
     fn stats(&self) -> StoreStats {
         self.inner.stats()
+    }
+}
+
+/// Virtual ring points per shard. Enough that the keyspace splits
+/// near-evenly across shards (arc-length variance shrinks with the
+/// point count) while routing stays a cheap binary search.
+const RING_REPLICAS: usize = 128;
+
+/// A composite [`ArtifactStore`] that partitions the [`PhaseKey`] space
+/// across N inner backends by consistent hashing on the key's
+/// [`ContentHash`].
+///
+/// Each shard owns 128 virtual points on a 128-bit hash ring
+/// (derived deterministically from the shard's position, so the layout
+/// is identical in every process); a key routes to the shard owning the
+/// first ring point at or after the key's hash, wrapping at the top.
+/// Consistent hashing — rather than `hash % N` — means growing the ring
+/// by one shard remaps only the keys that land in the new shard's arcs,
+/// so a warm deployment can be re-partitioned without invalidating most
+/// of its cache.
+///
+/// Shards are arbitrary `Arc<dyn ArtifactStore>`s and may be
+/// heterogeneous: a deployment can mix bounded [`MemoryStore`] LRUs with
+/// persistable [`BytesStore`]s, and because each key deterministically
+/// owns one shard, shards can be snapshotted and rehydrated
+/// *independently* (keep the typed `Arc<BytesStore>` handles you built
+/// the composite from and snapshot each — see
+/// [`ShardedStore::with_bytes_shards`]).
+///
+/// [`ShardedStore::stats`] aggregates every shard's counters, per-phase
+/// histograms included, so a service reports one coherent cache view.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Arc<dyn ArtifactStore>>,
+    /// `(ring point, shard index)`, sorted by point.
+    ring: Vec<(u128, usize)>,
+}
+
+impl ShardedStore {
+    /// A composite over the given shards.
+    ///
+    /// # Panics
+    ///
+    /// When `shards` is empty.
+    pub fn new(shards: Vec<Arc<dyn ArtifactStore>>) -> ShardedStore {
+        assert!(!shards.is_empty(), "a sharded store needs >= 1 shard");
+        let mut ring = Vec::with_capacity(shards.len() * RING_REPLICAS);
+        for shard in 0..shards.len() {
+            for replica in 0..RING_REPLICAS {
+                let mut h = ContentHasher::new();
+                h.update(b"MCRRING1");
+                h.update(&(shard as u64).to_le_bytes());
+                h.update(&(replica as u64).to_le_bytes());
+                ring.push((h.finish128().0, shard));
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|(point, _)| *point);
+        ShardedStore { shards, ring }
+    }
+
+    /// A composite over `n` unbounded [`MemoryStore`] shards.
+    pub fn with_memory_shards(n: usize) -> ShardedStore {
+        ShardedStore::new(
+            (0..n.max(1))
+                .map(|_| Arc::new(MemoryStore::unbounded()) as Arc<dyn ArtifactStore>)
+                .collect(),
+        )
+    }
+
+    /// A composite over `n` [`BytesStore`] shards, returning the typed
+    /// handles alongside so each shard can be snapshotted
+    /// ([`BytesStore::to_bytes`]) and rehydrated independently.
+    pub fn with_bytes_shards(n: usize) -> (ShardedStore, Vec<Arc<BytesStore>>) {
+        let typed: Vec<Arc<BytesStore>> =
+            (0..n.max(1)).map(|_| Arc::new(BytesStore::new())).collect();
+        let store = ShardedStore::new(
+            typed
+                .iter()
+                .map(|s| Arc::clone(s) as Arc<dyn ArtifactStore>)
+                .collect(),
+        );
+        (store, typed)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in construction order.
+    pub fn shards(&self) -> &[Arc<dyn ArtifactStore>] {
+        &self.shards
+    }
+
+    /// The index of the shard owning `key` (stable across processes).
+    pub fn shard_index(&self, key: &PhaseKey) -> usize {
+        let at = self.ring.partition_point(|&(point, _)| point < key.hash.0) % self.ring.len();
+        self.ring[at].1
+    }
+}
+
+impl ArtifactStore for ShardedStore {
+    fn get(&self, key: &PhaseKey) -> Option<Vec<u8>> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    fn put(&self, key: &PhaseKey, bytes: &[u8]) {
+        self.shards[self.shard_index(key)].put(key, bytes);
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.stats());
+        }
+        total
+    }
+
+    fn is_caching(&self) -> bool {
+        self.shards.iter().any(|s| s.is_caching())
     }
 }
 
@@ -450,6 +649,124 @@ mod tests {
         assert_eq!(store.get(&k), None);
         assert_eq!(store.stats(), StoreStats::default());
     }
+
+    #[test]
+    fn per_phase_histograms_follow_the_global_counters() {
+        let store = MemoryStore::with_capacity(16);
+        let (idx, srch) = (key(Phase::Index, 1), key(Phase::Search, 2));
+        store.put(&idx, b"12345678");
+        store.put(&srch, b"abcdefgh");
+        assert!(store.get(&idx).is_some());
+        assert!(store.get(&key(Phase::Rank, 3)).is_none());
+        // A third insert overflows the 16-byte capacity; the LRU victim
+        // is the search entry (index was touched last).
+        store.put(&key(Phase::Diff, 4), b"qrstuvwx");
+        let stats = store.stats();
+        assert_eq!(stats.phase(Phase::Index).hits, 1);
+        assert_eq!(stats.phase(Phase::Index).inserts, 1);
+        assert_eq!(stats.phase(Phase::Rank).misses, 1);
+        assert_eq!(stats.phase(Phase::Search).evictions, 1);
+        assert_eq!(stats.phase(Phase::Search).entries, 0);
+        assert_eq!(stats.phase(Phase::Search).bytes, 0);
+        assert_eq!(stats.phase(Phase::Diff).entries, 1);
+        // The histogram rows sum back to the global counters.
+        let (mut h, mut m, mut i, mut e, mut n, mut b) = (0, 0, 0, 0, 0, 0);
+        for row in &stats.per_phase {
+            h += row.hits;
+            m += row.misses;
+            i += row.inserts;
+            e += row.evictions;
+            n += row.entries;
+            b += row.bytes;
+        }
+        assert_eq!(
+            (h, m, i, e, n, b),
+            (
+                stats.hits,
+                stats.misses,
+                stats.inserts,
+                stats.evictions,
+                stats.entries,
+                stats.bytes
+            )
+        );
+    }
+
+    #[test]
+    fn sharded_store_routes_deterministically_and_round_trips() {
+        let sharded = ShardedStore::with_memory_shards(4);
+        assert_eq!(sharded.shard_count(), 4);
+        let keys: Vec<PhaseKey> = (0..64u8)
+            .map(|s| key(PHASES[(s % 5) as usize], s))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(sharded.get(k), None);
+            sharded.put(k, &[i as u8; 8]);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(sharded.get(k).as_deref(), Some([i as u8; 8].as_ref()));
+            // Routing is a pure function of the key.
+            assert_eq!(sharded.shard_index(k), sharded.shard_index(k));
+        }
+        // The keyspace actually spreads: no shard holds everything.
+        let per_shard: Vec<usize> = sharded.shards().iter().map(|s| s.stats().entries).collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), keys.len());
+        assert!(per_shard.iter().all(|&n| n < keys.len()), "{per_shard:?}");
+        // Aggregated stats cover every shard.
+        let stats = sharded.stats();
+        assert_eq!(stats.entries, keys.len());
+        assert_eq!(stats.inserts, keys.len() as u64);
+        assert_eq!(stats.hits, keys.len() as u64);
+        assert_eq!(stats.misses, keys.len() as u64);
+        assert!(sharded.is_caching());
+    }
+
+    #[test]
+    fn sharded_routing_is_stable_across_instances_and_mostly_under_growth() {
+        let a = ShardedStore::with_memory_shards(4);
+        let b = ShardedStore::with_memory_shards(4);
+        let grown = ShardedStore::with_memory_shards(5);
+        let keys: Vec<PhaseKey> = (0..200u8).map(|s| key(Phase::Index, s)).collect();
+        let mut moved = 0usize;
+        for k in &keys {
+            assert_eq!(a.shard_index(k), b.shard_index(k), "layout is canonical");
+            if a.shard_index(k) != grown.shard_index(k) {
+                moved += 1;
+            }
+        }
+        // Consistent hashing: growing 4 -> 5 shards remaps roughly 1/5
+        // of the keys, not all of them (modulo hashing would remap ~4/5).
+        assert!(moved > 0, "a new shard must take over some keys");
+        assert!(moved < keys.len() / 2, "only a fraction moves: {moved}");
+    }
+
+    #[test]
+    fn sharded_bytes_shards_snapshot_and_rehydrate_independently() {
+        let (sharded, typed) = ShardedStore::with_bytes_shards(4);
+        let keys: Vec<PhaseKey> = (0..32u8)
+            .map(|s| key(PHASES[(s % 5) as usize], s))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            sharded.put(k, &[i as u8; 4]);
+        }
+        // Snapshot each shard independently and rebuild the composite
+        // from the restored shards (a second triage worker's startup).
+        let restored = ShardedStore::new(
+            typed
+                .iter()
+                .map(|s| {
+                    Arc::new(BytesStore::from_bytes(&s.to_bytes()).unwrap())
+                        as Arc<dyn ArtifactStore>
+                })
+                .collect(),
+        );
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(restored.get(k).as_deref(), Some([i as u8; 4].as_ref()));
+        }
+        assert_eq!(restored.stats().entries, keys.len());
+    }
+
+    use crate::observe::PHASES;
 
     #[test]
     fn program_fingerprint_distinguishes_programs() {

@@ -85,6 +85,51 @@ pub fn fleet_corpus(copies: usize, seed: u64) -> Vec<FleetSpec> {
     fleet_mix(&all_bugs(), copies, seed)
 }
 
+/// A deterministic *arrival stream* over a job mix, for driving a
+/// long-running triage service: [`fleet_mix`] groups a bug's duplicates
+/// together, but a production queue interleaves them — the same crash
+/// trickles in between unrelated reports. `FleetStream` yields the
+/// specs of a mix in a seeded shuffle (Fisher–Yates over `SplitMix64`),
+/// so consumers can `submit` one spec at a time and still reproduce the
+/// exact arrival order across runs.
+///
+/// The stream is a plain [`Iterator`] (with exact size), so it composes
+/// with `take`, `by_ref` chunking, etc.
+#[derive(Debug, Clone)]
+pub struct FleetStream {
+    /// Remaining specs, stored back-to-front so `next` pops from the
+    /// end.
+    reversed: Vec<FleetSpec>,
+}
+
+impl Iterator for FleetStream {
+    type Item = FleetSpec;
+
+    fn next(&mut self) -> Option<FleetSpec> {
+        self.reversed.pop()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.reversed.len(), Some(self.reversed.len()))
+    }
+}
+
+impl ExactSizeIterator for FleetStream {}
+
+/// The arrival stream of [`fleet_mix`]`(bugs, copies, seed)`: the same
+/// specs, in a deterministic seeded arrival order.
+pub fn fleet_stream(bugs: &[BugSpec], copies: usize, seed: u64) -> FleetStream {
+    let mut specs = fleet_mix(bugs, copies, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x57AE_A17B_57AE_A17B);
+    // Fisher–Yates, then reverse so pops come out in shuffled order.
+    for i in (1..specs.len()).rev() {
+        let j = rng.next_range(0, i as i64) as usize;
+        specs.swap(i, j);
+    }
+    specs.reverse();
+    FleetStream { reversed: specs }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +179,34 @@ mod tests {
             // Both keep the bug-report tail.
             assert_eq!(&dup.input()[dup.warmup..], bug.base_input, "{}", bug.name);
         }
+    }
+
+    #[test]
+    fn stream_is_a_deterministic_permutation_of_the_mix() {
+        let bugs = all_bugs();
+        let mix = fleet_mix(&bugs, 2, 9);
+        let a: Vec<FleetSpec> = fleet_stream(&bugs, 2, 9).collect();
+        let b: Vec<FleetSpec> = fleet_stream(&bugs, 2, 9).collect();
+        assert_eq!(a.len(), mix.len());
+        // Deterministic: the same seed reproduces the arrival order.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.priority, y.priority);
+        }
+        // A permutation: every spec of the mix arrives exactly once.
+        let mut mix_names: Vec<&str> = mix.iter().map(|s| s.name.as_str()).collect();
+        let mut stream_names: Vec<&str> = a.iter().map(|s| s.name.as_str()).collect();
+        mix_names.sort_unstable();
+        stream_names.sort_unstable();
+        assert_eq!(mix_names, stream_names);
+        // And genuinely shuffled: arrival differs from the grouped mix
+        // (seeded, so this cannot flake).
+        let grouped: Vec<&str> = mix.iter().map(|s| s.name.as_str()).collect();
+        let arrived: Vec<&str> = a.iter().map(|s| s.name.as_str()).collect();
+        assert_ne!(grouped, arrived, "stream must interleave the mix");
+        // Exact size is reported up front.
+        let stream = fleet_stream(&bugs, 2, 9);
+        assert_eq!(stream.len(), mix.len());
     }
 
     #[test]

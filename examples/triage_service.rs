@@ -1,0 +1,221 @@
+//! Long-running triage-service walkthrough: streaming job admission
+//! with back-pressure against a 4-shard artifact store.
+//!
+//! Where `examples/fleet_triage.rs` runs a *closed* job list, this
+//! example models the production shape the `TriageService` exists for:
+//! crash reports arrive one at a time (a seeded `fleet_stream` arrival
+//! order over a duplicate-heavy `fleet_mix` corpus), the service admits
+//! them *while earlier waves are executing*, a `Reject` admission policy
+//! pushes back once too many jobs are pending, and the shared cache is
+//! a [`ShardedStore`] partitioning the key space across four
+//! [`MemoryStore`] backends by consistent hashing.
+//!
+//! The walkthrough then re-runs the whole corpus as a closed-list
+//! `Fleet` (the compatibility facade) against the *same* sharded store:
+//! everything is served from cache and every report comes back
+//! bit-identical.
+//!
+//! ```text
+//! cargo run --release --example triage_service
+//! ```
+
+use mcr_batch::{AdmissionPolicy, AdmitError, Fleet, FleetConfig, FleetJob, TriageService};
+use mcr_core::{find_failure, ArtifactStore, ShardedStore, PHASES};
+use mcr_workloads::{all_bugs, fleet_stream, FleetSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Stress-seed cap, mirroring the repository's smoke/full tiers.
+fn stress_seed_cap() -> u64 {
+    match std::env::var("MCR_TEST_TIER") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => 2_000_000,
+        _ => 200_000,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The arrival stream: a duplicate-heavy mix over a three-bug subset
+    // (2 identical reports + 1 distinct-input variant per bug), in a
+    // seeded shuffled arrival order.
+    let bugs: Vec<_> = all_bugs()
+        .into_iter()
+        .filter(|b| matches!(b.name, "mysql-3" | "apache-2" | "mysql-1"))
+        .collect();
+    let arrivals: Vec<FleetSpec> = fleet_stream(&bugs, 2, 11).collect();
+    println!("arrival stream: {} jobs (duplicate-heavy)", arrivals.len());
+
+    // Compile each program once and stress each *distinct* work unit
+    // once — duplicates share the dump, exactly how a triage queue
+    // receives repeated crashes of one bug.
+    let mut programs: Vec<mcr_lang::Program> = Vec::new();
+    let mut program_of: HashMap<String, usize> = HashMap::new();
+    let mut dump_of: HashMap<(String, usize, u64), mcr_dump::CoreDump> = HashMap::new();
+    for spec in &arrivals {
+        let idx = *program_of
+            .entry(spec.bug.name.to_string())
+            .or_insert_with(|| {
+                programs.push(spec.bug.compile());
+                programs.len() - 1
+            });
+        dump_of.entry(spec.dedup_key()).or_insert_with(|| {
+            find_failure(
+                &programs[idx],
+                &spec.input(),
+                0..stress_seed_cap(),
+                spec.bug.max_steps,
+            )
+            .unwrap_or_else(|| panic!("{}: stress found no failure", spec.name))
+            .dump
+        });
+    }
+    let distinct = dump_of.len();
+
+    // The sharded artifact store: one logical cache over four backends,
+    // keys routed by consistent hashing on their content hash.
+    let sharded = Arc::new(ShardedStore::with_memory_shards(4));
+    let config = FleetConfig {
+        store: Arc::clone(&sharded) as Arc<dyn ArtifactStore>,
+        admission: AdmissionPolicy::Reject { max_pending: 4 },
+        ..FleetConfig::default()
+    };
+    let service = TriageService::new(config.clone());
+
+    // Stream the corpus in: submit, and when the service pushes back,
+    // drive a wave and retry — admission interleaves with execution.
+    let mut tickets = Vec::new();
+    let mut saturated = 0usize;
+    for spec in &arrivals {
+        let mut job = FleetJob::new(
+            spec.name.clone(),
+            &programs[program_of[spec.bug.name]],
+            dump_of[&spec.dedup_key()].clone(),
+            &spec.input(),
+        )
+        .with_priority(spec.priority);
+        let ticket = loop {
+            match service.submit(job) {
+                Ok(ticket) => break ticket,
+                Err(refused) => match refused.reason {
+                    AdmitError::Saturated { pending, .. } => {
+                        // Back-pressure: help drain, then retry with
+                        // the job the service handed back — no
+                        // rebuild, no dump re-clone.
+                        saturated += 1;
+                        print!("  [back-pressure at {pending} pending] ");
+                        service.poll();
+                        job = refused.job;
+                    }
+                    AdmitError::ShutDown => return Err(refused.reason.into()),
+                },
+            }
+        };
+        println!(
+            "submitted {:<16} (pending {}, executor in use {}/{})",
+            ticket.name(),
+            service.pending(),
+            service.limit().in_use(),
+            service.limit().capacity(),
+        );
+        tickets.push(ticket);
+    }
+
+    // Graceful teardown: close admission, drain everything, summarize.
+    let summary = service.shutdown();
+    println!();
+    for ticket in tickets {
+        let outcome = ticket.wait(); // drained: returns immediately
+        match &outcome.result {
+            Ok(report) => println!(
+                "  {:<16} reproduced={} tries={:<4} computed={} cached={} deduped={}",
+                outcome.name,
+                report.search.reproduced,
+                report.search.tries,
+                outcome.computed,
+                outcome.cache_hits,
+                outcome.deduped,
+            ),
+            Err(e) => println!("  {:<16} FAILED: {e}", outcome.name),
+        }
+    }
+    println!(
+        "\nservice summary: {} jobs in {:?} over {} workers ({} waves, {} back-pressure events)",
+        summary.jobs, summary.wall, summary.workers, summary.waves, saturated
+    );
+    println!(
+        "  phase units: {} = {} computed + {} cache hits ({} single-flighted)",
+        summary.phase_units, summary.computed, summary.cache_hits, summary.deduped_in_flight
+    );
+    println!(
+        "  store: {} artifacts, {} bytes, hit rate {:.0}%",
+        summary.store.entries,
+        summary.store.bytes,
+        summary.store.hit_rate() * 100.0
+    );
+    println!("  per-phase histogram (hits/entries/bytes):");
+    for phase in PHASES {
+        let row = summary.store.phase(phase);
+        println!(
+            "    {:<7} {:>3} hits  {:>2} entries  {:>6} bytes",
+            phase.name(),
+            row.hits,
+            row.entries,
+            row.bytes
+        );
+    }
+    let per_shard: Vec<usize> = sharded.shards().iter().map(|s| s.stats().entries).collect();
+    println!("  shard layout (entries per shard): {per_shard:?}");
+
+    // The walkthrough doubles as a check CI runs.
+    assert_eq!(summary.completed, arrivals.len());
+    assert_eq!(summary.failed, 0);
+    assert_eq!(
+        summary.computed as usize,
+        distinct * PHASES.len(),
+        "each distinct pipeline computes exactly once, service-wide"
+    );
+    assert_eq!(
+        summary.cache_hits as usize,
+        (arrivals.len() - distinct) * PHASES.len(),
+        "every duplicate job rehydrates all five phases"
+    );
+    assert_eq!(
+        per_shard.iter().sum::<usize>(),
+        summary.store.entries,
+        "shards partition the keyspace"
+    );
+    assert!(
+        per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+        "the keyspace spreads across shards: {per_shard:?}"
+    );
+
+    // Warm pass: the closed-list facade over the same sharded store —
+    // nothing recomputes, and reports are bit-identical rehydrations.
+    let mut fleet = Fleet::new(FleetConfig {
+        store: Arc::clone(&sharded) as Arc<dyn ArtifactStore>,
+        ..FleetConfig::default()
+    });
+    for spec in &arrivals {
+        fleet.push(
+            FleetJob::new(
+                spec.name.clone(),
+                &programs[program_of[spec.bug.name]],
+                dump_of[&spec.dedup_key()].clone(),
+                &spec.input(),
+            )
+            .with_priority(spec.priority),
+        );
+    }
+    let warm = fleet.run();
+    assert_eq!(warm.summary.completed, arrivals.len());
+    assert_eq!(warm.summary.computed, 0, "warm fleet computes nothing");
+    assert_eq!(
+        warm.summary.cache_hits as usize,
+        arrivals.len() * PHASES.len()
+    );
+    println!(
+        "\nwarm closed-list pass over the same shards: {} jobs, {} computed, {} cache hits",
+        warm.summary.jobs, warm.summary.computed, warm.summary.cache_hits
+    );
+    println!("streaming admission, back-pressure, and sharded caching OK");
+    Ok(())
+}

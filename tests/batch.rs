@@ -6,47 +6,15 @@
 use mcr_batch::{Fleet, FleetConfig, FleetJob};
 use mcr_core::{
     ArtifactStore, BytesStore, MemoryStore, PhaseEvent, ReproReport, ReproSession, Reproducer,
-    PHASES,
+    ShardedStore, PHASES,
 };
 use mcr_search::Algorithm;
 use mcr_slice::Strategy;
-use mcr_testsupport::{repro_options as options, stress_bug};
+use mcr_testsupport::{
+    assert_reports_equivalent as assert_reports_equal, repro_options as options, stress_bug,
+};
 use mcr_workloads::all_bugs;
 use std::sync::Arc;
-
-/// Everything observable about a report except wall-clock timings.
-fn assert_reports_equal(a: &ReproReport, b: &ReproReport, context: &str) {
-    assert_eq!(a.index, b.index, "{context}: index");
-    assert_eq!(a.alignment, b.alignment, "{context}: alignment");
-    assert_eq!(
-        a.failure_dump_bytes, b.failure_dump_bytes,
-        "{context}: failure dump size"
-    );
-    assert_eq!(
-        a.aligned_dump_bytes, b.aligned_dump_bytes,
-        "{context}: aligned dump size"
-    );
-    assert_eq!(a.vars, b.vars, "{context}: vars");
-    assert_eq!(a.diffs, b.diffs, "{context}: diffs");
-    assert_eq!(a.shared, b.shared, "{context}: shared");
-    assert_eq!(a.csv_paths, b.csv_paths, "{context}: csv paths");
-    assert_eq!(a.csv_locs, b.csv_locs, "{context}: csv locs");
-    assert_eq!(
-        a.deterministic_repro, b.deterministic_repro,
-        "{context}: deterministic_repro"
-    );
-    assert_eq!(
-        a.search.reproduced, b.search.reproduced,
-        "{context}: reproduced"
-    );
-    assert_eq!(a.search.tries, b.search.tries, "{context}: tries");
-    assert_eq!(
-        a.search.combinations_tested, b.search.combinations_tested,
-        "{context}: combinations"
-    );
-    assert_eq!(a.search.winning, b.search.winning, "{context}: winning");
-    assert_eq!(a.search.cut_off, b.search.cut_off, "{context}: cut_off");
-}
 
 /// Bit-identity including timings (valid when `b` was rehydrated from
 /// artifacts `a`'s run stored — cached artifacts embed the original
@@ -134,6 +102,73 @@ fn cold_warm_and_fleet_reports_agree_for_every_bug() {
             fleet_reports[0],
             &format!("{} warm vs fleet", bug.name),
         );
+    }
+}
+
+/// The sharded-store acceptance bar, per bug: a 4-shard store serves a
+/// warm run entirely from cache, with a report bit-identical to the
+/// single-`MemoryStore` warm run (equivalence, not wall time — CI has
+/// one CPU). The sharded copy is populated by migrating the single
+/// store's entries through the consistent-hash router, pinning that
+/// partitioning never changes what a key returns.
+#[test]
+fn sharded_store_warm_runs_match_the_single_store_for_every_bug() {
+    for bug in all_bugs() {
+        let (program, sf) = stress_bug(&bug);
+        let input = bug.default_input();
+        let opts = options(Algorithm::ChessX, Strategy::Temporal);
+
+        // Cold run populates a single unbounded MemoryStore.
+        let single = Arc::new(MemoryStore::unbounded());
+        let mut cold = ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+        cold.set_store(Arc::clone(&single) as Arc<dyn ArtifactStore>);
+        cold.run_to_end()
+            .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", bug.name));
+
+        // Migrate the warm entries into a 4-shard composite (the
+        // re-partitioning path a scaling deployment takes).
+        let sharded = Arc::new(ShardedStore::with_memory_shards(4));
+        for (key, bytes) in single.entries() {
+            sharded.put(&key, &bytes);
+        }
+        assert_eq!(sharded.stats().entries, PHASES.len(), "{}", bug.name);
+
+        // Warm run against the single store…
+        let mut warm_single =
+            ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+        warm_single.set_store(Arc::clone(&single) as Arc<dyn ArtifactStore>);
+        let log_single = Arc::new(std::sync::Mutex::new(mcr_core::TimingLog::new()));
+        warm_single.set_observer(Box::new(Arc::clone(&log_single)));
+        let report_single = warm_single.run_to_end().unwrap();
+        assert_eq!(
+            log_single.lock().unwrap().cache_hits(),
+            PHASES,
+            "{}: single-store warm run must be all hits",
+            bug.name
+        );
+
+        // …and against the sharded store: all hits, bit-identical.
+        let mut warm_sharded =
+            ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+        warm_sharded.set_store(Arc::clone(&sharded) as Arc<dyn ArtifactStore>);
+        let log_sharded = Arc::new(std::sync::Mutex::new(mcr_core::TimingLog::new()));
+        warm_sharded.set_observer(Box::new(Arc::clone(&log_sharded)));
+        let report_sharded = warm_sharded.run_to_end().unwrap();
+        assert_eq!(
+            log_sharded.lock().unwrap().cache_hits(),
+            PHASES,
+            "{}: sharded warm run must be all hits",
+            bug.name
+        );
+        assert_reports_identical(
+            &report_single,
+            &report_sharded,
+            &format!("{} sharded vs single warm", bug.name),
+        );
+        // Each phase's key routed to exactly one shard; the shards
+        // together served the five lookups.
+        let shard_hits: u64 = sharded.shards().iter().map(|s| s.stats().hits).sum();
+        assert_eq!(shard_hits, PHASES.len() as u64, "{}", bug.name);
     }
 }
 

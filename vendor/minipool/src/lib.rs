@@ -90,6 +90,20 @@ impl Limit {
             .expect("minipool limit poisoned")
     }
 
+    /// Permits currently claimed by in-flight fan-outs
+    /// ([`Limit::capacity`] − [`Limit::available`]). Admission control
+    /// built on top of a shared executor reads this to decide whether
+    /// the budget is saturated before accepting more work.
+    pub fn in_use(&self) -> usize {
+        self.inner.cap - self.available()
+    }
+
+    /// Whether every permit is claimed — the instantaneous "executor is
+    /// saturated" signal an admission policy keys off.
+    pub fn is_saturated(&self) -> bool {
+        self.available() == 0
+    }
+
     /// Claims up to `want` permits without blocking; returns how many
     /// were actually claimed.
     fn try_acquire(&self, want: usize) -> usize {
@@ -405,6 +419,21 @@ mod tests {
             );
             assert_eq!(limit.available(), 3, "permits restored after n={n}");
         }
+    }
+
+    #[test]
+    fn limit_reports_usage() {
+        let limit = Limit::new(3);
+        assert_eq!(limit.in_use(), 0);
+        assert!(!limit.is_saturated());
+        assert_eq!(limit.try_acquire(2), 2);
+        assert_eq!(limit.in_use(), 2);
+        assert!(!limit.is_saturated());
+        assert_eq!(limit.try_acquire(5), 1, "only one permit left");
+        assert_eq!(limit.in_use(), 3);
+        assert!(limit.is_saturated());
+        limit.release(3);
+        assert_eq!(limit.in_use(), 0);
     }
 
     #[test]
