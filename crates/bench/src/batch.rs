@@ -27,7 +27,7 @@
 use mcr_batch::{Fleet, FleetConfig, FleetJob};
 use mcr_core::{
     find_failure_par, ArtifactStore, MemoryStore, PhaseStats, ReproOptions, ReproReport,
-    Reproducer, StoreStats, PHASES,
+    Reproducer, StoreStats, PHASE_KINDS,
 };
 use mcr_workloads::{all_bugs, fleet_mix, FleetSpec};
 use std::collections::HashMap;
@@ -103,10 +103,11 @@ pub struct BatchReport {
     pub churn_capacity: usize,
     /// Cache-churn simulation: the fleet's warm artifacts replayed, in
     /// deterministic key order, through an LRU [`MemoryStore`] bounded
-    /// at half the warm footprint. The per-phase eviction rows show
+    /// just below the measured warm footprint (see
+    /// [`churn_probe_capacity`]). The per-phase eviction rows show
     /// *which* phase kinds fall out first under memory pressure — the
     /// capacity-planning signal an unbounded hit rate cannot show.
-    pub churn: [PhaseStats; 5],
+    pub churn: [PhaseStats; 6],
 }
 
 /// Everything observable about a report except wall-clock timings.
@@ -227,13 +228,14 @@ pub fn batch_report() -> BatchReport {
         }
     }
 
-    // Churn probe: replay the warm cache through an LRU bounded at half
-    // its footprint and record which phase kinds get evicted. One put
-    // pass in key order (deterministic), then one full get scan over
-    // the same keys — the misses show what the pressure pushed out.
+    // Churn probe: replay the warm cache through an LRU bounded just
+    // below the measured footprint and record which phase kinds get
+    // evicted. One put pass in key order (deterministic), then one full
+    // get scan over the same keys — the misses show what the pressure
+    // pushed out.
     let entries = mem_store.entries();
-    let warm_bytes: usize = entries.iter().map(|(_, b)| b.len()).sum();
-    let churn_capacity = (warm_bytes / 2).max(1);
+    let entry_sizes: Vec<usize> = entries.iter().map(|(_, b)| b.len()).collect();
+    let churn_capacity = churn_probe_capacity(&entry_sizes);
     let probe = MemoryStore::with_capacity(churn_capacity);
     for (key, bytes) in &entries {
         probe.put(key, bytes);
@@ -327,12 +329,25 @@ impl BatchReport {
     }
 }
 
-/// Writes the five phase-kind rows of a [`PhaseStats`] histogram as JSON
-/// object members.
-fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 5]) {
-    for (i, phase) in PHASES.iter().enumerate() {
+/// The churn probe's byte capacity, derived from the measured warm
+/// footprint rather than a hard-coded fraction: the footprint minus the
+/// single largest entry, floored at that largest entry. This guarantees
+/// real pressure (the working set cannot all fit) while keeping every
+/// individual artifact admissible — a hard-coded "half the footprint"
+/// either under- or over-pressures as the artifact mix shifts between
+/// PRs, producing all-evicted or no-evicted probes with no signal.
+pub fn churn_probe_capacity(entry_sizes: &[usize]) -> usize {
+    let footprint: usize = entry_sizes.iter().sum();
+    let largest = entry_sizes.iter().copied().max().unwrap_or(0);
+    footprint.saturating_sub(largest).max(largest).max(1)
+}
+
+/// Writes the six phase-kind rows of a [`PhaseStats`] histogram as JSON
+/// object members (the five pipeline phases plus the compile pre-phase).
+fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 6]) {
+    for (i, phase) in PHASE_KINDS.iter().enumerate() {
         let row = &rows[phase.index()];
-        let comma = if i + 1 < PHASES.len() { "," } else { "" };
+        let comma = if i + 1 < PHASE_KINDS.len() { "," } else { "" };
         let _ = writeln!(
             s,
             "{indent}\"{phase}\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \
@@ -340,6 +355,33 @@ fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 5]) {
             row.hits, row.misses, row.inserts, row.evictions, row.entries, row.bytes
         );
     }
+}
+
+/// Keys every `BENCH_batch.json` must carry; `tables -- batch-json`
+/// refuses to write a report that drops one. `"compile"` pins the
+/// compile-pre-phase row of the store histogram — the column that shows
+/// duplicate-program fleet jobs sharing one dispatch plan.
+pub const BATCH_JSON_REQUIRED: &[&str] = &[
+    "\"compile\"",
+    "\"probe_capacity_bytes\"",
+    "\"cache_hit_rate\"",
+    "\"speedup_vs_serial\"",
+    "\"identical_results\"",
+];
+
+/// Validates the serialized batch bench report against
+/// [`BATCH_JSON_REQUIRED`].
+///
+/// # Errors
+///
+/// Returns the first missing key.
+pub fn check_batch_json_schema(json: &str) -> Result<(), String> {
+    for key in BATCH_JSON_REQUIRED {
+        if !json.contains(key) {
+            return Err(format!("BENCH_batch.json schema: missing {key}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -381,7 +423,7 @@ mod tests {
                 ..StoreStats::default()
             },
             churn_capacity: 61_728,
-            churn: [PhaseStats::default(); 5],
+            churn: [PhaseStats::default(); 6],
         };
         let json = report.to_json();
         for key in [
@@ -397,11 +439,24 @@ mod tests {
             "\"per_phase\"",
             "\"index\": {\"hits\": 0",
             "\"search\": {\"hits\": 0",
+            "\"compile\": {\"hits\": 0",
             "\"churn\"",
             "\"probe_capacity_bytes\": 61728",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn churn_capacity_tracks_the_measured_footprint() {
+        // Uniform mix: capacity is the footprint minus one entry —
+        // guaranteed pressure, every entry still admissible.
+        assert_eq!(churn_probe_capacity(&[100, 100, 100, 100]), 300);
+        // Skewed mix: one dominant artifact must still fit.
+        assert_eq!(churn_probe_capacity(&[1000, 10, 10]), 1000);
+        // Degenerate inputs stay sane.
+        assert_eq!(churn_probe_capacity(&[]), 1);
+        assert_eq!(churn_probe_capacity(&[7]), 7);
     }
 }

@@ -5,6 +5,7 @@
 //! cargo run --release -p mcr-bench --bin tables -- table1 [--full-scale]
 //! cargo run --release -p mcr-bench --bin tables -- table2 | table3 | table4
 //! cargo run --release -p mcr-bench --bin tables -- table5 | table6 | fig10
+//! cargo run --release -p mcr-bench --bin tables -- steps
 //! cargo run --release -p mcr-bench --bin tables -- bench-json [PATH]
 //! cargo run --release -p mcr-bench --bin tables -- batch-json [PATH]
 //! ```
@@ -18,6 +19,10 @@
 //! duplicate-heavy job mix (throughput, cache-hit rate, single-flight
 //! dedup, serial-equivalence) and writes `PATH` (default
 //! `BENCH_batch.json`).
+//!
+//! Both JSON writers validate the report against the crate's required
+//! key lists (`steps_per_sec`, `parallel.speedup`, the compile-phase
+//! store row, …) and refuse to write a report that drops a column.
 //!
 //! `table1 --full-scale` generates corpora at the paper's statement
 //! counts (105K/892K/521K — takes a few minutes); the default scale is
@@ -70,10 +75,27 @@ fn main() {
             eprintln!("running search_hotpath measurements (stress + search over the bug suite)…");
             let report = mcr_bench::hotpath::bench_report();
             let json = report.to_json();
+            mcr_bench::hotpath::check_bench_json_schema(&json)
+                .unwrap_or_else(|e| panic!("refusing to write {path}: {e}"));
             std::fs::write(path, format!("{json}\n"))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!("{json}");
             eprintln!("wrote {path}");
+        }
+        "steps" => {
+            let stats = mcr_bench::hotpath::stepper_plan_stats();
+            println!(
+                "dispatch plan: {} ops, {} fused, {} slow",
+                stats.ops, stats.fused, stats.slow
+            );
+            println!(
+                "steps_per_sec (threaded): {:.0}",
+                mcr_bench::hotpath::measure_steps_per_sec()
+            );
+            println!(
+                "steps_per_sec (legacy):   {:.0}",
+                mcr_bench::hotpath::measure_steps_per_sec_legacy()
+            );
         }
         "batch-json" => {
             let path = args
@@ -93,6 +115,8 @@ fn main() {
                 "duplicate-heavy mix produced no cache hits"
             );
             let json = report.to_json();
+            mcr_bench::batch::check_batch_json_schema(&json)
+                .unwrap_or_else(|e| panic!("refusing to write {path}: {e}"));
             std::fs::write(path, format!("{json}\n"))
                 .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             println!("{json}");
@@ -101,8 +125,8 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|bench-json|\
-                 batch-json] [--full-scale]"
+                "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|steps|\
+                 bench-json|batch-json] [--full-scale]"
             );
             std::process::exit(2);
         }

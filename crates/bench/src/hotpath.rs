@@ -8,7 +8,11 @@
 //! * **checkpoint_clone** — one `Vm::clone` on a heap-rich completed
 //!   state (the copy-on-write fast path this repo's PR 2 introduced;
 //!   the pre-COW deep clone measured ~57,500 ns on the same fixture),
-//! * **steps_per_sec** — raw interpreter throughput,
+//! * **steps_per_sec** — interpreter throughput with the pre-decoded
+//!   dispatch plan attached (the execution path every pipeline phase
+//!   uses since the compile pre-phase landed), next to
+//!   **steps_per_sec_legacy** for the per-step `match` decoder it
+//!   replaced,
 //! * **tries_per_sec** — completed test executions per second inside a
 //!   plain CHESS search,
 //! * **guided vs plain** — tries and wall time of ChessX vs CHESS,
@@ -23,7 +27,7 @@
 use mcr_core::{find_failure_par, ReproOptions, Reproducer};
 use mcr_search::{find_schedule, Algorithm, SearchConfig, SearchResult};
 use mcr_slice::Strategy;
-use mcr_vm::{run, DeterministicScheduler, NullObserver, Outcome, Vm};
+use mcr_vm::{run, DeterministicScheduler, DispatchPlan, NullObserver, Outcome, PlanStats, Vm};
 use mcr_workloads::all_bugs;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -113,11 +117,20 @@ pub fn measure_checkpoint_clone_ns() -> f64 {
     median_ns(&mut samples)
 }
 
-/// Measures raw interpreter throughput (statements per second).
-pub fn measure_steps_per_sec() -> f64 {
+/// Shared stepper-throughput driver: statements per second with or
+/// without the pre-decoded dispatch plan attached.
+fn measure_stepper(threaded: bool) -> f64 {
     let program = mcr_lang::compile(STEPPER).expect("stepper compiles");
+    let plan = threaded.then(|| std::sync::Arc::new(DispatchPlan::compile(&program)));
+    let make_vm = || {
+        let vm = Vm::new(&program, &[]);
+        match &plan {
+            Some(plan) => vm.with_plan(std::sync::Arc::clone(plan)),
+            None => vm,
+        }
+    };
     // Warm once to learn the run length.
-    let mut vm = Vm::new(&program, &[]);
+    let mut vm = make_vm();
     run(
         &mut vm,
         &mut DeterministicScheduler::new(),
@@ -130,7 +143,7 @@ pub fn measure_steps_per_sec() -> f64 {
         let mut total_steps = 0u64;
         let start = Instant::now();
         while start.elapsed() < Duration::from_millis(30) {
-            let mut vm = Vm::new(&program, &[]);
+            let mut vm = make_vm();
             run(
                 &mut vm,
                 &mut DeterministicScheduler::new(),
@@ -142,6 +155,26 @@ pub fn measure_steps_per_sec() -> f64 {
         samples.push(total_steps as f64 / start.elapsed().as_secs_f64());
     }
     median_ns(&mut samples)
+}
+
+/// Measures interpreter throughput (statements per second) on the
+/// threaded-dispatch path — a compiled [`DispatchPlan`] attached, as
+/// every pipeline phase runs since the compile pre-phase landed.
+pub fn measure_steps_per_sec() -> f64 {
+    measure_stepper(true)
+}
+
+/// Measures interpreter throughput of the legacy per-step `match`
+/// decoder (no dispatch plan), kept as the comparison baseline.
+pub fn measure_steps_per_sec_legacy() -> f64 {
+    measure_stepper(false)
+}
+
+/// Dispatch-plan shape of the stepper benchmark program (decoded op
+/// count, fused superinstructions, slow-path residue).
+pub fn stepper_plan_stats() -> PlanStats {
+    let program = mcr_lang::compile(STEPPER).expect("stepper compiles");
+    DispatchPlan::compile(&program).stats()
 }
 
 /// A fig1-scale search setup shared by the tries/guided/plain
@@ -265,8 +298,13 @@ pub struct ParallelCell {
 pub struct BenchReport {
     /// One checkpoint on the heap-rich fixture, nanoseconds.
     pub checkpoint_clone_ns: f64,
-    /// Interpreter throughput, statements/second.
+    /// Interpreter throughput with the dispatch plan attached,
+    /// statements/second.
     pub steps_per_sec: f64,
+    /// Legacy per-step `match` decoder throughput, statements/second.
+    pub steps_per_sec_legacy: f64,
+    /// Dispatch-plan shape of the stepper program.
+    pub dispatch: PlanStats,
     /// Completed test executions per second (plain CHESS on the search
     /// fixture).
     pub tries_per_sec: f64,
@@ -330,10 +368,19 @@ pub fn measure_parallel_suite(parallelism: usize) -> ParallelCell {
                 .reproduce(&sf.dump, &input)
                 .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name))
         };
+        // Two alternating rounds per leg, best wall time kept: the legs
+        // run identical search code when the fan-out clamps to one core,
+        // so single-sample scheduling noise must not be read as a
+        // parallel regression (or a win).
         let serial = reproduce(1);
         let par = reproduce(parallelism);
-        serial_search += serial.search.wall_time;
-        parallel_search += par.search.wall_time;
+        let serial_wall = serial.search.wall_time.min(reproduce(1).search.wall_time);
+        let par_wall = par
+            .search
+            .wall_time
+            .min(reproduce(parallelism).search.wall_time);
+        serial_search += serial_wall;
+        parallel_search += par_wall;
         let points = |r: &SearchResult| {
             r.winning
                 .as_ref()
@@ -365,6 +412,8 @@ pub fn measure_parallel_suite(parallelism: usize) -> ParallelCell {
 pub fn bench_report() -> BenchReport {
     let checkpoint_clone_ns = measure_checkpoint_clone_ns();
     let steps_per_sec = measure_steps_per_sec();
+    let steps_per_sec_legacy = measure_steps_per_sec_legacy();
+    let dispatch = stepper_plan_stats();
     let fixture = SearchFixture::prepare();
     let plain_result = fixture.search(Algorithm::Chess, 1);
     let guided_result = fixture.search(Algorithm::ChessX, 1);
@@ -380,6 +429,8 @@ pub fn bench_report() -> BenchReport {
     BenchReport {
         checkpoint_clone_ns,
         steps_per_sec,
+        steps_per_sec_legacy,
+        dispatch,
         tries_per_sec,
         guided: algo_cell(&guided_result),
         plain: algo_cell(&plain_result),
@@ -409,6 +460,16 @@ impl BenchReport {
             "  \"checkpoint_fixture\": \"256 heap objects x 64 slots\","
         );
         let _ = writeln!(s, "  \"steps_per_sec\": {:.0},", self.steps_per_sec);
+        let _ = writeln!(
+            s,
+            "  \"steps_per_sec_legacy\": {:.0},",
+            self.steps_per_sec_legacy
+        );
+        let _ = writeln!(
+            s,
+            "  \"dispatch\": {{\"ops\": {}, \"fused\": {}, \"slow\": {}}},",
+            self.dispatch.ops, self.dispatch.fused, self.dispatch.slow
+        );
         let _ = writeln!(s, "  \"tries_per_sec\": {:.1},", self.tries_per_sec);
         let _ = writeln!(
             s,
@@ -450,6 +511,32 @@ impl BenchReport {
     }
 }
 
+/// Keys every `BENCH_search.json` must carry; `tables -- bench-json`
+/// refuses to write a report that drops one, so downstream trend
+/// tooling never silently loses a column.
+pub const BENCH_JSON_REQUIRED: &[&str] = &[
+    "\"steps_per_sec\"",
+    "\"steps_per_sec_legacy\"",
+    "\"dispatch\"",
+    "\"speedup\"",
+    "\"identical_results\"",
+];
+
+/// Validates the serialized search bench report against
+/// [`BENCH_JSON_REQUIRED`].
+///
+/// # Errors
+///
+/// Returns the first missing key.
+pub fn check_bench_json_schema(json: &str) -> Result<(), String> {
+    for key in BENCH_JSON_REQUIRED {
+        if !json.contains(key) {
+            return Err(format!("BENCH_search.json schema: missing {key}"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,7 +555,13 @@ mod tests {
     fn report_json_shape() {
         let report = BenchReport {
             checkpoint_clone_ns: 74.0,
-            steps_per_sec: 1e7,
+            steps_per_sec: 2e7,
+            steps_per_sec_legacy: 1e7,
+            dispatch: PlanStats {
+                ops: 40,
+                fused: 6,
+                slow: 2,
+            },
             tries_per_sec: 1e3,
             guided: AlgoCell {
                 tries: 3,
@@ -493,6 +586,8 @@ mod tests {
         for key in [
             "\"checkpoint_clone_ns\"",
             "\"steps_per_sec\"",
+            "\"steps_per_sec_legacy\"",
+            "\"dispatch\"",
             "\"tries_per_sec\"",
             "\"guided\"",
             "\"plain\"",
@@ -503,5 +598,16 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        check_bench_json_schema(&json).expect("full report passes the schema check");
+    }
+
+    #[test]
+    fn schema_check_rejects_dropped_keys() {
+        let err = check_bench_json_schema("{\"schema\": \"mcr-bench/search_hotpath/v1\"}")
+            .expect_err("gutted report must fail");
+        assert!(
+            err.contains("steps_per_sec"),
+            "first missing key named: {err}"
+        );
     }
 }

@@ -39,6 +39,7 @@ enum Kind {
     Delta = 2,
     Ranked = 3,
     Search = 4,
+    Plan = 5,
 }
 
 fn frame(kind: Kind, body: impl FnOnce(&mut Writer)) -> Vec<u8> {
@@ -133,6 +134,20 @@ pub struct SearchArtifact {
     /// The search result (possibly partial, when cancelled or cut off).
     pub result: SearchResult,
     /// Wall-clock time the phase took.
+    pub elapsed: Duration,
+}
+
+/// Compile pre-phase output: the program's serialized direct-threaded
+/// dispatch plan (`mcr-vm`'s `DispatchPlan` wire bytes). Keyed by
+/// program fingerprint alone, so near-duplicate fleet jobs rehydrate
+/// one shared plan instead of recompiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlanArtifact {
+    /// The plan's own deterministic wire encoding
+    /// (`DispatchPlan::to_bytes`); kept opaque here so the artifact
+    /// layer does not depend on the plan's internal layout.
+    pub plan_bytes: Vec<u8>,
+    /// Wall-clock time the compile took.
     pub elapsed: Duration,
 }
 
@@ -745,6 +760,32 @@ impl SearchArtifact {
     }
 }
 
+impl CompiledPlanArtifact {
+    /// Serializes the artifact to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame(Kind::Plan, |w| {
+            w.bytes(&self.plan_bytes);
+            w.duration(self.elapsed);
+        })
+    }
+
+    /// Parses an artifact from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = unframe(bytes, Kind::Plan)?;
+        let plan_bytes = r.bytes()?.to_vec();
+        let elapsed = r.duration()?;
+        r.finish()?;
+        Ok(CompiledPlanArtifact {
+            plan_bytes,
+            elapsed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,6 +814,20 @@ mod tests {
         let back = FailureIndexArtifact::from_bytes(&bytes).unwrap();
         assert_eq!(art, back);
         assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn plan_artifact_round_trip() {
+        let art = CompiledPlanArtifact {
+            plan_bytes: b"MCRD-opaque-plan-payload".to_vec(),
+            elapsed: Duration::from_micros(17),
+        };
+        let bytes = art.to_bytes();
+        let back = CompiledPlanArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(art, back);
+        assert_eq!(bytes, back.to_bytes());
+        // Kind confusion with pipeline artifacts is rejected.
+        assert!(SearchArtifact::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -76,10 +76,12 @@ pub mod store;
 pub mod stress;
 
 pub use artifact::{
-    AlignmentArtifact, DumpDeltaArtifact, FailureIndexArtifact, RankedAccessesArtifact,
-    SearchArtifact,
+    AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
+    RankedAccessesArtifact, SearchArtifact,
 };
-pub use observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES};
+pub use observe::{
+    NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES, PHASE_KINDS,
+};
 pub use phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
 pub use pipeline::{
     has_sync_points, AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions,

@@ -27,9 +27,20 @@ pub enum Phase {
     Rank,
     /// The directed schedule search (§5).
     Search,
+    /// Pre-phase: compiling the program into a direct-threaded dispatch
+    /// plan (`mcr-vm`'s `DispatchPlan`). Not part of the five-phase
+    /// pipeline — it runs before the first phase that needs a VM, emits
+    /// no [`PhaseEvent`]s, and is keyed by program fingerprint alone so
+    /// near-duplicate fleet jobs share one compiled plan. It surfaces
+    /// only in [`StoreStats::per_phase`](crate::StoreStats::per_phase)
+    /// like any other cached artifact. Declared last so `Ord` matches
+    /// [`Phase::index`].
+    Compile,
 }
 
-/// All phases, in execution order.
+/// The five pipeline phases, in execution order. Deliberately excludes
+/// [`Phase::Compile`]: drivers iterate this to run a session, and the
+/// compile pre-phase is not independently runnable.
 pub const PHASES: [Phase; 5] = [
     Phase::Index,
     Phase::Align,
@@ -38,15 +49,29 @@ pub const PHASES: [Phase; 5] = [
     Phase::Search,
 ];
 
+/// Every phase kind with a wire index, in index order: the five
+/// pipeline phases followed by the [`Phase::Compile`] pre-phase. This
+/// is the iteration order of per-phase store statistics.
+pub const PHASE_KINDS: [Phase; 6] = [
+    Phase::Index,
+    Phase::Align,
+    Phase::Diff,
+    Phase::Rank,
+    Phase::Search,
+    Phase::Compile,
+];
+
 impl Phase {
-    /// The phase executed immediately after this one, if any.
+    /// The phase executed immediately after this one, if any. The
+    /// `Compile` pre-phase sits outside the pipeline chain (`None` in
+    /// both directions).
     pub fn next(self) -> Option<Phase> {
         match self {
             Phase::Index => Some(Phase::Align),
             Phase::Align => Some(Phase::Diff),
             Phase::Diff => Some(Phase::Rank),
             Phase::Rank => Some(Phase::Search),
-            Phase::Search => None,
+            Phase::Search | Phase::Compile => None,
         }
     }
 
@@ -54,7 +79,7 @@ impl Phase {
     /// whose artifact this phase consumes).
     pub fn prev(self) -> Option<Phase> {
         match self {
-            Phase::Index => None,
+            Phase::Index | Phase::Compile => None,
             Phase::Align => Some(Phase::Index),
             Phase::Diff => Some(Phase::Align),
             Phase::Rank => Some(Phase::Diff),
@@ -62,7 +87,8 @@ impl Phase {
         }
     }
 
-    /// Position of the phase in the pipeline (0-based, execution order).
+    /// Position of the phase in the pipeline (0-based, execution order;
+    /// the `Compile` pre-phase takes the slot after the pipeline).
     /// Stable — it doubles as the phase tag of the wire formats.
     pub fn index(self) -> usize {
         match self {
@@ -71,7 +97,13 @@ impl Phase {
             Phase::Diff => 2,
             Phase::Rank => 3,
             Phase::Search => 4,
+            Phase::Compile => 5,
         }
+    }
+
+    /// The phase with the given wire index ([`Phase::index`] inverse).
+    pub fn from_index(index: usize) -> Option<Phase> {
+        PHASE_KINDS.get(index).copied()
     }
 
     /// A stable lowercase name (used in progress output and errors).
@@ -82,6 +114,7 @@ impl Phase {
             Phase::Diff => "diff",
             Phase::Rank => "rank",
             Phase::Search => "search",
+            Phase::Compile => "compile",
         }
     }
 }
@@ -228,6 +261,20 @@ mod tests {
             assert_eq!(p.index(), i);
             assert_eq!(p.prev(), i.checked_sub(1).map(|j| PHASES[j]));
         }
+    }
+
+    #[test]
+    fn compile_pre_phase_sits_outside_the_pipeline() {
+        assert_eq!(Phase::Compile.index(), 5);
+        assert_eq!(Phase::Compile.name(), "compile");
+        assert_eq!(Phase::Compile.next(), None);
+        assert_eq!(Phase::Compile.prev(), None);
+        assert!(!PHASES.contains(&Phase::Compile));
+        for (i, p) in PHASE_KINDS.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::from_index(i), Some(*p));
+        }
+        assert_eq!(Phase::from_index(6), None);
     }
 
     #[test]

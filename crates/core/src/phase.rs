@@ -34,7 +34,7 @@ use mcr_dump::{
 use mcr_index::{AlignSignal, Aligner, Alignment};
 use mcr_search::{annotate, find_schedule, CancelToken, SearchConfig};
 use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
-use mcr_vm::{run_until, DeterministicScheduler, MemLoc, Outcome, Tee, ThreadId, Vm};
+use mcr_vm::{run_until, DeterministicScheduler, MemLoc, Outcome, Tee, ThreadId};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -287,7 +287,7 @@ impl PipelinePhase for AlignPhase {
         let mut guard = Interrupt::new(s.cancel.clone(), budget);
 
         let t0 = Instant::now();
-        let mut vm = Vm::new(s.program, &s.input);
+        let mut vm = s.new_vm();
         let mut logger = mcr_search::SyncLogger::new();
         let index = Self::input(s).expect("index phase ran").index.clone();
         let (alignment, deterministic_repro, passing_run) = match &index {
@@ -422,7 +422,7 @@ impl PipelinePhase for DiffPhase {
 
         // Replay to the aligned point; capture dump + trace.
         let t0 = Instant::now();
-        let mut replay = Vm::new(s.program, &s.input);
+        let mut replay = s.new_vm();
         let mut collector = TraceCollector::new(s.program, &s.analysis, s.options.trace_window);
         {
             let mut sched = DeterministicScheduler::new();
@@ -643,7 +643,7 @@ impl PipelinePhase for SearchPhase {
                 *e = (*e).min(r.priority);
             }
             let (candidates, future) = annotate(&align.passing_run, &csv_set, &priorities);
-            let fresh = Vm::new(s.program, &s.input);
+            let fresh = s.new_vm();
             let budget = Self::budget(s);
             let mut search_config = SearchConfig {
                 parallelism: s.options.parallelism.max(1),

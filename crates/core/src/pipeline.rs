@@ -104,7 +104,9 @@ pub struct PhaseBudgets {
 }
 
 impl PhaseBudgets {
-    /// The budget configured for `phase`, if any.
+    /// The budget configured for `phase`, if any. The `Compile`
+    /// pre-phase is never budgeted (plan compilation is microseconds
+    /// and infallible).
     pub fn get(&self, phase: Phase) -> Option<PhaseBudget> {
         match phase {
             Phase::Index => self.index,
@@ -112,10 +114,12 @@ impl PhaseBudgets {
             Phase::Diff => self.diff,
             Phase::Rank => self.rank,
             Phase::Search => self.search,
+            Phase::Compile => None,
         }
     }
 
-    /// Sets the budget for `phase`.
+    /// Sets the budget for `phase` (ignored for the unbudgetable
+    /// `Compile` pre-phase).
     pub fn set(&mut self, phase: Phase, budget: PhaseBudget) {
         match phase {
             Phase::Index => self.index = Some(budget),
@@ -123,6 +127,7 @@ impl PhaseBudgets {
             Phase::Diff => self.diff = Some(budget),
             Phase::Rank => self.rank = Some(budget),
             Phase::Search => self.search = Some(budget),
+            Phase::Compile => {}
         }
     }
 }

@@ -46,8 +46,8 @@
 //! set) so a service can still report how far it got.
 
 use crate::artifact::{
-    AlignmentArtifact, DumpDeltaArtifact, FailureIndexArtifact, RankedAccessesArtifact,
-    SearchArtifact,
+    AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
+    RankedAccessesArtifact, SearchArtifact,
 };
 use crate::observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver};
 use crate::phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
@@ -61,9 +61,10 @@ use mcr_dump::{CoreDump, DecodeError, TraverseLimits};
 use mcr_lang::Program;
 use mcr_search::{Algorithm, CancelToken, SearchConfig};
 use mcr_slice::Strategy;
-use mcr_vm::Failure;
-use std::cell::Cell;
+use mcr_vm::{DispatchPlan, Failure, Vm};
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"MCRS";
 const VERSION: u8 = 1;
@@ -103,6 +104,12 @@ pub struct ReproSession<'p> {
     /// by [`Phase::index`]; filled lazily (encoding an artifact just to
     /// hash it is wasted work unless keys are actually consulted).
     hashes: [Cell<Option<ContentHash>>; 5],
+    /// The program's direct-threaded [`DispatchPlan`], compiled (or
+    /// rehydrated from the store under [`Phase::Compile`]) on first use
+    /// and shared by every VM the session spawns. A runtime attachment
+    /// like the store itself: excluded from checkpoints — a resumed
+    /// session recompiles or re-fetches it.
+    plan: RefCell<Option<Arc<DispatchPlan>>>,
 }
 
 impl std::fmt::Debug for ReproSession<'_> {
@@ -160,6 +167,7 @@ impl<'p> ReproSession<'p> {
             basis: Cell::new(None),
             artifacts: Artifacts::default(),
             hashes: std::array::from_fn(|_| Cell::new(None)),
+            plan: RefCell::new(None),
         })
     }
 
@@ -293,11 +301,69 @@ impl<'p> ReproSession<'p> {
         Ok(())
     }
 
+    /// The program's compiled [`DispatchPlan`], memoized on first use
+    /// (the `Compile` pre-phase). With a caching store the serialized
+    /// plan lives under
+    /// `PhaseKey::derive(program_fingerprint, Phase::Compile, None)` —
+    /// keyed by program fingerprint *alone*, so a fleet of
+    /// near-duplicate jobs (different dumps, same program) compiles each
+    /// distinct program once and every other job rehydrates it. The
+    /// pre-phase emits no [`PhaseEvent`]s: it is infallible,
+    /// micro-seconds cheap, and surfaces only in
+    /// [`StoreStats::per_phase`](crate::StoreStats::per_phase).
+    pub(crate) fn ensure_plan(&self) -> Arc<DispatchPlan> {
+        if let Some(plan) = self.plan.borrow().as_ref() {
+            return Arc::clone(plan);
+        }
+        let key = self
+            .store
+            .is_caching()
+            .then(|| PhaseKey::derive(program_fingerprint(self.program), Phase::Compile, None));
+        // A corrupted or layout-incompatible cached plan is a miss, not
+        // an error; `matches` guards against a fingerprint collision
+        // handing us a plan shaped for a different program.
+        let cached = key
+            .as_ref()
+            .and_then(|k| self.store.get(k))
+            .and_then(|bytes| CompiledPlanArtifact::from_bytes(&bytes).ok())
+            .and_then(|artifact| DispatchPlan::from_bytes(&artifact.plan_bytes))
+            .filter(|plan| plan.matches(self.program));
+        let plan = Arc::new(match cached {
+            Some(plan) => plan,
+            None => {
+                let started = Instant::now();
+                let plan = DispatchPlan::compile(self.program);
+                if let Some(key) = key {
+                    let artifact = CompiledPlanArtifact {
+                        plan_bytes: plan.to_bytes(),
+                        elapsed: started.elapsed(),
+                    };
+                    self.store.put(&key, &artifact.to_bytes());
+                }
+                plan
+            }
+        });
+        *self.plan.borrow_mut() = Some(Arc::clone(&plan));
+        plan
+    }
+
+    /// A fresh [`Vm`] on the session's program and input, with the
+    /// session's dispatch plan attached. Every phase that executes the
+    /// program builds its VMs here.
+    pub(crate) fn new_vm(&self) -> Vm<'p> {
+        Vm::new(self.program, &self.input).with_plan(self.ensure_plan())
+    }
+
     /// The content hash of `phase`'s encoded artifact, once produced
     /// (`None` while the artifact is missing). Computed lazily — a
     /// session that never consults keys never encodes artifacts just to
     /// hash them.
     pub fn artifact_hash(&self, phase: Phase) -> Option<ContentHash> {
+        if phase == Phase::Compile {
+            // The plan is not a session artifact (it is keyed by
+            // program fingerprint alone, not chained off the basis).
+            return None;
+        }
         let cell = &self.hashes[phase.index()];
         if let Some(h) = cell.get() {
             return Some(h);
@@ -316,6 +382,7 @@ impl<'p> ReproSession<'p> {
             Phase::Diff => self.artifacts.delta.as_ref()?.to_bytes(),
             Phase::Rank => self.artifacts.ranked.as_ref()?.to_bytes(),
             Phase::Search => self.artifacts.search.as_ref()?.to_bytes(),
+            Phase::Compile => return None,
         })
     }
 
@@ -324,6 +391,16 @@ impl<'p> ReproSession<'p> {
     /// upstream artifact's hash. `None` until the upstream artifact
     /// exists (the key cannot be known before then).
     pub fn phase_key(&self, phase: Phase) -> Option<PhaseKey> {
+        if phase == Phase::Compile {
+            // Deliberately *not* chained off the basis: the plan
+            // depends on the program alone, so near-duplicate jobs
+            // (different dumps, same program) share one entry.
+            return Some(PhaseKey::derive(
+                program_fingerprint(self.program),
+                Phase::Compile,
+                None,
+            ));
+        }
         let upstream = match phase.prev() {
             None => None,
             Some(p) => Some(self.artifact_hash(p)?),
@@ -354,6 +431,10 @@ impl<'p> ReproSession<'p> {
             if P::GUARDED_ENTRY {
                 self.check_entry(P::PHASE)?;
             }
+            // The compile pre-phase: resolve the dispatch plan before
+            // the phase key is consulted, so warm sessions still touch
+            // (and account for) the shared plan entry.
+            self.ensure_plan();
             // Keys and artifact hashes exist only to address the store:
             // with a non-caching store (the default NullStore) the whole
             // machinery is skipped and the phase runs exactly as the
@@ -403,6 +484,12 @@ impl<'p> ReproSession<'p> {
             Phase::Diff => self.run::<DiffPhase>().map(drop),
             Phase::Rank => self.run::<RankPhase>().map(drop),
             Phase::Search => self.run::<SearchPhase>().map(drop),
+            // The pre-phase is not independently runnable: resolving
+            // the plan is a side effect of running any real phase.
+            Phase::Compile => {
+                self.ensure_plan();
+                Ok(())
+            }
         }
     }
 
@@ -926,7 +1013,11 @@ mod tests {
             ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
         cold.set_store(Arc::clone(&store));
         let cold_report = cold.run_to_end().unwrap();
-        assert_eq!(store.stats().inserts, 5, "every phase cached");
+        assert_eq!(
+            store.stats().inserts,
+            6,
+            "every phase cached, plus the compile pre-phase"
+        );
 
         let mut warm =
             ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
@@ -996,7 +1087,8 @@ mod tests {
         s.cancel_token().cancel();
         let artifact = s.run_search().unwrap();
         assert!(artifact.result.cancelled);
-        // Rank and everything before it were cached; the search was not.
-        assert_eq!(store.stats().inserts, 4);
+        // Rank and everything before it (including the compile
+        // pre-phase) were cached; the search was not.
+        assert_eq!(store.stats().inserts, 5);
     }
 }

@@ -135,8 +135,9 @@ pub struct StoreStats {
     /// Total artifact bytes currently resident.
     pub bytes: usize,
     /// The same counters sliced by phase kind, indexed by
-    /// [`Phase::index`] (see [`StoreStats::phase`]).
-    pub per_phase: [PhaseStats; 5],
+    /// [`Phase::index`] (see [`StoreStats::phase`]): the five pipeline
+    /// phases followed by the `Compile` pre-phase.
+    pub per_phase: [PhaseStats; 6],
 }
 
 impl StoreStats {
@@ -386,7 +387,7 @@ impl BytesStore {
         let store = BytesStore::new();
         for _ in 0..n {
             let tag = r.u8()? as usize;
-            let Some(&phase) = crate::observe::PHASES.get(tag) else {
+            let Some(phase) = Phase::from_index(tag) else {
                 return r.err(format!("bad phase tag {tag}"));
             };
             let hash = r.hash()?;

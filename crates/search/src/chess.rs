@@ -16,6 +16,7 @@ use crate::candidates::{AnnotatedCandidate, FutureCsvMap};
 use crate::runner::{Budget, CancelToken, Guidance, TestRun};
 use mcr_vm::{Failure, Vm};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which search algorithm to run.
@@ -45,8 +46,11 @@ pub struct SearchConfig {
     pub pair_pool: usize,
     /// Worker threads testing worklist combinations concurrently.
     ///
-    /// `1` (the default) runs the exact serial loop. Any higher value
-    /// fans the worklist over a work-stealing pool; the *lowest worklist
+    /// `1` (the default) runs the exact serial loop, as does any value
+    /// once clamped to the machine's physical core count (extra workers
+    /// on an oversubscribed host only add contention). Higher values fan
+    /// the worklist over a pool whose workers claim combinations in
+    /// worklist order; the *lowest worklist
     /// index* that reproduces wins, and the reported `reproduced` /
     /// `winning` / `combinations_tested` / `tries` are identical to the
     /// serial result whenever the search finishes without hitting the
@@ -142,10 +146,16 @@ pub fn find_schedule(
     };
 
     let executor = config.executor();
-    if executor.threads() > 1 && worklist.len() > 1 {
+    // Clamp the fan-out to the machine: workers beyond the physical
+    // core count only add claim contention and speculative tries, and
+    // on a single-core host the "parallel" path is pure overhead (the
+    // 0.93x regression this clamp fixed) — such hosts take the exact
+    // serial loop below.
+    let workers = executor.threads().min(minipool::available_parallelism());
+    if workers > 1 && worklist.len() > 1 {
         return find_schedule_parallel(
-            fresh_vm, candidates, future, target, guidance, config, &executor, &worklist, deadline,
-            start,
+            fresh_vm, candidates, future, target, guidance, config, &executor, workers, &worklist,
+            deadline, start,
         );
     }
 
@@ -201,11 +211,21 @@ pub fn find_schedule(
     }
 }
 
-/// The parallel worklist driver: combinations fan out over a
-/// work-stealing pool; every worker draws from one shared try pool, and
-/// the *lowest worklist index* that reproduces is the winner, so the
-/// result matches the serial search whenever the budget does not cut the
-/// search off (see [`SearchConfig::parallelism`] for the cutoff caveat).
+/// The parallel worklist driver: `workers` pool tasks claim worklist
+/// indices *in order* from one shared counter; every worker draws from
+/// one shared try pool, and the *lowest worklist index* that reproduces
+/// is the winner, so the result matches the serial search whenever the
+/// budget does not cut the search off (see [`SearchConfig::parallelism`]
+/// for the cutoff caveat).
+///
+/// In-order claiming (rather than chunked index splitting) keeps the
+/// fan-out front-loaded on the combinations the guided ordering ranked
+/// best: no worker burns tries deep in the tail while the likely winner
+/// near the head is still unclaimed. Once a winner is posted, workers
+/// mid-combination at higher indices abort at their next budget poll
+/// (the obsolete-watch); since the winner index only decreases,
+/// combinations at or below the final winner always run to completion
+/// and their try counts stay serial-identical.
 ///
 /// Checkpoint sharing makes this cheap: all workers clone the same
 /// `fresh_vm`, and with copy-on-write VM state those clones are
@@ -219,13 +239,16 @@ fn find_schedule_parallel(
     guidance: Guidance,
     config: &SearchConfig,
     executor: &minipool::Pool,
+    workers: usize,
     worklist: &[Vec<usize>],
     deadline: Option<Instant>,
     start: Instant,
 ) -> SearchResult {
     let n = worklist.len();
     // Lowest reproducing worklist index (usize::MAX = none yet).
-    let winner = AtomicUsize::new(usize::MAX);
+    let winner = Arc::new(AtomicUsize::new(usize::MAX));
+    // The claim counter: each worker takes the next untested index.
+    let next = AtomicUsize::new(0);
     // One global try pool, debited as each try completes — the cap
     // bounds *total* work to within one in-flight try per worker, unlike
     // per-worker budget snapshots which could multiply it.
@@ -238,24 +261,25 @@ fn find_schedule_parallel(
     // relabel a complete result as partial.
     let cancel_stopped = std::sync::atomic::AtomicBool::new(false);
 
-    executor.for_each_index(n, |i| {
-        // A combination past an already-found winner can never win
-        // (`fetch_min` only lowers the index), so skip it. Combinations
-        // below the winner run to completion unless the global budget
-        // runs dry mid-search.
-        if i > winner.load(Ordering::Acquire) {
-            return;
+    executor.for_each_index(workers, |_| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        // Claims are monotonic and the winner index only decreases, so
+        // once this claim is past the winner (or the list), every later
+        // claim would be too: this worker is done.
+        if i >= n || i > winner.load(Ordering::Acquire) {
+            break;
         }
         if config.cancel.is_cancelled() {
             cancel_stopped.store(true, Ordering::Relaxed);
-            return;
+            break;
         }
         if pool.exhausted_now() {
-            return;
+            break;
         }
         let mut budget = Budget::with_tries(u64::MAX, config.max_steps)
             .with_shared(pool.clone())
-            .with_cancel(config.cancel.clone());
+            .with_cancel(config.cancel.clone())
+            .with_obsolete(Arc::clone(&winner), i);
         budget.deadline = deadline;
         let set: Vec<AnnotatedCandidate> =
             worklist[i].iter().map(|&k| candidates[k].clone()).collect();
@@ -584,6 +608,47 @@ mod tests {
             assert_eq!(a.tries, b.tries, "{alg:?}");
             assert_eq!(a.combinations_tested, b.combinations_tested, "{alg:?}");
             assert_eq!(points(&a), points(&b), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_even_when_cores_are_scarce() {
+        // `find_schedule` clamps its fan-out to the physical core
+        // count, so on a small host the test above may exercise the
+        // serial loop twice. Drive the parallel claim loop directly to
+        // pin its accounting against the serial path regardless of the
+        // machine.
+        let s = setup();
+        let fresh = Vm::new(&s.program, &[0, 1]);
+        let cfg = SearchConfig::default();
+        for (alg, guidance) in [
+            (Algorithm::ChessX, Guidance::CsvOverlap),
+            (Algorithm::Chess, Guidance::All),
+        ] {
+            let serial = find_schedule(&fresh, &s.candidates, &s.future, s.failure, alg, &cfg);
+            let worklist = build_worklist(&s.candidates, alg, &cfg);
+            let executor = minipool::Pool::new(4);
+            let start = Instant::now();
+            let par = find_schedule_parallel(
+                &fresh,
+                &s.candidates,
+                &s.future,
+                s.failure,
+                guidance,
+                &cfg,
+                &executor,
+                4,
+                &worklist,
+                None,
+                start,
+            );
+            assert_eq!(serial.reproduced, par.reproduced, "{alg:?}");
+            assert_eq!(serial.tries, par.tries, "{alg:?}");
+            assert_eq!(
+                serial.combinations_tested, par.combinations_tested,
+                "{alg:?}"
+            );
+            assert_eq!(serial.winning, par.winning, "{alg:?}");
         }
     }
 

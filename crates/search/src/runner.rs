@@ -14,7 +14,7 @@ use mcr_lang::Inst;
 use mcr_vm::{Failure, NullObserver, ThreadId, Vm};
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,11 +49,28 @@ impl CancelToken {
     }
 }
 
-/// How many [`Budget::exhausted`] polls share one `Instant::now()` read.
-/// The deadline is coarse (the paper's 18-hour cutoff equivalent), so a
+/// Bounds of the *adaptive* deadline-poll period: how many
+/// [`Budget::exhausted`] polls share one `Instant::now()` read. The
+/// deadline is coarse (the paper's 18-hour cutoff equivalent), so a
 /// clock syscall on every poll — once per explored statement — is pure
-/// overhead; between real reads the cached verdict is returned.
-const DEADLINE_POLL_PERIOD: u32 = 256;
+/// overhead; between real reads the cached verdict is returned. A fixed
+/// period couples the overshoot to the *poll rate*: a search stepping
+/// millions of statements per second barely notices 256 polls, but one
+/// stalled in slow combinations (deep preemption recursion, large VM
+/// clones) could blow past a deadline by the full period. The period
+/// therefore scales to the observed rate — each clock read measures the
+/// wall time since the previous one and halves the period when the
+/// window drifts above [`POLL_WINDOW_HIGH`] (or doubles it below
+/// [`POLL_WINDOW_LOW`]) — so the time between reads converges on
+/// roughly a millisecond regardless of steps/s, bounding the deadline
+/// overshoot to that order.
+const MIN_POLL_PERIOD: u32 = 16;
+/// Upper period bound (reached by fast pollers within ~a dozen reads).
+const MAX_POLL_PERIOD: u32 = 65_536;
+/// Clock-read window above which the period halves.
+const POLL_WINDOW_HIGH: std::time::Duration = std::time::Duration::from_millis(2);
+/// Clock-read window below which the period doubles.
+const POLL_WINDOW_LOW: std::time::Duration = std::time::Duration::from_micros(250);
 
 /// A try pool shared by the workers of a parallel search. The counter is
 /// debited as each try *completes* (not snapshotted up front), so the
@@ -95,13 +112,24 @@ pub struct Budget {
     pub deadline: Option<Instant>,
     /// Per-run step cap.
     pub max_steps: u64,
-    /// Deadline-poll cache: reads the clock every
-    /// `DEADLINE_POLL_PERIOD`th poll and replays the last verdict in
-    /// between. Re-keyed (and re-read immediately) whenever `deadline`
-    /// is replaced.
-    polls: Cell<u32>,
+    /// Deadline-poll cache: reads the clock once per `poll_period`
+    /// polls and replays the last verdict in between; the period adapts
+    /// to the observed poll rate (see `MIN_POLL_PERIOD`). Re-keyed
+    /// (and re-read immediately) whenever `deadline` is replaced.
+    polls_left: Cell<u32>,
+    poll_period: Cell<u32>,
+    last_poll: Cell<Option<Instant>>,
     poll_key: Cell<Option<Instant>>,
     poll_expired: Cell<bool>,
+    /// Obsolete-watch for parallel workers: `(winner, my_index)`. The
+    /// shared cell holds the lowest reproducing worklist index found so
+    /// far (`usize::MAX` = none); once it drops *below* this worker's
+    /// index, the combination under test can no longer affect the
+    /// result and the budget reports itself exhausted. Because the
+    /// winner index only ever decreases, a combination at or below the
+    /// final winner never observes the watch firing — its try count
+    /// stays serial-identical.
+    obsolete: Option<(Arc<AtomicUsize>, usize)>,
     /// Global pool this worker-local budget also draws from (parallel
     /// searches only).
     shared: Option<Arc<SharedTries>>,
@@ -118,9 +146,12 @@ impl Budget {
             tries: 0,
             deadline: None,
             max_steps,
-            polls: Cell::new(0),
+            polls_left: Cell::new(0),
+            poll_period: Cell::new(MIN_POLL_PERIOD),
+            last_poll: Cell::new(None),
             poll_key: Cell::new(None),
             poll_expired: Cell::new(false),
+            obsolete: None,
             shared: None,
             cancel: None,
         }
@@ -145,6 +176,14 @@ impl Budget {
         self
     }
 
+    /// Attaches an obsolete-watch (parallel searches only): the budget
+    /// reports itself exhausted once `winner` drops below `my_index`,
+    /// aborting speculative work a lower combination has already beaten.
+    pub(crate) fn with_obsolete(mut self, winner: Arc<AtomicUsize>, my_index: usize) -> Budget {
+        self.obsolete = Some((winner, my_index));
+        self
+    }
+
     /// Counts one completed execution (and debits the shared pool, if
     /// any).
     pub(crate) fn record_try(&mut self) {
@@ -156,15 +195,22 @@ impl Budget {
 
     /// Whether the budget is exhausted.
     ///
-    /// The try cap is exact; the deadline is polled through a cache that
-    /// touches the clock only every `DEADLINE_POLL_PERIOD`th call, so a
-    /// deadline overrun is noticed at most that many polls late.
+    /// The try cap is exact; the deadline is polled through a cache
+    /// whose clock-read period adapts to the observed poll rate (see
+    /// `MIN_POLL_PERIOD`), so a deadline overrun is noticed within
+    /// roughly a poll window — milliseconds — regardless of how fast or
+    /// slow the search is stepping.
     pub fn exhausted(&self) -> bool {
         if self.tries >= self.max_tries {
             return true;
         }
         if self.cancelled() {
             return true;
+        }
+        if let Some((winner, my_index)) = &self.obsolete {
+            if winner.load(Ordering::Acquire) < *my_index {
+                return true;
+            }
         }
         if let Some(pool) = &self.shared {
             if pool.exhausted_now() {
@@ -176,20 +222,36 @@ impl Budget {
         };
         if self.poll_key.get() != Some(deadline) {
             // The deadline was (re)set: re-key the cache and check the
-            // clock on this very poll.
+            // clock on this very poll (the learned period survives —
+            // the poll rate did not change with the deadline).
             self.poll_key.set(Some(deadline));
             self.poll_expired.set(false);
-            self.polls.set(0);
+            self.polls_left.set(0);
+            self.last_poll.set(None);
         }
         if self.poll_expired.get() {
             return true;
         }
-        let n = self.polls.get();
-        self.polls.set(n.wrapping_add(1));
-        if !n.is_multiple_of(DEADLINE_POLL_PERIOD) {
+        let left = self.polls_left.get();
+        if left > 0 {
+            self.polls_left.set(left - 1);
             return false;
         }
-        let expired = Instant::now() >= deadline;
+        let now = Instant::now();
+        if let Some(prev) = self.last_poll.get() {
+            // Steer the window between clock reads toward ~1ms: halve
+            // the period when polls run slow, double it when they fly.
+            let window = now.duration_since(prev);
+            let period = self.poll_period.get();
+            if window > POLL_WINDOW_HIGH {
+                self.poll_period.set((period / 2).max(MIN_POLL_PERIOD));
+            } else if window < POLL_WINDOW_LOW {
+                self.poll_period.set((period * 2).min(MAX_POLL_PERIOD));
+            }
+        }
+        self.last_poll.set(Some(now));
+        self.polls_left.set(self.poll_period.get());
+        let expired = now >= deadline;
         self.poll_expired.set(expired);
         expired
     }
@@ -594,6 +656,61 @@ mod tests {
         };
         assert!(tr_guided.execute(&mut guided_budget));
         assert!(guided_budget.tries <= unguided_budget.tries);
+    }
+
+    #[test]
+    fn deadline_overshoot_stays_bounded_under_slow_polls() {
+        use std::time::Duration;
+        // A slow poller (~1ms per poll) with a 20ms deadline: the fixed
+        // 256-poll cache would overshoot by a quarter second; the
+        // adaptive period keeps clock reads within a few polls.
+        let mut b = Budget::with_tries(u64::MAX, 1000);
+        b.deadline = Some(Instant::now() + Duration::from_millis(20));
+        let t0 = Instant::now();
+        let mut polls = 0u64;
+        while !b.exhausted() {
+            polls += 1;
+            assert!(polls < 100_000, "deadline never observed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "overshoot {:?} not bounded",
+            t0.elapsed()
+        );
+        // Once expired, the verdict is cached.
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn fast_polls_grow_the_clock_read_period() {
+        use std::time::Duration;
+        let mut b = Budget::with_tries(u64::MAX, 1000);
+        b.deadline = Some(Instant::now() + Duration::from_secs(3600));
+        // A tight poll loop drives the window under `POLL_WINDOW_LOW`,
+        // doubling the period toward the cap.
+        for _ in 0..2_000_000 {
+            assert!(!b.exhausted());
+        }
+        assert!(
+            b.poll_period.get() > MIN_POLL_PERIOD,
+            "period stuck at {}",
+            b.poll_period.get()
+        );
+        assert!(b.poll_period.get() <= MAX_POLL_PERIOD);
+    }
+
+    #[test]
+    fn obsolete_watch_exhausts_only_beaten_indices() {
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let at_5 = Budget::with_tries(u64::MAX, 1000).with_obsolete(Arc::clone(&winner), 5);
+        assert!(!at_5.exhausted(), "no winner yet");
+        winner.store(5, Ordering::Release);
+        assert!(!at_5.exhausted(), "index 5 is not beaten by winner 5");
+        winner.store(3, Ordering::Release);
+        assert!(at_5.exhausted(), "winner 3 beats index 5");
+        let at_2 = Budget::with_tries(u64::MAX, 1000).with_obsolete(Arc::clone(&winner), 2);
+        assert!(!at_2.exhausted(), "indices below the winner keep running");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod event;
 pub mod failure;
 pub mod memloc;
+pub mod plan;
 pub mod rng;
 pub mod sched;
 pub mod value;
@@ -45,6 +46,7 @@ pub mod vm;
 pub use event::{Event, NullObserver, Observer, Recorder, SyncKind, Tee};
 pub use failure::{Failure, FailureKind};
 pub use memloc::MemLoc;
+pub use plan::{DispatchPlan, PlanStats};
 pub use rng::SplitMix64;
 pub use sched::{
     run, run_until, DeterministicScheduler, Outcome, Scheduler, StressScheduler, DEFAULT_MAX_STEPS,

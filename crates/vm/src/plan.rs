@@ -1,0 +1,855 @@
+//! Direct-threaded dispatch plans: decode-once compilation of a
+//! [`Program`] into a flat table of pre-decoded ops.
+//!
+//! The legacy interpreter re-decodes every statement on every step — a
+//! `match` over [`Inst`] followed by a recursive walk of boxed [`Expr`]
+//! trees. With ~70 ns checkpoints and an 18M steps/s core, that decode
+//! is the dominant cost of every search try. A [`DispatchPlan`] hoists
+//! it out of the hot loop: at session start each statement is compiled
+//! once into a small, `Copy` `Op` whose operands are pre-resolved
+//! indices (`ops[func_base[f] + stmt]`), and the interpreter's hot
+//! arms read their pre-decoded operands from that table instead of
+//! walking the `Expr` tree. Hot expression shapes are *fused* into
+//! superinstructions — `local < k` inside a branch becomes one
+//! load+compare+branch op, `x = x + 1` one read-modify-write op — and
+//! every other scalar expression is pre-flattened into a postfix token
+//! run (`Rhs::Expr`) evaluated on a small value stack, so the common
+//! statement executes without touching the IR at all.
+//!
+//! Two invariants bound the design:
+//!
+//! * **Bit-identical runs.** A plan changes how a statement is decoded,
+//!   never what it does: the observable event stream (reads, writes,
+//!   branches, sync), failure kinds, step and instruction counts are
+//!   exactly those of the legacy loop. Fusion therefore never crosses a
+//!   statement boundary — statements are the observable scheduling
+//!   unit — and anything without an exact fast path compiles to
+//!   `Op::Slow`, which falls back to the legacy decoder.
+//! * **Fleet sharing.** Plans serialize ([`DispatchPlan::to_bytes`])
+//!   deterministically, so `mcr-core` can cache them in the artifact
+//!   store keyed by program fingerprint and a fleet of near-duplicate
+//!   jobs compiles each distinct program once (the ShareJIT idiom:
+//!   share compiled code across processes through a common cache).
+
+use crate::value::Value;
+use mcr_lang::{
+    BinOp, Expr, FuncId, GlobalId, Inst, LocalId, LockId, LoopId, Place, Program, StmtId, UnOp,
+};
+
+/// Value-stack capacity of the postfix expression evaluator. Expressions
+/// deeper than this (never seen in practice — depth grows with
+/// right-leaning nesting only) compile to `Op::Slow`.
+pub(crate) const EXPR_STACK: usize = 16;
+
+/// Number of [`Inst`] kinds the opcode layout was compiled against.
+/// Serialized plans embed this as a layout-version byte: a plan written
+/// by a build with a different instruction set never rehydrates.
+const OPCODE_LAYOUT: u8 = 15;
+
+/// Plan wire magic + version.
+const MAGIC: &[u8; 4] = b"MCRD";
+const VERSION: u8 = 1;
+
+/// A pre-decoded assignable location (the cheap subset of [`Place`]
+/// that resolves without evaluation, events, or failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FastPlace {
+    /// A local slot of the current frame.
+    Local(LocalId),
+    /// A scalar global.
+    Global(GlobalId),
+}
+
+/// A pre-decoded right-hand side: the flattened expression shapes the
+/// compiler recognizes. `LocalBin`/`GlobalBin` are the fused
+/// superinstruction operands (one load + one binary op against an
+/// immediate, the paper workloads' hottest expression shape); `Expr`
+/// points at a pre-flattened postfix token run in the plan's side table
+/// for every other scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Rhs {
+    /// An immediate (integer literal or `null`).
+    Const(Value),
+    /// A local read.
+    Local(LocalId),
+    /// A scalar-global read.
+    Global(GlobalId),
+    /// Fused `local <op> k`.
+    LocalBin(LocalId, BinOp, i64),
+    /// Fused `global <op> k`.
+    GlobalBin(GlobalId, BinOp, i64),
+    /// A pre-flattened postfix expression ([`DispatchPlan::expr`]).
+    Expr(u32),
+}
+
+/// One token of a pre-flattened postfix expression. Evaluation runs the
+/// tokens left to right over a small value stack — exactly the order
+/// (and therefore exactly the read-event stream and first-failure
+/// behavior) of the legacy recursive evaluator, which is eager and
+/// left-to-right for every operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// Push an immediate.
+    Const(Value),
+    /// Push a local (emits the read).
+    Local(LocalId),
+    /// Push a scalar global (emits the read).
+    Global(GlobalId),
+    /// Apply a unary operator to the top of stack.
+    Un(UnOp),
+    /// Apply a binary operator to the top two values.
+    Bin(BinOp),
+}
+
+/// One pre-decoded op. `Copy`, so the step loop lifts it out of the
+/// table by value and dispatches without borrowing the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// `dst = src` over pre-resolved operands (includes the fused
+    /// read-modify-write superinstruction when `src` is `*Bin`).
+    Assign {
+        /// Pre-resolved destination.
+        dst: FastPlace,
+        /// Pre-decoded source.
+        src: Rhs,
+    },
+    /// Conditional branch over a pre-decoded condition (includes the
+    /// fused load+compare+branch superinstruction).
+    Branch {
+        /// Pre-decoded condition.
+        cond: Rhs,
+        /// Target when true.
+        then_to: StmtId,
+        /// Target when false.
+        else_to: StmtId,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target statement.
+        to: StmtId,
+    },
+    /// Lock acquire (operand pre-resolved; blocking is the scheduler's
+    /// concern, exactly as in the legacy loop).
+    Acquire {
+        /// The lock.
+        lock: LockId,
+    },
+    /// Lock release.
+    Release {
+        /// The lock.
+        lock: LockId,
+    },
+    /// Synthetic loop-counter reset.
+    LoopEnter {
+        /// The loop.
+        loop_id: LoopId,
+    },
+    /// Synthetic loop-counter increment.
+    LoopIter {
+        /// The loop.
+        loop_id: LoopId,
+    },
+    /// No operation.
+    Nop,
+    /// No fast path: dispatch through the legacy `Inst` decoder.
+    Slow,
+}
+
+/// Aggregate shape of a compiled plan, for benchmarks and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Total ops in the table (one per statement).
+    pub ops: usize,
+    /// Ops carrying a fused superinstruction operand.
+    pub fused: usize,
+    /// Ops that fall back to the legacy decoder.
+    pub slow: usize,
+}
+
+/// A compiled dispatch plan for one [`Program`]: a flat table of
+/// pre-decoded `Op`s, indexed by `func_base[func] + stmt`.
+///
+/// Build one with [`DispatchPlan::compile`] and attach it to a VM with
+/// [`Vm::set_plan`](crate::Vm::set_plan); the plan is immutable and is
+/// shared between checkpoints (and across sessions) behind an `Arc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchPlan {
+    /// Flat op table, all functions concatenated.
+    ops: Vec<Op>,
+    /// Start offset of each function's ops; `funcs.len() + 1` entries
+    /// (the last is the total op count).
+    func_base: Vec<u32>,
+    /// Postfix token runs referenced by `Rhs::Expr`.
+    exprs: Vec<Box<[Tok]>>,
+}
+
+impl DispatchPlan {
+    /// Compiles `program` into a dispatch plan. Infallible: statements
+    /// without a fast path compile to `Op::Slow`.
+    pub fn compile(program: &Program) -> DispatchPlan {
+        let mut ops = Vec::with_capacity(program.funcs.iter().map(|f| f.body.len()).sum());
+        let mut func_base = Vec::with_capacity(program.funcs.len() + 1);
+        let mut exprs = Vec::new();
+        for func in &program.funcs {
+            func_base.push(ops.len() as u32);
+            ops.extend(func.body.iter().map(|inst| compile_inst(inst, &mut exprs)));
+        }
+        func_base.push(ops.len() as u32);
+        DispatchPlan {
+            ops,
+            func_base,
+            exprs,
+        }
+    }
+
+    /// The pre-decoded op at `(func, stmt)`; out-of-range lookups are
+    /// `Op::Slow` (defensive — a matching plan never goes out of
+    /// range).
+    #[inline]
+    pub(crate) fn op(&self, func: FuncId, stmt: StmtId) -> Op {
+        let f = func.0 as usize;
+        let Some(&base) = self.func_base.get(f) else {
+            return Op::Slow;
+        };
+        let end = self.func_base[f + 1];
+        let i = base as usize + stmt.0 as usize;
+        if i < end as usize {
+            self.ops[i]
+        } else {
+            Op::Slow
+        }
+    }
+
+    /// The postfix token run behind an `Rhs::Expr` operand.
+    #[inline]
+    pub(crate) fn expr(&self, idx: u32) -> &[Tok] {
+        &self.exprs[idx as usize]
+    }
+
+    /// Whether this plan's shape matches `program`: same function count
+    /// and per-function statement counts. A rehydrated plan is only
+    /// attached when this holds (the store key — the program
+    /// fingerprint — already guarantees it short of hash collisions).
+    pub fn matches(&self, program: &Program) -> bool {
+        self.func_base.len() == program.funcs.len() + 1
+            && program
+                .funcs
+                .iter()
+                .enumerate()
+                .all(|(i, f)| (self.func_base[i + 1] - self.func_base[i]) as usize == f.body.len())
+    }
+
+    /// Table shape summary (superinstruction and fallback counts).
+    pub fn stats(&self) -> PlanStats {
+        let mut stats = PlanStats {
+            ops: self.ops.len(),
+            ..PlanStats::default()
+        };
+        for op in &self.ops {
+            match op {
+                Op::Slow => stats.slow += 1,
+                Op::Assign {
+                    src: Rhs::LocalBin(..) | Rhs::GlobalBin(..),
+                    ..
+                }
+                | Op::Branch {
+                    cond: Rhs::LocalBin(..) | Rhs::GlobalBin(..),
+                    ..
+                } => stats.fused += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Serializes the plan. The encoding is deterministic — the same
+    /// program always yields byte-identical plans, which is what lets a
+    /// warm artifact store serve them content-addressed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(16 + self.ops.len() * 8);
+        w.extend_from_slice(MAGIC);
+        w.push(VERSION);
+        w.push(OPCODE_LAYOUT);
+        put_u32(&mut w, (self.func_base.len() - 1) as u32);
+        for i in 0..self.func_base.len() - 1 {
+            put_u32(&mut w, self.func_base[i + 1] - self.func_base[i]);
+        }
+        put_u32(&mut w, self.exprs.len() as u32);
+        for toks in &self.exprs {
+            put_u32(&mut w, toks.len() as u32);
+            for tok in toks.iter() {
+                put_tok(&mut w, *tok);
+            }
+        }
+        for op in &self.ops {
+            put_op(&mut w, op);
+        }
+        w
+    }
+
+    /// Deserializes a plan. Returns `None` for malformed bytes or a
+    /// different wire / opcode-layout version — callers treat that as a
+    /// cache miss and recompile.
+    pub fn from_bytes(bytes: &[u8]) -> Option<DispatchPlan> {
+        let mut r = R { b: bytes, pos: 0 };
+        if r.take(4)? != MAGIC.as_slice() || r.u8()? != VERSION || r.u8()? != OPCODE_LAYOUT {
+            return None;
+        }
+        let nfuncs = r.u32()? as usize;
+        let mut func_base = Vec::with_capacity(nfuncs + 1);
+        let mut total = 0u32;
+        func_base.push(0);
+        for _ in 0..nfuncs {
+            total = total.checked_add(r.u32()?)?;
+            func_base.push(total);
+        }
+        let nexprs = r.u32()? as usize;
+        let mut exprs = Vec::with_capacity(nexprs.min(1024));
+        for _ in 0..nexprs {
+            let len = r.u32()? as usize;
+            let mut toks = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                toks.push(get_tok(&mut r)?);
+            }
+            // Reject token runs the stack evaluator cannot execute
+            // (corrupt bytes must never reach the hot loop).
+            if !tokens_are_well_formed(&toks) {
+                return None;
+            }
+            exprs.push(toks.into_boxed_slice());
+        }
+        let mut ops = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            let op = get_op(&mut r)?;
+            if expr_ref_of(&op).is_some_and(|idx| idx as usize >= exprs.len()) {
+                return None;
+            }
+            ops.push(op);
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(DispatchPlan {
+            ops,
+            func_base,
+            exprs,
+        })
+    }
+}
+
+/// The expression-table index an op references, if any (decode-time
+/// bounds validation).
+fn expr_ref_of(op: &Op) -> Option<u32> {
+    match op {
+        Op::Assign {
+            src: Rhs::Expr(idx),
+            ..
+        }
+        | Op::Branch {
+            cond: Rhs::Expr(idx),
+            ..
+        } => Some(*idx),
+        _ => None,
+    }
+}
+
+/// Simulates a token run's stack discipline: no underflow, depth within
+/// [`EXPR_STACK`], exactly one result.
+fn tokens_are_well_formed(toks: &[Tok]) -> bool {
+    let mut sp = 0usize;
+    for tok in toks {
+        match tok {
+            Tok::Const(_) | Tok::Local(_) | Tok::Global(_) => {
+                if sp == EXPR_STACK {
+                    return false;
+                }
+                sp += 1;
+            }
+            Tok::Un(_) => {
+                if sp == 0 {
+                    return false;
+                }
+            }
+            Tok::Bin(_) => {
+                if sp < 2 {
+                    return false;
+                }
+                sp -= 1;
+            }
+        }
+    }
+    sp == 1
+}
+
+/// Flattens a scalar expression into postfix tokens, returning the peak
+/// stack depth; `None` for shapes with their own events or failure
+/// modes (array/heap loads), which stay on the legacy path.
+fn flatten_expr(e: &Expr, toks: &mut Vec<Tok>) -> Option<usize> {
+    Some(match e {
+        Expr::Const(v) => {
+            toks.push(Tok::Const(Value::Int(*v)));
+            1
+        }
+        Expr::Null => {
+            toks.push(Tok::Const(Value::NULL));
+            1
+        }
+        Expr::Local(l) => {
+            toks.push(Tok::Local(*l));
+            1
+        }
+        Expr::Global(g) => {
+            toks.push(Tok::Global(*g));
+            1
+        }
+        Expr::Unary(op, a) => {
+            let d = flatten_expr(a, toks)?;
+            toks.push(Tok::Un(*op));
+            d
+        }
+        Expr::Binary(op, a, b) => {
+            let da = flatten_expr(a, toks)?;
+            let db = flatten_expr(b, toks)?;
+            toks.push(Tok::Bin(*op));
+            da.max(1 + db)
+        }
+        _ => return None,
+    })
+}
+
+fn compile_rhs(e: &Expr, exprs: &mut Vec<Box<[Tok]>>) -> Option<Rhs> {
+    match e {
+        Expr::Const(v) => Some(Rhs::Const(Value::Int(*v))),
+        Expr::Null => Some(Rhs::Const(Value::NULL)),
+        Expr::Local(l) => Some(Rhs::Local(*l)),
+        Expr::Global(g) => Some(Rhs::Global(*g)),
+        Expr::Binary(op, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Local(l), Expr::Const(k)) => Some(Rhs::LocalBin(*l, *op, *k)),
+            (Expr::Global(g), Expr::Const(k)) => Some(Rhs::GlobalBin(*g, *op, *k)),
+            _ => compile_expr(e, exprs),
+        },
+        _ => compile_expr(e, exprs),
+    }
+}
+
+/// Flattens a compound scalar expression into the plan's postfix table.
+fn compile_expr(e: &Expr, exprs: &mut Vec<Box<[Tok]>>) -> Option<Rhs> {
+    let mut toks = Vec::new();
+    let depth = flatten_expr(e, &mut toks)?;
+    if depth > EXPR_STACK {
+        return None;
+    }
+    exprs.push(toks.into_boxed_slice());
+    Some(Rhs::Expr((exprs.len() - 1) as u32))
+}
+
+fn compile_inst(inst: &Inst, exprs: &mut Vec<Box<[Tok]>>) -> Op {
+    match inst {
+        Inst::Assign { dst, src } => {
+            let dst = match dst {
+                Place::Local(l) => FastPlace::Local(*l),
+                Place::Global(g) => FastPlace::Global(*g),
+                _ => return Op::Slow,
+            };
+            match compile_rhs(src, exprs) {
+                Some(src) => Op::Assign { dst, src },
+                None => Op::Slow,
+            }
+        }
+        Inst::Branch {
+            cond,
+            then_to,
+            else_to,
+            ..
+        } => match compile_rhs(cond, exprs) {
+            Some(cond) => Op::Branch {
+                cond,
+                then_to: *then_to,
+                else_to: *else_to,
+            },
+            None => Op::Slow,
+        },
+        Inst::Jump { to } => Op::Jump { to: *to },
+        Inst::Acquire { lock } => Op::Acquire { lock: *lock },
+        Inst::Release { lock } => Op::Release { lock: *lock },
+        Inst::LoopEnter { loop_id } => Op::LoopEnter { loop_id: *loop_id },
+        Inst::LoopIter { loop_id } => Op::LoopIter { loop_id: *loop_id },
+        Inst::Nop => Op::Nop,
+        // Call/Return/Spawn/Join/Alloc/Assert/Output mutate frames or
+        // evaluate arbitrary expressions; they stay on the legacy path.
+        _ => Op::Slow,
+    }
+}
+
+// ---- wire helpers (LE, no deps) ------------------------------------
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(w: &mut Vec<u8>, v: i64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn binop_from(tag: u8) -> Option<BinOp> {
+    Some(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        _ => return None,
+    })
+}
+
+fn put_value(w: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Int(i) => {
+            w.push(0);
+            put_i64(w, i);
+        }
+        Value::Ptr(None) => w.push(1),
+        // The compiler only emits Int / null immediates; other pointer
+        // constants cannot appear in source.
+        Value::Ptr(Some(_)) => unreachable!("no non-null pointer literals"),
+    }
+}
+
+fn get_value(r: &mut R<'_>) -> Option<Value> {
+    match r.u8()? {
+        0 => Some(Value::Int(r.i64()?)),
+        1 => Some(Value::NULL),
+        _ => None,
+    }
+}
+
+fn put_place(w: &mut Vec<u8>, p: FastPlace) {
+    match p {
+        FastPlace::Local(l) => {
+            w.push(0);
+            put_u32(w, l.0);
+        }
+        FastPlace::Global(g) => {
+            w.push(1);
+            put_u32(w, g.0);
+        }
+    }
+}
+
+fn get_place(r: &mut R<'_>) -> Option<FastPlace> {
+    match r.u8()? {
+        0 => Some(FastPlace::Local(LocalId(r.u32()?))),
+        1 => Some(FastPlace::Global(GlobalId(r.u32()?))),
+        _ => None,
+    }
+}
+
+fn put_rhs(w: &mut Vec<u8>, rhs: Rhs) {
+    match rhs {
+        Rhs::Const(v) => {
+            w.push(0);
+            put_value(w, v);
+        }
+        Rhs::Local(l) => {
+            w.push(1);
+            put_u32(w, l.0);
+        }
+        Rhs::Global(g) => {
+            w.push(2);
+            put_u32(w, g.0);
+        }
+        Rhs::LocalBin(l, op, k) => {
+            w.push(3);
+            put_u32(w, l.0);
+            w.push(binop_tag(op));
+            put_i64(w, k);
+        }
+        Rhs::GlobalBin(g, op, k) => {
+            w.push(4);
+            put_u32(w, g.0);
+            w.push(binop_tag(op));
+            put_i64(w, k);
+        }
+        Rhs::Expr(idx) => {
+            w.push(5);
+            put_u32(w, idx);
+        }
+    }
+}
+
+fn unop_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::Neg => 1,
+    }
+}
+
+fn unop_from(tag: u8) -> Option<UnOp> {
+    Some(match tag {
+        0 => UnOp::Not,
+        1 => UnOp::Neg,
+        _ => return None,
+    })
+}
+
+fn put_tok(w: &mut Vec<u8>, tok: Tok) {
+    match tok {
+        Tok::Const(v) => {
+            w.push(0);
+            put_value(w, v);
+        }
+        Tok::Local(l) => {
+            w.push(1);
+            put_u32(w, l.0);
+        }
+        Tok::Global(g) => {
+            w.push(2);
+            put_u32(w, g.0);
+        }
+        Tok::Un(op) => {
+            w.push(3);
+            w.push(unop_tag(op));
+        }
+        Tok::Bin(op) => {
+            w.push(4);
+            w.push(binop_tag(op));
+        }
+    }
+}
+
+fn get_tok(r: &mut R<'_>) -> Option<Tok> {
+    Some(match r.u8()? {
+        0 => Tok::Const(get_value(r)?),
+        1 => Tok::Local(LocalId(r.u32()?)),
+        2 => Tok::Global(GlobalId(r.u32()?)),
+        3 => Tok::Un(unop_from(r.u8()?)?),
+        4 => Tok::Bin(binop_from(r.u8()?)?),
+        _ => return None,
+    })
+}
+
+fn get_rhs(r: &mut R<'_>) -> Option<Rhs> {
+    match r.u8()? {
+        0 => Some(Rhs::Const(get_value(r)?)),
+        1 => Some(Rhs::Local(LocalId(r.u32()?))),
+        2 => Some(Rhs::Global(GlobalId(r.u32()?))),
+        3 => Some(Rhs::LocalBin(
+            LocalId(r.u32()?),
+            binop_from(r.u8()?)?,
+            r.i64()?,
+        )),
+        4 => Some(Rhs::GlobalBin(
+            GlobalId(r.u32()?),
+            binop_from(r.u8()?)?,
+            r.i64()?,
+        )),
+        5 => Some(Rhs::Expr(r.u32()?)),
+        _ => None,
+    }
+}
+
+fn put_op(w: &mut Vec<u8>, op: &Op) {
+    match *op {
+        Op::Slow => w.push(0),
+        Op::Nop => w.push(1),
+        Op::Jump { to } => {
+            w.push(2);
+            put_u32(w, to.0);
+        }
+        Op::Acquire { lock } => {
+            w.push(3);
+            put_u32(w, lock.0);
+        }
+        Op::Release { lock } => {
+            w.push(4);
+            put_u32(w, lock.0);
+        }
+        Op::LoopEnter { loop_id } => {
+            w.push(5);
+            put_u32(w, loop_id.0);
+        }
+        Op::LoopIter { loop_id } => {
+            w.push(6);
+            put_u32(w, loop_id.0);
+        }
+        Op::Assign { dst, src } => {
+            w.push(7);
+            put_place(w, dst);
+            put_rhs(w, src);
+        }
+        Op::Branch {
+            cond,
+            then_to,
+            else_to,
+        } => {
+            w.push(8);
+            put_rhs(w, cond);
+            put_u32(w, then_to.0);
+            put_u32(w, else_to.0);
+        }
+    }
+}
+
+fn get_op(r: &mut R<'_>) -> Option<Op> {
+    Some(match r.u8()? {
+        0 => Op::Slow,
+        1 => Op::Nop,
+        2 => Op::Jump {
+            to: StmtId(r.u32()?),
+        },
+        3 => Op::Acquire {
+            lock: LockId(r.u32()?),
+        },
+        4 => Op::Release {
+            lock: LockId(r.u32()?),
+        },
+        5 => Op::LoopEnter {
+            loop_id: LoopId(r.u32()?),
+        },
+        6 => Op::LoopIter {
+            loop_id: LoopId(r.u32()?),
+        },
+        7 => Op::Assign {
+            dst: get_place(r)?,
+            src: get_rhs(r)?,
+        },
+        8 => Op::Branch {
+            cond: get_rhs(r)?,
+            then_to: StmtId(r.u32()?),
+            else_to: StmtId(r.u32()?),
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = r#"
+        global x: int;
+        global a: [int; 4];
+        lock l;
+        fn work(n) {
+            var i;
+            while (i < n) {
+                i = i + 1;
+                acquire l;
+                x = x + 1;
+                release l;
+                a[i % 4] = i;
+            }
+        }
+        fn main() {
+            var t;
+            t = spawn work(5);
+            work(3);
+            join t;
+        }
+    "#;
+
+    #[test]
+    fn compile_covers_hot_shapes() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        let plan = DispatchPlan::compile(&p);
+        let stats = plan.stats();
+        assert_eq!(
+            stats.ops,
+            p.funcs.iter().map(|f| f.body.len()).sum::<usize>()
+        );
+        assert!(stats.fused > 0, "while header + x = x + 1 must fuse");
+        assert!(stats.slow < stats.ops, "fast paths must dominate");
+        assert!(plan.matches(&p));
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        let plan = DispatchPlan::compile(&p);
+        let bytes = plan.to_bytes();
+        assert_eq!(bytes, plan.to_bytes(), "serialization is deterministic");
+        let back = DispatchPlan::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, plan);
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(back.matches(&p));
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        let bytes = DispatchPlan::compile(&p).to_bytes();
+        assert!(DispatchPlan::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong_layout = bytes.clone();
+        wrong_layout[5] ^= 1; // opcode-layout version byte
+        assert!(DispatchPlan::from_bytes(&wrong_layout).is_none());
+        assert!(DispatchPlan::from_bytes(b"junk").is_none());
+    }
+
+    #[test]
+    fn mismatched_program_is_detected() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        let other = mcr_lang::compile("fn main() { output(1); }").unwrap();
+        let plan = DispatchPlan::compile(&p);
+        assert!(!plan.matches(&other));
+        assert!(DispatchPlan::compile(&other).matches(&other));
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_slow() {
+        let p = mcr_lang::compile("fn main() { }").unwrap();
+        let plan = DispatchPlan::compile(&p);
+        assert_eq!(plan.op(FuncId(7), StmtId(0)), Op::Slow);
+        assert_eq!(plan.op(FuncId(0), StmtId(999)), Op::Slow);
+    }
+}

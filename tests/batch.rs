@@ -5,8 +5,8 @@
 
 use mcr_batch::{Fleet, FleetConfig, FleetJob};
 use mcr_core::{
-    ArtifactStore, BytesStore, MemoryStore, PhaseEvent, ReproReport, ReproSession, Reproducer,
-    ShardedStore, PHASES,
+    program_fingerprint, ArtifactStore, BytesStore, CompiledPlanArtifact, MemoryStore, Phase,
+    PhaseEvent, ReproReport, ReproSession, Reproducer, ShardedStore, PHASES,
 };
 use mcr_search::Algorithm;
 use mcr_slice::Strategy;
@@ -131,7 +131,12 @@ fn sharded_store_warm_runs_match_the_single_store_for_every_bug() {
         for (key, bytes) in single.entries() {
             sharded.put(&key, &bytes);
         }
-        assert_eq!(sharded.stats().entries, PHASES.len(), "{}", bug.name);
+        assert_eq!(
+            sharded.stats().entries,
+            PHASES.len() + 1,
+            "{}: five phase artifacts plus the compiled dispatch plan",
+            bug.name
+        );
 
         // Warm run against the single store…
         let mut warm_single =
@@ -165,10 +170,10 @@ fn sharded_store_warm_runs_match_the_single_store_for_every_bug() {
             &report_sharded,
             &format!("{} sharded vs single warm", bug.name),
         );
-        // Each phase's key routed to exactly one shard; the shards
-        // together served the five lookups.
+        // Each key routed to exactly one shard; the shards together
+        // served the five phase lookups plus the plan rehydration.
         let shard_hits: u64 = sharded.shards().iter().map(|s| s.stats().hits).sum();
-        assert_eq!(shard_hits, PHASES.len() as u64, "{}", bug.name);
+        assert_eq!(shard_hits, (PHASES.len() + 1) as u64, "{}", bug.name);
     }
 }
 
@@ -273,10 +278,87 @@ fn reproducer_with_store_caches_across_calls() {
     let reproducer = Reproducer::new(&program, opts);
     let first = reproducer.reproduce(&sf.dump, &input).unwrap();
     let before = store.stats();
-    assert_eq!(before.inserts, 5);
+    assert_eq!(before.inserts, 6, "five phases plus the dispatch plan");
     let second = reproducer.reproduce(&sf.dump, &input).unwrap();
     let after = store.stats();
-    assert_eq!(after.inserts, 5, "second run inserted nothing");
-    assert_eq!(after.hits, before.hits + 5, "second run was all hits");
+    assert_eq!(after.inserts, 6, "second run inserted nothing");
+    assert_eq!(after.hits, before.hits + 6, "second run was all hits");
     assert_reports_identical(&first, &second, "reproducer warm");
+}
+
+/// The dispatch-plan cache (the `Phase::Compile` pre-phase): keyed by
+/// program fingerprint alone, an identical program rehydrates the
+/// cached plan bit-identically — cold and warm — while mutating one
+/// function changes the fingerprint and forces a recompile.
+#[test]
+fn dispatch_plan_cache_rehydrates_and_invalidates_by_fingerprint() {
+    let (program, sf) = mcr_testsupport::fig1_failure();
+    let input = mcr_testsupport::FIG1_INPUT;
+    let opts = options(Algorithm::ChessX, Strategy::Temporal);
+    let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+
+    // Cold: the pre-phase compiles and caches the plan.
+    let mut cold = ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+    cold.set_store(Arc::clone(&store));
+    cold.run_phase(Phase::Compile).unwrap();
+    let key = cold
+        .phase_key(Phase::Compile)
+        .expect("the compile key needs no upstream artifact");
+    let cold_bytes = store
+        .get(&key)
+        .expect("plan cached under the fingerprint key");
+    assert_eq!(store.stats().phase(Phase::Compile).inserts, 1);
+    // The cached artifact carries exactly the bytes a fresh compile of
+    // the same program serializes to.
+    let artifact = CompiledPlanArtifact::from_bytes(&cold_bytes).expect("artifact decodes");
+    assert_eq!(
+        artifact.plan_bytes,
+        mcr_vm::DispatchPlan::compile(&program).to_bytes(),
+        "cached plan is bit-identical to a fresh compile"
+    );
+
+    // Warm: an identical program in a fresh session rehydrates the plan
+    // without recompiling, and the stored bytes are untouched.
+    let mut warm = ReproSession::new(&program, sf.dump.clone(), &input, opts.clone()).unwrap();
+    warm.set_store(Arc::clone(&store));
+    warm.run_phase(Phase::Compile).unwrap();
+    let compile_stats = store.stats().phase(Phase::Compile);
+    assert_eq!(
+        compile_stats.inserts, 1,
+        "identical program never recompiles"
+    );
+    assert!(compile_stats.hits >= 1, "warm session rehydrated the plan");
+    assert_eq!(
+        store.get(&key).unwrap(),
+        cold_bytes,
+        "rehydration leaves the cached bytes bit-identical"
+    );
+
+    // Mutate one function: the fingerprint (and key) change, so the
+    // plan is recompiled rather than served stale.
+    let mutated_src =
+        mcr_testsupport::FIG1.replace("fn T2() { x = 0; }", "fn T2() { x = 0; x = 0; }");
+    let mutated = mcr_lang::compile(&mutated_src).expect("mutated source compiles");
+    assert_ne!(
+        program_fingerprint(&program),
+        program_fingerprint(&mutated),
+        "one mutated function must change the fingerprint"
+    );
+    let mut miss = ReproSession::new(&mutated, sf.dump.clone(), &input, opts).unwrap();
+    miss.set_store(Arc::clone(&store));
+    let mutated_key = miss.phase_key(Phase::Compile).unwrap();
+    assert_ne!(mutated_key, key, "mutated program derives a different key");
+    miss.run_phase(Phase::Compile).unwrap();
+    assert_eq!(
+        store.stats().phase(Phase::Compile).inserts,
+        2,
+        "fingerprint miss recompiled the plan"
+    );
+    let mutated_artifact =
+        CompiledPlanArtifact::from_bytes(&store.get(&mutated_key).unwrap()).unwrap();
+    assert_eq!(
+        mutated_artifact.plan_bytes,
+        mcr_vm::DispatchPlan::compile(&mutated).to_bytes(),
+        "the recompiled plan is the mutated program's own"
+    );
 }

@@ -9,11 +9,11 @@
 use mcr_batch::{
     AdmissionPolicy, AdmitError, Fleet, FleetConfig, FleetJob, JobOutcome, TriageService,
 };
-use mcr_core::{ArtifactStore, MemoryStore, ReproError, ReproReport};
+use mcr_core::{find_failure, ArtifactStore, MemoryStore, ReproError, ReproReport};
 use mcr_search::Algorithm;
 use mcr_slice::Strategy;
 use mcr_testsupport::{
-    assert_reports_equivalent as assert_reports_equal, fig1_failure, repro_options, Phase,
+    assert_reports_equivalent as assert_reports_equal, fig1_failure, repro_options, Phase, FIG1,
     FIG1_INPUT,
 };
 use mcr_vm::SplitMix64;
@@ -363,4 +363,60 @@ proptest! {
             );
         }
     }
+}
+
+/// The dispatch-plan pre-phase under a fleet of near-duplicate jobs:
+/// one compile per *distinct program* fleet-wide (duplicates rehydrate
+/// the shared plan entry), and a program with one mutated function is a
+/// fingerprint miss that compiles — and caches — its own plan.
+#[test]
+fn fleet_compiles_each_distinct_program_once() {
+    let (program, sf) = fig1_failure();
+    // Prepare the mutant up front (it must outlive the service): one
+    // function body changed, same observable race.
+    let mutated_src = FIG1.replace("fn T2() { x = 0; }", "fn T2() { x = 0; x = 0; }");
+    let mutated = mcr_lang::compile(&mutated_src).expect("mutated source compiles");
+    let msf = find_failure(
+        &mutated,
+        &FIG1_INPUT,
+        0..mcr_testsupport::stress_seed_cap(),
+        mcr_testsupport::FIXTURE_MAX_STEPS,
+    )
+    .expect("mutated race still fires under stress");
+
+    let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+    let service = TriageService::new(FleetConfig {
+        store: Arc::clone(&store),
+        ..FleetConfig::default()
+    });
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            service
+                .submit(FleetJob::new(
+                    format!("dup#{i}"),
+                    &program,
+                    sf.dump.clone(),
+                    &FIG1_INPUT,
+                ))
+                .expect("unbounded admission")
+        })
+        .collect();
+    service.drain();
+    for ticket in tickets {
+        assert!(ticket.wait().result.is_ok());
+    }
+    let compile = store.stats().phase(Phase::Compile);
+    assert_eq!(compile.inserts, 1, "one plan per distinct program");
+    assert!(
+        compile.hits >= 1,
+        "duplicate jobs rehydrated the shared plan"
+    );
+
+    let mutant_ticket = service
+        .submit(FleetJob::new("mutant", &mutated, msf.dump, &FIG1_INPUT))
+        .expect("unbounded admission");
+    service.drain();
+    assert!(mutant_ticket.wait().result.is_ok());
+    let compile = store.stats().phase(Phase::Compile);
+    assert_eq!(compile.inserts, 2, "mutated program is a fingerprint miss");
 }
