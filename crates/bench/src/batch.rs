@@ -26,10 +26,10 @@
 
 use mcr_batch::{Fleet, FleetConfig, FleetJob};
 use mcr_core::{
-    find_failure_par, ArtifactStore, MemoryStore, PhaseStats, ReproOptions, ReproReport,
-    Reproducer, StoreStats, PHASE_KINDS,
+    find_failure_par, ArtifactStore, CorpusManifest, FuncUnitStats, ManifestStats, MemoryStore,
+    PhaseStats, ReproOptions, ReproReport, ReproSession, Reproducer, StoreStats, PHASE_KINDS,
 };
-use mcr_workloads::{all_bugs, fleet_mix, FleetSpec};
+use mcr_workloads::{all_bugs, bug_by_name, fleet_mix, fleet_recompile, FleetSpec};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -99,6 +99,9 @@ pub struct BatchReport {
     /// Store counters at the end of the fleet run (the per-phase
     /// histograms live in [`StoreStats::per_phase`]).
     pub store: StoreStats,
+    /// Function-granular recompile measurement over a revision stream
+    /// (see [`recompile_report`]).
+    pub recompile: RecompileReport,
     /// Byte capacity of the churn probe (see [`BatchReport::churn`]).
     pub churn_capacity: usize,
     /// Cache-churn simulation: the fleet's warm artifacts replayed, in
@@ -245,6 +248,8 @@ pub fn batch_report() -> BatchReport {
     }
     let churn = probe.stats().per_phase;
 
+    let recompile = recompile_report();
+
     let s = outcome.summary;
     BatchReport {
         jobs,
@@ -269,8 +274,114 @@ pub fn batch_report() -> BatchReport {
         identical_results: identical,
         reproduced,
         store: store.stats(),
+        recompile,
         churn_capacity,
         churn,
+    }
+}
+
+/// Results of the function-granular recompile measurement: a revision
+/// stream ([`mcr_workloads::fleet_recompile`]) replayed against one
+/// shared store, where each revision edits `edits_per_rev` functions and
+/// leaves the rest byte-identical. A function-granular cache should
+/// serve every unedited function's compile and analysis units from the
+/// store and recompute exactly `2 × edits_per_rev` units per revision.
+#[derive(Debug, Clone, Copy)]
+pub struct RecompileReport {
+    /// Revisions in the stream (including the cold base revision).
+    pub revisions: usize,
+    /// Functions per revision (base program plus helpers).
+    pub functions: usize,
+    /// Functions edited per revision after the base.
+    pub edits_per_rev: usize,
+    /// Per-function unit lookups served from the store across the warm
+    /// revisions (compile + analysis units).
+    pub unit_hits: u64,
+    /// Per-function units recomputed across the warm revisions.
+    pub unit_computed: u64,
+    /// `unit_hits / (unit_hits + unit_computed)` over the warm
+    /// revisions — the acceptance metric (≥ 0.85 on this stream; the
+    /// expected value is `(functions − edits) / functions`).
+    pub function_hit_rate: f64,
+    /// Units recomputed per revision edit (expected: exactly 2 — one
+    /// compile unit and one analysis unit per edited function).
+    pub recomputed_per_edit: f64,
+    /// Whether every store-backed revision report was bit-identical to
+    /// its cold (store-less) counterpart.
+    pub identical_results: bool,
+    /// Cross-program dedup counters from the [`CorpusManifest`] the
+    /// stream was recorded into.
+    pub manifest: ManifestStats,
+}
+
+/// Runs the recompile measurement: stress the base revision once, then
+/// reproduce every revision twice — cold (no store) and against one
+/// shared [`CorpusManifest`]-wrapped store — and account the
+/// function-granular unit traffic of the store-backed leg.
+///
+/// The revision edits touch only uncalled helper functions, so the one
+/// base-revision dump is a valid failure dump for every revision and the
+/// cold reports pin the store-backed ones bit-for-bit.
+pub fn recompile_report() -> RecompileReport {
+    const HELPERS: usize = 8;
+    const REVISIONS: usize = 6;
+    const EDITS_PER_REV: usize = 1;
+
+    let base = bug_by_name("mysql-3").expect("suite bug");
+    let revs = fleet_recompile(HELPERS, REVISIONS, EDITS_PER_REV, 11);
+    let programs: Vec<mcr_lang::Program> = revs
+        .iter()
+        .map(|r| mcr_lang::compile(&r.source).unwrap_or_else(|e| panic!("{}: {e}", r.name)))
+        .collect();
+    let functions = programs[0].funcs.len();
+    let input = base.default_input();
+    let dump = find_failure_par(
+        &programs[0],
+        &input,
+        0..stress_seed_cap(),
+        base.max_steps,
+        minipool::available_parallelism(),
+    )
+    .expect("recompile base: stress found no failure")
+    .dump;
+
+    let store = Arc::new(CorpusManifest::new(Arc::new(MemoryStore::unbounded())));
+    let mut warm = FuncUnitStats::default();
+    let mut identical = true;
+    for (rev, program) in revs.iter().zip(&programs) {
+        store.record_program(program);
+        let cold = ReproSession::new(program, dump.clone(), &input, ReproOptions::default())
+            .and_then(|mut s| s.run_to_end())
+            .unwrap_or_else(|e| panic!("{} cold: {e}", rev.name));
+        let mut session = ReproSession::new(program, dump.clone(), &input, ReproOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", rev.name));
+        session.set_store(Arc::clone(&store) as Arc<dyn ArtifactStore>);
+        let report = session
+            .run_to_end()
+            .unwrap_or_else(|e| panic!("{} cached: {e}", rev.name));
+        if !reports_equal(&report, &cold) {
+            identical = false;
+        }
+        if rev.revision > 0 {
+            warm.absorb(&session.function_unit_stats());
+        }
+    }
+
+    let edits = ((REVISIONS - 1) * EDITS_PER_REV) as f64;
+    RecompileReport {
+        revisions: REVISIONS,
+        functions,
+        edits_per_rev: EDITS_PER_REV,
+        unit_hits: warm.compile_hits + warm.analysis_hits,
+        unit_computed: warm.compile_computed + warm.analysis_computed,
+        function_hit_rate: warm.hit_rate(),
+        recomputed_per_edit: if edits > 0.0 {
+            warm.recomputed() as f64 / edits
+        } else {
+            0.0
+        },
+        identical_results: identical,
+        manifest: store.manifest_stats(),
     }
 }
 
@@ -318,6 +429,36 @@ impl BatchReport {
         write_phase_rows(&mut s, "      ", &self.store.per_phase);
         let _ = writeln!(s, "    }}");
         let _ = writeln!(s, "  }},");
+        let r = &self.recompile;
+        let _ = writeln!(s, "  \"recompile\": {{");
+        let _ = writeln!(s, "    \"revisions\": {},", r.revisions);
+        let _ = writeln!(s, "    \"functions\": {},", r.functions);
+        let _ = writeln!(s, "    \"edits_per_rev\": {},", r.edits_per_rev);
+        let _ = writeln!(s, "    \"unit_hits\": {},", r.unit_hits);
+        let _ = writeln!(s, "    \"unit_computed\": {},", r.unit_computed);
+        let _ = writeln!(s, "    \"function_hit_rate\": {:.3},", r.function_hit_rate);
+        let _ = writeln!(
+            s,
+            "    \"recomputed_per_edit\": {:.2},",
+            r.recomputed_per_edit
+        );
+        let _ = writeln!(s, "    \"identical_results\": {},", r.identical_results);
+        let _ = writeln!(s, "    \"manifest\": {{");
+        let _ = writeln!(s, "      \"programs\": {},", r.manifest.programs);
+        let _ = writeln!(s, "      \"function_refs\": {},", r.manifest.function_refs);
+        let _ = writeln!(
+            s,
+            "      \"distinct_functions\": {},",
+            r.manifest.distinct_functions
+        );
+        let _ = writeln!(
+            s,
+            "      \"shared_functions\": {},",
+            r.manifest.shared_functions
+        );
+        let _ = writeln!(s, "      \"dedup_ratio\": {:.3}", r.manifest.dedup_ratio());
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"churn\": {{");
         let _ = writeln!(s, "    \"probe_capacity_bytes\": {},", self.churn_capacity);
         let _ = writeln!(s, "    \"per_phase\": {{");
@@ -360,13 +501,18 @@ fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 6]) {
 /// Keys every `BENCH_batch.json` must carry; `tables -- batch-json`
 /// refuses to write a report that drops one. `"compile"` pins the
 /// compile-pre-phase row of the store histogram — the column that shows
-/// duplicate-program fleet jobs sharing one dispatch plan.
+/// duplicate-program fleet jobs sharing one dispatch plan — and the
+/// `"recompile"` trio pins the function-granular revision-stream
+/// section (see [`RecompileReport`]).
 pub const BATCH_JSON_REQUIRED: &[&str] = &[
     "\"compile\"",
     "\"probe_capacity_bytes\"",
     "\"cache_hit_rate\"",
     "\"speedup_vs_serial\"",
     "\"identical_results\"",
+    "\"recompile\"",
+    "\"function_hit_rate\"",
+    "\"recomputed_per_edit\"",
 ];
 
 /// Validates the serialized batch bench report against
@@ -422,6 +568,22 @@ mod tests {
                 bytes: 123_456,
                 ..StoreStats::default()
             },
+            recompile: RecompileReport {
+                revisions: 6,
+                functions: 12,
+                edits_per_rev: 1,
+                unit_hits: 110,
+                unit_computed: 10,
+                function_hit_rate: 110.0 / 120.0,
+                recomputed_per_edit: 2.0,
+                identical_results: true,
+                manifest: ManifestStats {
+                    programs: 6,
+                    function_refs: 72,
+                    distinct_functions: 17,
+                    shared_functions: 12,
+                },
+            },
             churn_capacity: 61_728,
             churn: [PhaseStats::default(); 6],
         };
@@ -442,10 +604,15 @@ mod tests {
             "\"compile\": {\"hits\": 0",
             "\"churn\"",
             "\"probe_capacity_bytes\": 61728",
+            "\"recompile\"",
+            "\"function_hit_rate\": 0.917",
+            "\"recomputed_per_edit\": 2.00",
+            "\"dedup_ratio\": 0.764",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        check_batch_json_schema(&json).expect("shape report satisfies its own schema");
     }
 
     #[test]

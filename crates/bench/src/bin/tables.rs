@@ -114,6 +114,23 @@ fn main() {
                 report.cache_hits > 0,
                 "duplicate-heavy mix produced no cache hits"
             );
+            assert!(
+                report.recompile.identical_results,
+                "recompile stream: store-backed reports diverged from cold runs"
+            );
+            assert!(
+                report.recompile.function_hit_rate >= 0.85,
+                "recompile stream: function-level hit rate {:.3} fell below 0.85",
+                report.recompile.function_hit_rate
+            );
+            assert!(
+                (report.recompile.recomputed_per_edit
+                    - 2.0 * report.recompile.edits_per_rev as f64)
+                    .abs()
+                    < f64::EPSILON,
+                "recompile stream: expected exactly 2 recomputed units per edit, got {:.2}",
+                report.recompile.recomputed_per_edit
+            );
             let json = report.to_json();
             mcr_bench::batch::check_batch_json_schema(&json)
                 .unwrap_or_else(|e| panic!("refusing to write {path}: {e}"));

@@ -77,7 +77,7 @@ pub mod stress;
 
 pub use artifact::{
     AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
-    RankedAccessesArtifact, SearchArtifact,
+    FuncAnalysisArtifact, RankedAccessesArtifact, SearchArtifact,
 };
 pub use observe::{
     NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES, PHASE_KINDS,
@@ -87,10 +87,10 @@ pub use pipeline::{
     has_sync_points, AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions,
     ReproOptionsBuilder, ReproReport, ReproTimings, Reproducer,
 };
-pub use session::ReproSession;
+pub use session::{FuncUnitStats, ReproSession};
 pub use store::{
-    program_fingerprint, ArtifactStore, BytesStore, MemoryStore, NullStore, PhaseKey, PhaseStats,
-    ShardedStore, StoreStats,
+    function_fingerprint, program_fingerprint, ArtifactStore, BytesStore, CorpusManifest,
+    ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, ShardedStore, StoreStats,
 };
 pub use stress::{
     find_failure, find_failure_par, find_failure_par_cancellable, find_failure_pool,

@@ -221,7 +221,7 @@ impl PipelinePhase for IndexPhase {
         let t0 = Instant::now();
         let index = match s.options.align_mode {
             AlignMode::ExecutionIndex => {
-                match mcr_index::reverse_index(s.program, &s.analysis, &s.failure_dump) {
+                match mcr_index::reverse_index(s.program, s.analysis(), &s.failure_dump) {
                     Ok(idx) => Some(idx),
                     Err(e) => {
                         s.emit(PhaseEvent::Interrupted {
@@ -292,7 +292,7 @@ impl PipelinePhase for AlignPhase {
         let index = Self::input(s).expect("index phase ran").index.clone();
         let (alignment, deterministic_repro, passing_run) = match &index {
             Some(idx) => {
-                let mut aligner = Aligner::new(s.program, &s.analysis, focus, idx);
+                let mut aligner = Aligner::new(s.program, s.analysis(), focus, idx);
                 let outcome = {
                     let mut tee = Tee {
                         a: &mut aligner,
@@ -423,7 +423,7 @@ impl PipelinePhase for DiffPhase {
         // Replay to the aligned point; capture dump + trace.
         let t0 = Instant::now();
         let mut replay = s.new_vm();
-        let mut collector = TraceCollector::new(s.program, &s.analysis, s.options.trace_window);
+        let mut collector = TraceCollector::new(s.program, s.analysis(), s.options.trace_window);
         {
             let mut sched = DeterministicScheduler::new();
             let stop_after = alignment.step;

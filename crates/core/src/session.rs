@@ -47,27 +47,76 @@
 
 use crate::artifact::{
     AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
-    RankedAccessesArtifact, SearchArtifact,
+    FuncAnalysisArtifact, RankedAccessesArtifact, SearchArtifact,
 };
 use crate::observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver};
 use crate::phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
 use crate::pipeline::{
     AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions, ReproReport, ReproTimings,
 };
-use crate::store::{program_fingerprint, ArtifactStore, NullStore, PhaseKey};
-use mcr_analysis::ProgramAnalysis;
+use crate::store::{function_fingerprint, program_fingerprint, ArtifactStore, NullStore, PhaseKey};
+use mcr_analysis::{FuncAnalysis, ProgramAnalysis};
 use mcr_dump::wire::{ContentHash, ContentHasher, Reader, Writer};
 use mcr_dump::{CoreDump, DecodeError, TraverseLimits};
 use mcr_lang::Program;
 use mcr_search::{Algorithm, CancelToken, SearchConfig};
 use mcr_slice::Strategy;
-use mcr_vm::{DispatchPlan, Failure, Vm};
-use std::cell::{Cell, RefCell};
+use mcr_vm::{DispatchPlan, Failure, FunctionPlan, Vm};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
 use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"MCRS";
 const VERSION: u8 = 1;
+
+/// Function-granular cache counters of one session: how many of the
+/// program's per-function compile/analysis units were rehydrated from
+/// the store versus computed (and written back).
+///
+/// These are the numbers a recompile benchmark measures: after a
+/// k-function edit, a warm session should report exactly `2 k` computed
+/// units (one compile + one analysis unit per edited function) and
+/// hits for everything else. Sessions without a caching store compile
+/// and analyze whole programs directly and leave all counters zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncUnitStats {
+    /// Per-function plan units rehydrated from the store.
+    pub compile_hits: u64,
+    /// Per-function plan units compiled (and written back).
+    pub compile_computed: u64,
+    /// Per-function analysis units rehydrated from the store.
+    pub analysis_hits: u64,
+    /// Per-function analysis units computed (and written back).
+    pub analysis_computed: u64,
+}
+
+impl FuncUnitStats {
+    /// Fraction of unit lookups that hit, in `[0, 1]` (0 when no unit
+    /// was resolved).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.compile_hits + self.analysis_hits;
+        let total = hits + self.recomputed();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Units that had to be computed (compile + analysis).
+    pub fn recomputed(&self) -> u64 {
+        self.compile_computed + self.analysis_computed
+    }
+
+    /// Adds every counter of `o` into `self` (how a benchmark
+    /// aggregates across the sessions of a revision stream).
+    pub fn absorb(&mut self, o: &FuncUnitStats) {
+        self.compile_hits += o.compile_hits;
+        self.compile_computed += o.compile_computed;
+        self.analysis_hits += o.analysis_hits;
+        self.analysis_computed += o.analysis_computed;
+    }
+}
 
 /// The artifacts a session has produced so far.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -86,7 +135,12 @@ pub(crate) struct Artifacts {
 /// [`Reproducer`](crate::Reproducer) for the one-call wrapper.
 pub struct ReproSession<'p> {
     pub(crate) program: &'p Program,
-    pub(crate) analysis: ProgramAnalysis,
+    /// The static analysis, resolved lazily on first use: seeded
+    /// eagerly by [`Reproducer`](crate::Reproducer) (which analyzes its
+    /// program once for all sessions), otherwise assembled per function
+    /// — rehydrating cached [`FuncAnalysisArtifact`] units when the
+    /// store caches, computing and writing back the rest.
+    analysis: OnceCell<ProgramAnalysis>,
     pub(crate) options: ReproOptions,
     pub(crate) input: Vec<i64>,
     pub(crate) failure_dump: CoreDump,
@@ -99,16 +153,24 @@ pub struct ReproSession<'p> {
     /// Every phase key chains off this. Computed lazily — a session
     /// whose store never caches ([`NullStore`]) pays nothing for it.
     basis: Cell<Option<ContentHash>>,
+    /// The program's Merkle-root fingerprint, memoized: sessions derive
+    /// keys repeatedly and must not rehash the whole program each time.
+    program_fp: OnceCell<ContentHash>,
+    /// Per-function fingerprints (the Merkle leaves), memoized for the
+    /// same reason — every function-scoped unit key reuses them.
+    func_fps: OnceCell<Vec<ContentHash>>,
+    /// Function-granular cache counters (see [`FuncUnitStats`]).
+    unit_stats: Cell<FuncUnitStats>,
     pub(crate) artifacts: Artifacts,
     /// Content hash of each produced artifact's encoded bytes, indexed
     /// by [`Phase::index`]; filled lazily (encoding an artifact just to
     /// hash it is wasted work unless keys are actually consulted).
     hashes: [Cell<Option<ContentHash>>; 5],
-    /// The program's direct-threaded [`DispatchPlan`], compiled (or
-    /// rehydrated from the store under [`Phase::Compile`]) on first use
-    /// and shared by every VM the session spawns. A runtime attachment
-    /// like the store itself: excluded from checkpoints — a resumed
-    /// session recompiles or re-fetches it.
+    /// The program's direct-threaded [`DispatchPlan`], assembled (per
+    /// function, from cached units where the store has them) on first
+    /// use and shared by every VM the session spawns. A runtime
+    /// attachment like the store itself: excluded from checkpoints — a
+    /// resumed session recompiles or re-fetches it.
     plan: RefCell<Option<Arc<DispatchPlan>>>,
 }
 
@@ -125,7 +187,10 @@ impl std::fmt::Debug for ReproSession<'_> {
 }
 
 impl<'p> ReproSession<'p> {
-    /// Opens a session on a failure dump (running the static analysis).
+    /// Opens a session on a failure dump. The static analysis is
+    /// resolved lazily, per function: a session backed by a caching
+    /// store rehydrates unchanged functions' analysis units instead of
+    /// re-analyzing the whole program.
     ///
     /// # Errors
     ///
@@ -136,18 +201,26 @@ impl<'p> ReproSession<'p> {
         input: &[i64],
         options: ReproOptions,
     ) -> Result<Self, ReproError> {
-        Self::from_parts(
-            program,
-            ProgramAnalysis::analyze(program),
-            failure_dump,
-            input.to_vec(),
-            options,
-        )
+        Self::open(program, failure_dump, input.to_vec(), options)
     }
 
+    /// Opens a session with a pre-computed analysis (the
+    /// [`Reproducer`](crate::Reproducer) path: one analysis, many
+    /// sessions) — such a session does no analysis store traffic.
     pub(crate) fn from_parts(
         program: &'p Program,
         analysis: ProgramAnalysis,
+        failure_dump: CoreDump,
+        input: Vec<i64>,
+        options: ReproOptions,
+    ) -> Result<Self, ReproError> {
+        let session = Self::open(program, failure_dump, input, options)?;
+        let _ = session.analysis.set(analysis);
+        Ok(session)
+    }
+
+    fn open(
+        program: &'p Program,
         failure_dump: CoreDump,
         input: Vec<i64>,
         options: ReproOptions,
@@ -156,7 +229,7 @@ impl<'p> ReproSession<'p> {
         let store = options.store.clone().unwrap_or_else(|| Arc::new(NullStore));
         Ok(ReproSession {
             program,
-            analysis,
+            analysis: OnceCell::new(),
             options,
             input,
             failure_dump,
@@ -165,6 +238,9 @@ impl<'p> ReproSession<'p> {
             observer: Box::new(NullPhaseObserver),
             store,
             basis: Cell::new(None),
+            program_fp: OnceCell::new(),
+            func_fps: OnceCell::new(),
+            unit_stats: Cell::new(FuncUnitStats::default()),
             artifacts: Artifacts::default(),
             hashes: std::array::from_fn(|_| Cell::new(None)),
             plan: RefCell::new(None),
@@ -226,9 +302,95 @@ impl<'p> ReproSession<'p> {
         if let Some(b) = self.basis.get() {
             return b;
         }
-        let b = session_basis(self.program, &self.input, &self.failure_dump, &self.options);
+        let b = session_basis(
+            self.program_fingerprint(),
+            &self.input,
+            &self.failure_dump,
+            &self.options,
+        );
         self.basis.set(Some(b));
         b
+    }
+
+    /// The program's Merkle-root fingerprint, memoized per session —
+    /// key derivations reuse it instead of rehashing the program.
+    pub fn program_fingerprint(&self) -> ContentHash {
+        *self
+            .program_fp
+            .get_or_init(|| program_fingerprint(self.program))
+    }
+
+    /// The per-function fingerprints (the Merkle leaves of
+    /// [`ReproSession::program_fingerprint`]), memoized per session.
+    pub fn function_fingerprints(&self) -> &[ContentHash] {
+        self.func_fps.get_or_init(|| {
+            self.program
+                .funcs
+                .iter()
+                .map(function_fingerprint)
+                .collect()
+        })
+    }
+
+    /// Function-granular cache counters accumulated so far (see
+    /// [`FuncUnitStats`]). Counters move when the session first resolves
+    /// its dispatch plan and static analysis against a caching store.
+    pub fn function_unit_stats(&self) -> FuncUnitStats {
+        self.unit_stats.get()
+    }
+
+    fn bump_units(&self, f: impl FnOnce(&mut FuncUnitStats)) {
+        let mut stats = self.unit_stats.get();
+        f(&mut stats);
+        self.unit_stats.set(stats);
+    }
+
+    /// The session's static analysis, resolved on first use. Seeded by
+    /// the `Reproducer` path; otherwise assembled function by function —
+    /// against a caching store each function's expensive analysis parts
+    /// are fetched by the function-scoped key
+    /// ([`PhaseKey::derive_for_function`] under [`Phase::Index`]) and
+    /// only cache-missing functions are analyzed (and written back).
+    pub(crate) fn analysis(&self) -> &ProgramAnalysis {
+        self.analysis.get_or_init(|| {
+            if !self.store.is_caching() {
+                return ProgramAnalysis::analyze(self.program);
+            }
+            let funcs = self
+                .program
+                .funcs
+                .iter()
+                .enumerate()
+                .map(|(i, func)| {
+                    let key = PhaseKey::derive_for_function(
+                        self.function_fingerprints()[i],
+                        Phase::Index,
+                    );
+                    // Corrupted bytes or parts that don't fit the
+                    // function are a miss, never an error.
+                    let cached = self
+                        .store
+                        .get(&key)
+                        .and_then(|bytes| FuncAnalysisArtifact::from_bytes(&bytes).ok())
+                        .and_then(|artifact| artifact.rehydrate(func));
+                    match cached {
+                        Some(fa) => {
+                            self.bump_units(|u| u.analysis_hits += 1);
+                            fa
+                        }
+                        None => {
+                            let started = Instant::now();
+                            let fa = FuncAnalysis::new(func);
+                            let artifact = FuncAnalysisArtifact::of(&fa, started.elapsed());
+                            self.store.put(&key, &artifact.to_bytes());
+                            self.bump_units(|u| u.analysis_computed += 1);
+                            fa
+                        }
+                    }
+                })
+                .collect();
+            ProgramAnalysis::from_funcs(funcs)
+        })
     }
 
     /// The latest completed phase, if any.
@@ -302,46 +464,66 @@ impl<'p> ReproSession<'p> {
     }
 
     /// The program's compiled [`DispatchPlan`], memoized on first use
-    /// (the `Compile` pre-phase). With a caching store the serialized
-    /// plan lives under
-    /// `PhaseKey::derive(program_fingerprint, Phase::Compile, None)` —
-    /// keyed by program fingerprint *alone*, so a fleet of
-    /// near-duplicate jobs (different dumps, same program) compiles each
-    /// distinct program once and every other job rehydrates it. The
-    /// pre-phase emits no [`PhaseEvent`]s: it is infallible,
-    /// micro-seconds cheap, and surfaces only in
-    /// [`StoreStats::per_phase`](crate::StoreStats::per_phase).
+    /// (the `Compile` pre-phase). With a caching store the plan is
+    /// resolved *per function*: each function's serialized
+    /// [`FunctionPlan`] unit lives under the function-scoped key
+    /// [`PhaseKey::derive_for_function`]`(function_fingerprint,
+    /// Phase::Compile)` — so a one-function edit recompiles exactly one
+    /// unit, and every program (revision or neighbor) containing an
+    /// identical function shares its entry. The rehydrated/compiled
+    /// units are assembled into the flat plan, which is bit-identical
+    /// to a direct whole-program compile (pinned by the
+    /// perf-equivalence suite). The pre-phase emits no [`PhaseEvent`]s:
+    /// it is infallible, micro-seconds cheap, and surfaces in
+    /// [`StoreStats::per_phase`](crate::StoreStats::per_phase) and
+    /// [`FuncUnitStats`].
     pub(crate) fn ensure_plan(&self) -> Arc<DispatchPlan> {
         if let Some(plan) = self.plan.borrow().as_ref() {
             return Arc::clone(plan);
         }
-        let key = self
-            .store
-            .is_caching()
-            .then(|| PhaseKey::derive(program_fingerprint(self.program), Phase::Compile, None));
-        // A corrupted or layout-incompatible cached plan is a miss, not
-        // an error; `matches` guards against a fingerprint collision
-        // handing us a plan shaped for a different program.
-        let cached = key
-            .as_ref()
-            .and_then(|k| self.store.get(k))
-            .and_then(|bytes| CompiledPlanArtifact::from_bytes(&bytes).ok())
-            .and_then(|artifact| DispatchPlan::from_bytes(&artifact.plan_bytes))
-            .filter(|plan| plan.matches(self.program));
-        let plan = Arc::new(match cached {
-            Some(plan) => plan,
-            None => {
-                let started = Instant::now();
-                let plan = DispatchPlan::compile(self.program);
-                if let Some(key) = key {
-                    let artifact = CompiledPlanArtifact {
-                        plan_bytes: plan.to_bytes(),
-                        elapsed: started.elapsed(),
-                    };
-                    self.store.put(&key, &artifact.to_bytes());
-                }
-                plan
-            }
+        let plan = Arc::new(if self.store.is_caching() {
+            let units: Vec<FunctionPlan> = self
+                .program
+                .funcs
+                .iter()
+                .enumerate()
+                .map(|(i, func)| {
+                    let key = PhaseKey::derive_for_function(
+                        self.function_fingerprints()[i],
+                        Phase::Compile,
+                    );
+                    // A corrupted or layout-incompatible cached unit is
+                    // a miss, not an error; `matches` guards against a
+                    // fingerprint collision handing us a unit shaped
+                    // for a different function.
+                    let cached = self
+                        .store
+                        .get(&key)
+                        .and_then(|bytes| CompiledPlanArtifact::from_bytes(&bytes).ok())
+                        .and_then(|artifact| FunctionPlan::from_bytes(&artifact.plan_bytes))
+                        .filter(|unit| unit.matches(func));
+                    match cached {
+                        Some(unit) => {
+                            self.bump_units(|u| u.compile_hits += 1);
+                            unit
+                        }
+                        None => {
+                            let started = Instant::now();
+                            let unit = FunctionPlan::compile(func);
+                            let artifact = CompiledPlanArtifact {
+                                plan_bytes: unit.to_bytes(),
+                                elapsed: started.elapsed(),
+                            };
+                            self.store.put(&key, &artifact.to_bytes());
+                            self.bump_units(|u| u.compile_computed += 1);
+                            unit
+                        }
+                    }
+                })
+                .collect();
+            DispatchPlan::assemble(&units)
+        } else {
+            DispatchPlan::compile(self.program)
         });
         *self.plan.borrow_mut() = Some(Arc::clone(&plan));
         plan
@@ -392,20 +574,37 @@ impl<'p> ReproSession<'p> {
     /// exists (the key cannot be known before then).
     pub fn phase_key(&self, phase: Phase) -> Option<PhaseKey> {
         if phase == Phase::Compile {
-            // Deliberately *not* chained off the basis: the plan
-            // depends on the program alone, so near-duplicate jobs
-            // (different dumps, same program) share one entry.
-            return Some(PhaseKey::derive(
-                program_fingerprint(self.program),
-                Phase::Compile,
-                None,
-            ));
+            // The compile pre-phase has no single session-level key:
+            // its cache units are per function (see
+            // [`ReproSession::compile_unit_keys`]).
+            return None;
         }
         let upstream = match phase.prev() {
             None => None,
             Some(p) => Some(self.artifact_hash(p)?),
         };
         Some(PhaseKey::derive(self.basis(), phase, upstream))
+    }
+
+    /// The function-scoped store keys of the program's compile units,
+    /// in [`mcr_lang::FuncId`] order. Deliberately *not* chained off
+    /// the session basis: each unit depends on its function alone, so
+    /// every job — and every program — containing an identical function
+    /// shares one entry.
+    pub fn compile_unit_keys(&self) -> Vec<PhaseKey> {
+        self.function_fingerprints()
+            .iter()
+            .map(|&fp| PhaseKey::derive_for_function(fp, Phase::Compile))
+            .collect()
+    }
+
+    /// The function-scoped store keys of the program's static-analysis
+    /// units, in [`mcr_lang::FuncId`] order.
+    pub fn analysis_unit_keys(&self) -> Vec<PhaseKey> {
+        self.function_fingerprints()
+            .iter()
+            .map(|&fp| PhaseKey::derive_for_function(fp, Phase::Index))
+            .collect()
     }
 
     /// The key of the next phase to execute — what a fleet scheduler
@@ -629,7 +828,8 @@ impl<'p> ReproSession<'p> {
 
     /// Restores a session from [`ReproSession::checkpoint`] bytes in a
     /// fresh process: only the compiled program is supplied externally
-    /// (the static analysis is recomputed). The restored session
+    /// (the static analysis is re-resolved lazily — per function, from
+    /// the store when it caches). The restored session
     /// continues from the first phase whose artifact is missing and
     /// produces the same report an uninterrupted run would.
     ///
@@ -661,13 +861,7 @@ impl<'p> ReproSession<'p> {
         let ranked = read_artifact(&mut r, RankedAccessesArtifact::from_bytes)?;
         let search = read_artifact(&mut r, SearchArtifact::from_bytes)?;
         r.finish()?;
-        let mut session = Self::from_parts(
-            program,
-            ProgramAnalysis::analyze(program),
-            failure_dump,
-            input,
-            options,
-        )?;
+        let mut session = Self::open(program, failure_dump, input, options)?;
         session.artifacts = Artifacts {
             index: index.as_ref().map(|(a, _)| a.clone()),
             align: align.as_ref().map(|(a, _)| a.clone()),
@@ -686,10 +880,11 @@ impl<'p> ReproSession<'p> {
     }
 }
 
-/// Hashes the session identity — program fingerprint, failing input,
-/// failure dump, and result-relevant options — on the wire encoding.
+/// Hashes the session identity — program fingerprint (memoized by the
+/// caller), failing input, failure dump, and result-relevant options —
+/// on the wire encoding.
 fn session_basis(
-    program: &Program,
+    program_fp: ContentHash,
     input: &[i64],
     failure_dump: &CoreDump,
     options: &ReproOptions,
@@ -702,7 +897,7 @@ fn session_basis(
     write_key_options(&mut w, options);
     let mut h = ContentHasher::new();
     h.update(b"MCRB1");
-    h.update(&program_fingerprint(program).to_le_bytes());
+    h.update(&program_fp.to_le_bytes());
     h.update(&mcr_dump::encode(failure_dump));
     h.update(&w.into_bytes());
     h.finish128()
@@ -1013,10 +1208,22 @@ mod tests {
             ReproSession::new(&p, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
         cold.set_store(Arc::clone(&store));
         let cold_report = cold.run_to_end().unwrap();
+        // 5 phase artifacts + one compile unit and one analysis unit
+        // per function (FIG1 has 4 functions).
+        let funcs = p.funcs.len() as u64;
         assert_eq!(
             store.stats().inserts,
-            6,
-            "every phase cached, plus the compile pre-phase"
+            5 + 2 * funcs,
+            "every phase cached, plus per-function compile/analysis units"
+        );
+        assert_eq!(
+            cold.function_unit_stats(),
+            FuncUnitStats {
+                compile_hits: 0,
+                compile_computed: funcs,
+                analysis_hits: 0,
+                analysis_computed: funcs,
+            }
         );
 
         let mut warm =
@@ -1029,6 +1236,18 @@ mod tests {
         // All five phases were cache hits; nothing Started.
         assert_eq!(log.lock().unwrap().cache_hits(), crate::observe::PHASES);
         assert!(log.lock().unwrap().finished().is_empty());
+        // Every per-function compile unit rehydrated; the analysis was
+        // never even resolved — all phases hit, so nothing needed it.
+        assert_eq!(
+            warm.function_unit_stats(),
+            FuncUnitStats {
+                compile_hits: funcs,
+                compile_computed: 0,
+                analysis_hits: 0,
+                analysis_computed: 0,
+            }
+        );
+        assert!((warm.function_unit_stats().hit_rate() - 1.0).abs() < 1e-9);
         // The rehydrated report is bit-identical, *including* timings
         // (they are part of the cached artifacts).
         assert_eq!(cold_report, warm_report);
@@ -1087,8 +1306,55 @@ mod tests {
         s.cancel_token().cancel();
         let artifact = s.run_search().unwrap();
         assert!(artifact.result.cancelled);
-        // Rank and everything before it (including the compile
-        // pre-phase) were cached; the search was not.
-        assert_eq!(store.stats().inserts, 5);
+        // Rank and everything before it (including the per-function
+        // compile/analysis units) were cached; the search was not.
+        assert_eq!(store.stats().inserts, 4 + 2 * p.funcs.len() as u64);
+    }
+
+    #[test]
+    fn one_function_edit_recompiles_exactly_its_units() {
+        let p1 = mcr_lang::compile(FIG1).unwrap();
+        // Edit only `T2`: same statement count and behavior (the dump
+        // stays valid), different body content.
+        let src2 = FIG1.replace("fn T2() { x = 0; }", "fn T2() { x = 0 + 0; }");
+        let p2 = mcr_lang::compile(&src2).unwrap();
+        let input = [0i64, 1];
+        let sf = find_failure(&p1, &input, 0..200_000, 1_000_000).expect("stress exposes");
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::unbounded());
+
+        let cold =
+            ReproSession::new(&p1, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
+        let mut cold = cold;
+        cold.set_store(Arc::clone(&store));
+        cold.ensure_plan();
+        cold.analysis();
+
+        let mut warm =
+            ReproSession::new(&p2, sf.dump.clone(), &input, ReproOptions::default()).unwrap();
+        warm.set_store(Arc::clone(&store));
+        warm.ensure_plan();
+        warm.analysis();
+        let funcs = p1.funcs.len() as u64;
+        assert_eq!(
+            warm.function_unit_stats(),
+            FuncUnitStats {
+                compile_hits: funcs - 1,
+                compile_computed: 1,
+                analysis_hits: funcs - 1,
+                analysis_computed: 1,
+            },
+            "exactly the edited function's units recompute"
+        );
+        // Only the edited function's fingerprints moved.
+        let moved: Vec<usize> = cold
+            .function_fingerprints()
+            .iter()
+            .zip(warm.function_fingerprints())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(moved, vec![2], "T2 is funcs[2]");
+        assert_ne!(cold.program_fingerprint(), warm.program_fingerprint());
     }
 }

@@ -54,12 +54,14 @@
 
 pub mod ast;
 pub mod error;
+pub mod fingerprint;
 pub mod ir;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
 
 pub use error::LangError;
+pub use fingerprint::{function_fingerprint, program_fingerprint};
 pub use ir::{
     BinOp, CondGroup, CondGroupId, Expr, FuncId, Function, GlobalDecl, GlobalId, GlobalKind, Inst,
     LocalId, LockId, LoopId, LoopInfo, Pc, Place, Program, StmtId, UnOp,

@@ -46,7 +46,7 @@ pub mod vm;
 pub use event::{Event, NullObserver, Observer, Recorder, SyncKind, Tee};
 pub use failure::{Failure, FailureKind};
 pub use memloc::MemLoc;
-pub use plan::{DispatchPlan, PlanStats};
+pub use plan::{DispatchPlan, FunctionPlan, PlanStats};
 pub use rng::SplitMix64;
 pub use sched::{
     run, run_until, DeterministicScheduler, Outcome, Scheduler, StressScheduler, DEFAULT_MAX_STEPS,

@@ -27,9 +27,15 @@
 //!   `Op::Slow`, which falls back to the legacy decoder.
 //! * **Fleet sharing.** Plans serialize ([`DispatchPlan::to_bytes`])
 //!   deterministically, so `mcr-core` can cache them in the artifact
-//!   store keyed by program fingerprint and a fleet of near-duplicate
-//!   jobs compiles each distinct program once (the ShareJIT idiom:
-//!   share compiled code across processes through a common cache).
+//!   store and a fleet of near-duplicate jobs compiles each distinct
+//!   program once (the ShareJIT idiom: share compiled code across
+//!   processes through a common cache). Sharing is function-granular:
+//!   a plan is compiled per function ([`FunctionPlan`], serialized
+//!   independently and keyed by the function's own fingerprint) and
+//!   [`DispatchPlan::assemble`] concatenates the units into the flat
+//!   table — bit-identical to compiling the whole program at once, so a
+//!   one-function edit recompiles exactly one unit while every other
+//!   unit rehydrates from cache.
 
 use crate::value::Value;
 use mcr_lang::{
@@ -49,6 +55,10 @@ const OPCODE_LAYOUT: u8 = 15;
 /// Plan wire magic + version.
 const MAGIC: &[u8; 4] = b"MCRD";
 const VERSION: u8 = 1;
+
+/// Per-function plan-unit wire magic (same version byte as the whole
+/// plan — the formats evolve together).
+const UNIT_MAGIC: &[u8; 4] = b"MCRU";
 
 /// A pre-decoded assignable location (the cheap subset of [`Place`]
 /// that resolves without evaluation, events, or failure).
@@ -186,13 +196,34 @@ pub struct DispatchPlan {
 impl DispatchPlan {
     /// Compiles `program` into a dispatch plan. Infallible: statements
     /// without a fast path compile to `Op::Slow`.
+    ///
+    /// Implemented as [`DispatchPlan::assemble`] over one
+    /// [`FunctionPlan::compile`] per function, so a whole-program
+    /// compile and an assembly of independently cached units are
+    /// byte-identical *by construction*, not by test alone.
     pub fn compile(program: &Program) -> DispatchPlan {
-        let mut ops = Vec::with_capacity(program.funcs.iter().map(|f| f.body.len()).sum());
-        let mut func_base = Vec::with_capacity(program.funcs.len() + 1);
-        let mut exprs = Vec::new();
-        for func in &program.funcs {
+        let units: Vec<FunctionPlan> = program.funcs.iter().map(FunctionPlan::compile).collect();
+        DispatchPlan::assemble(&units)
+    }
+
+    /// Concatenates per-function plan units into the flat dispatch
+    /// table, rebasing each unit's function-local expression indices
+    /// onto the shared postfix table.
+    ///
+    /// Assembling the units of [`FunctionPlan::compile`] in function
+    /// order reproduces [`DispatchPlan::compile`] exactly — same ops,
+    /// same expression table, same [`DispatchPlan::to_bytes`] bytes —
+    /// because whole-program compilation appends expressions strictly
+    /// in function order too.
+    pub fn assemble(units: &[FunctionPlan]) -> DispatchPlan {
+        let mut ops = Vec::with_capacity(units.iter().map(|u| u.ops.len()).sum());
+        let mut func_base = Vec::with_capacity(units.len() + 1);
+        let mut exprs = Vec::with_capacity(units.iter().map(|u| u.exprs.len()).sum());
+        for unit in units {
             func_base.push(ops.len() as u32);
-            ops.extend(func.body.iter().map(|inst| compile_inst(inst, &mut exprs)));
+            let base = exprs.len() as u32;
+            ops.extend(unit.ops.iter().map(|&op| rebase_op(op, base)));
+            exprs.extend(unit.exprs.iter().cloned());
         }
         func_base.push(ops.len() as u32);
         DispatchPlan {
@@ -334,6 +365,132 @@ impl DispatchPlan {
             func_base,
             exprs,
         })
+    }
+}
+
+/// One function's compiled plan unit: its pre-decoded ops plus its own
+/// (function-local) postfix expression table.
+///
+/// Units are the granularity at which compiled code is cached and
+/// shared: each serializes independently ([`FunctionPlan::to_bytes`]),
+/// so `mcr-core` stores one artifact per function keyed by the
+/// function's fingerprint, and [`DispatchPlan::assemble`] concatenates
+/// rehydrated units back into the flat table a VM executes. Expression
+/// indices inside a unit are 0-based; assembly rebases them onto the
+/// shared table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionPlan {
+    /// Pre-decoded ops, one per statement of the function body.
+    ops: Vec<Op>,
+    /// Function-local postfix token runs referenced by `Rhs::Expr`.
+    exprs: Vec<Box<[Tok]>>,
+}
+
+impl FunctionPlan {
+    /// Compiles one function into a plan unit. Infallible: statements
+    /// without a fast path compile to `Op::Slow`.
+    pub fn compile(func: &mcr_lang::Function) -> FunctionPlan {
+        let mut exprs = Vec::new();
+        let ops = func
+            .body
+            .iter()
+            .map(|inst| compile_inst(inst, &mut exprs))
+            .collect();
+        FunctionPlan { ops, exprs }
+    }
+
+    /// Whether this unit's shape matches `func` (same statement count).
+    /// A rehydrated unit is only assembled when this holds.
+    pub fn matches(&self, func: &mcr_lang::Function) -> bool {
+        self.ops.len() == func.body.len()
+    }
+
+    /// Number of ops (statements) in the unit.
+    pub fn ops_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Serializes the unit. Deterministic, like
+    /// [`DispatchPlan::to_bytes`]: the same function always yields
+    /// byte-identical units, which is what makes them content-shareable
+    /// across programs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(16 + self.ops.len() * 8);
+        w.extend_from_slice(UNIT_MAGIC);
+        w.push(VERSION);
+        w.push(OPCODE_LAYOUT);
+        put_u32(&mut w, self.ops.len() as u32);
+        put_u32(&mut w, self.exprs.len() as u32);
+        for toks in &self.exprs {
+            put_u32(&mut w, toks.len() as u32);
+            for tok in toks.iter() {
+                put_tok(&mut w, *tok);
+            }
+        }
+        for op in &self.ops {
+            put_op(&mut w, op);
+        }
+        w
+    }
+
+    /// Deserializes a unit. Returns `None` for malformed bytes or a
+    /// different wire / opcode-layout version — callers treat that as a
+    /// cache miss and recompile the function.
+    pub fn from_bytes(bytes: &[u8]) -> Option<FunctionPlan> {
+        let mut r = R { b: bytes, pos: 0 };
+        if r.take(4)? != UNIT_MAGIC.as_slice() || r.u8()? != VERSION || r.u8()? != OPCODE_LAYOUT {
+            return None;
+        }
+        let nops = r.u32()? as usize;
+        let nexprs = r.u32()? as usize;
+        let mut exprs = Vec::with_capacity(nexprs.min(1024));
+        for _ in 0..nexprs {
+            let len = r.u32()? as usize;
+            let mut toks = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                toks.push(get_tok(&mut r)?);
+            }
+            if !tokens_are_well_formed(&toks) {
+                return None;
+            }
+            exprs.push(toks.into_boxed_slice());
+        }
+        let mut ops = Vec::with_capacity(nops.min(65536));
+        for _ in 0..nops {
+            let op = get_op(&mut r)?;
+            if expr_ref_of(&op).is_some_and(|idx| idx as usize >= exprs.len()) {
+                return None;
+            }
+            ops.push(op);
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(FunctionPlan { ops, exprs })
+    }
+}
+
+/// Rebases an op's function-local expression index onto the assembled
+/// plan's shared table.
+fn rebase_op(op: Op, base: u32) -> Op {
+    match op {
+        Op::Assign {
+            dst,
+            src: Rhs::Expr(idx),
+        } => Op::Assign {
+            dst,
+            src: Rhs::Expr(base + idx),
+        },
+        Op::Branch {
+            cond: Rhs::Expr(idx),
+            then_to,
+            else_to,
+        } => Op::Branch {
+            cond: Rhs::Expr(base + idx),
+            then_to,
+            else_to,
+        },
+        other => other,
     }
 }
 
@@ -851,5 +1008,70 @@ mod tests {
         let plan = DispatchPlan::compile(&p);
         assert_eq!(plan.op(FuncId(7), StmtId(0)), Op::Slow);
         assert_eq!(plan.op(FuncId(0), StmtId(999)), Op::Slow);
+    }
+
+    #[test]
+    fn unit_roundtrip_is_bit_identical() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        for func in &p.funcs {
+            let unit = FunctionPlan::compile(func);
+            let bytes = unit.to_bytes();
+            assert_eq!(
+                bytes,
+                unit.to_bytes(),
+                "unit serialization is deterministic"
+            );
+            let back = FunctionPlan::from_bytes(&bytes).expect("unit roundtrip");
+            assert_eq!(back, unit);
+            assert_eq!(back.to_bytes(), bytes);
+            assert!(back.matches(func));
+        }
+    }
+
+    #[test]
+    fn assembled_units_equal_whole_program_compile() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        // The fleet path: serialize each unit independently, rehydrate,
+        // assemble. The result must be bit-identical to a direct compile.
+        let units: Vec<FunctionPlan> = p
+            .funcs
+            .iter()
+            .map(|f| FunctionPlan::from_bytes(&FunctionPlan::compile(f).to_bytes()).unwrap())
+            .collect();
+        let assembled = DispatchPlan::assemble(&units);
+        let direct = DispatchPlan::compile(&p);
+        assert_eq!(assembled, direct);
+        assert_eq!(assembled.to_bytes(), direct.to_bytes());
+    }
+
+    #[test]
+    fn editing_one_function_changes_only_its_unit() {
+        let p1 = mcr_lang::compile(HOT).unwrap();
+        let p2 = mcr_lang::compile(&HOT.replace("x = x + 1;", "x = x + 2;")).unwrap();
+        let changed: Vec<usize> = p1
+            .funcs
+            .iter()
+            .zip(&p2.funcs)
+            .enumerate()
+            .filter(|(_, (f1, f2))| {
+                FunctionPlan::compile(f1).to_bytes() != FunctionPlan::compile(f2).to_bytes()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(changed, vec![0], "only `work` may recompile");
+    }
+
+    #[test]
+    fn malformed_unit_bytes_are_rejected() {
+        let p = mcr_lang::compile(HOT).unwrap();
+        let bytes = FunctionPlan::compile(&p.funcs[0]).to_bytes();
+        assert!(FunctionPlan::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong_layout = bytes.clone();
+        wrong_layout[5] ^= 1; // opcode-layout version byte
+        assert!(FunctionPlan::from_bytes(&wrong_layout).is_none());
+        // A whole-plan blob is not a unit (magic differs).
+        let whole = DispatchPlan::compile(&p).to_bytes();
+        assert!(FunctionPlan::from_bytes(&whole).is_none());
+        assert!(FunctionPlan::from_bytes(b"junk").is_none());
     }
 }

@@ -18,5 +18,7 @@ pub mod splash;
 
 pub use bugs::{all_bugs, bug_by_name, BugClass, BugSpec};
 pub use corpora::{generate, paper_profiles, small_profiles, CorpusProfile};
-pub use fleet::{fleet_corpus, fleet_mix, fleet_stream, FleetSpec, FleetStream};
+pub use fleet::{
+    fleet_corpus, fleet_mix, fleet_recompile, fleet_stream, FleetSpec, FleetStream, RecompileSpec,
+};
 pub use splash::{measure_overhead, overhead_workloads, OverheadResult, OverheadWorkload};

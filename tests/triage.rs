@@ -366,9 +366,10 @@ proptest! {
 }
 
 /// The dispatch-plan pre-phase under a fleet of near-duplicate jobs:
-/// one compile per *distinct program* fleet-wide (duplicates rehydrate
-/// the shared plan entry), and a program with one mutated function is a
-/// fingerprint miss that compiles — and caches — its own plan.
+/// one compile per *distinct function* fleet-wide (duplicates rehydrate
+/// the shared per-function plan units), and a program with one mutated
+/// function is a fingerprint miss for exactly that unit — the other
+/// functions' units are shared with the original program.
 #[test]
 fn fleet_compiles_each_distinct_program_once() {
     let (program, sf) = fig1_failure();
@@ -405,11 +406,15 @@ fn fleet_compiles_each_distinct_program_once() {
     for ticket in tickets {
         assert!(ticket.wait().result.is_ok());
     }
+    let funcs = program.funcs.len() as u64;
     let compile = store.stats().phase(Phase::Compile);
-    assert_eq!(compile.inserts, 1, "one plan per distinct program");
+    assert_eq!(
+        compile.inserts, funcs,
+        "one plan unit per distinct function"
+    );
     assert!(
-        compile.hits >= 1,
-        "duplicate jobs rehydrated the shared plan"
+        compile.hits >= funcs,
+        "duplicate jobs rehydrated the shared plan units"
     );
 
     let mutant_ticket = service
@@ -418,5 +423,10 @@ fn fleet_compiles_each_distinct_program_once() {
     service.drain();
     assert!(mutant_ticket.wait().result.is_ok());
     let compile = store.stats().phase(Phase::Compile);
-    assert_eq!(compile.inserts, 2, "mutated program is a fingerprint miss");
+    assert_eq!(
+        compile.inserts,
+        funcs + 1,
+        "only the mutated function recompiles — its siblings' units are \
+         shared with the original program"
+    );
 }
