@@ -24,11 +24,13 @@
 //! `tables -- bench-json` serializes a [`BenchReport`] to
 //! `BENCH_search.json` so successive PRs leave a measurable trajectory.
 
-use mcr_core::{find_failure_par, ReproOptions, Reproducer};
-use mcr_search::{find_schedule, Algorithm, SearchConfig, SearchResult};
+use mcr_core::{find_failure_cfg, find_failure_par, ReproOptions, Reproducer, RunConfig};
+use mcr_search::{find_schedule, worklist_size, Algorithm, SearchConfig, SearchResult};
 use mcr_slice::Strategy;
-use mcr_vm::{run, DeterministicScheduler, DispatchPlan, NullObserver, Outcome, PlanStats, Vm};
-use mcr_workloads::all_bugs;
+use mcr_vm::{
+    run, DeterministicScheduler, DispatchPlan, MemModel, NullObserver, Outcome, PlanStats, Vm,
+};
+use mcr_workloads::{all_bugs, fault_bugs, EnvRequirement};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -293,6 +295,95 @@ pub struct ParallelCell {
     pub reproduced: usize,
 }
 
+/// Worklist growth under TSO: the store-buffer flush points become
+/// CHESS preemption candidates, so the same program's worklist is
+/// strictly larger than under SC. Sums are over the `WeakMemory` bugs
+/// of the env-gated `mcr-workloads` fault suite, each also reproduced
+/// end to end in its TSO environment.
+#[derive(Debug, Clone, Copy)]
+pub struct MemModelCell {
+    /// TSO-only seeded bugs measured.
+    pub tso_bugs: usize,
+    /// How many of them the guided search reproduced end to end.
+    pub reproduced: usize,
+    /// Passing-run preemption candidates under `MemModel::Sc`.
+    pub sc_candidates: usize,
+    /// Passing-run preemption candidates under `MemModel::Tso` (the
+    /// extra entries are `BeforeFlush` points).
+    pub tso_candidates: usize,
+    /// Worklist combinations under SC (at the default bound/pool).
+    pub sc_worklist: usize,
+    /// Worklist combinations under TSO.
+    pub tso_worklist: usize,
+}
+
+/// Measures [`MemModelCell`]: candidate/worklist sizes of each TSO
+/// bug's deterministic passing run under both memory models, plus the
+/// end-to-end guided reproduction in the bug's own environment.
+pub fn measure_memmodel() -> MemModelCell {
+    let cfg = SearchConfig::default();
+    let mut cell = MemModelCell {
+        tso_bugs: 0,
+        reproduced: 0,
+        sc_candidates: 0,
+        tso_candidates: 0,
+        sc_worklist: 0,
+        tso_worklist: 0,
+    };
+    for bug in fault_bugs() {
+        if bug.requires != EnvRequirement::WeakMemory {
+            continue;
+        }
+        cell.tso_bugs += 1;
+        let program = bug.compile();
+        let candidates = |model: MemModel| {
+            let mut vm = Vm::new(&program, bug.input).with_mem_model(model);
+            let mut log = mcr_search::SyncLogger::new();
+            run(
+                &mut vm,
+                &mut DeterministicScheduler::new(),
+                &mut log,
+                bug.max_steps,
+            );
+            log.finish().candidates.len()
+        };
+        let sc = candidates(MemModel::Sc);
+        let tso = candidates(bug.mem_model);
+        cell.sc_candidates += sc;
+        cell.tso_candidates += tso;
+        cell.sc_worklist += worklist_size(sc, cfg.preemption_bound, cfg.pair_pool);
+        cell.tso_worklist += worklist_size(tso, cfg.preemption_bound, cfg.pair_pool);
+        let env = RunConfig {
+            mem_model: bug.mem_model,
+            faults: bug.faults.clone(),
+        };
+        let sf = find_failure_cfg(
+            &program,
+            bug.input,
+            0..stress_seed_cap(),
+            bug.max_steps,
+            &env,
+        )
+        .unwrap_or_else(|| panic!("{}: stress found no TSO failure", bug.name));
+        let report = Reproducer::new(
+            &program,
+            ReproOptions {
+                strategy: Strategy::Temporal,
+                algorithm: Algorithm::ChessX,
+                mem_model: bug.mem_model,
+                faults: bug.faults.clone(),
+                ..Default::default()
+            },
+        )
+        .reproduce(&sf.dump, bug.input)
+        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name));
+        if report.search.reproduced {
+            cell.reproduced += 1;
+        }
+    }
+    cell
+}
+
 /// The full `search_hotpath` report serialized to `BENCH_search.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -312,6 +403,8 @@ pub struct BenchReport {
     pub guided: AlgoCell,
     /// Plain CHESS on the search fixture.
     pub plain: AlgoCell,
+    /// TSO worklist growth and env-gated reproduction.
+    pub memmodel: MemModelCell,
     /// Bug-suite parallel comparison.
     pub parallel: ParallelCell,
 }
@@ -425,6 +518,7 @@ pub fn bench_report() -> BenchReport {
     // At least two workers even on single-core machines, so the recorded
     // artifact always exercises (and equivalence-checks) the parallel
     // engine; the speedup column is only meaningful with real cores.
+    let memmodel = measure_memmodel();
     let parallel = measure_parallel_suite(minipool::available_parallelism().max(2));
     BenchReport {
         checkpoint_clone_ns,
@@ -434,6 +528,7 @@ pub fn bench_report() -> BenchReport {
         tries_per_sec,
         guided: algo_cell(&guided_result),
         plain: algo_cell(&plain_result),
+        memmodel,
         parallel,
     }
 }
@@ -485,6 +580,24 @@ impl BenchReport {
             self.plain.wall.as_secs_f64() * 1e3,
             self.plain.reproduced
         );
+        let growth = if self.memmodel.sc_worklist > 0 {
+            self.memmodel.tso_worklist as f64 / self.memmodel.sc_worklist as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(s, "  \"memmodel\": {{");
+        let _ = writeln!(s, "    \"tso_bugs\": {},", self.memmodel.tso_bugs);
+        let _ = writeln!(s, "    \"reproduced\": {},", self.memmodel.reproduced);
+        let _ = writeln!(s, "    \"sc_candidates\": {},", self.memmodel.sc_candidates);
+        let _ = writeln!(
+            s,
+            "    \"tso_candidates\": {},",
+            self.memmodel.tso_candidates
+        );
+        let _ = writeln!(s, "    \"sc_worklist\": {},", self.memmodel.sc_worklist);
+        let _ = writeln!(s, "    \"tso_worklist\": {},", self.memmodel.tso_worklist);
+        let _ = writeln!(s, "    \"worklist_growth\": {growth:.2}");
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"parallel\": {{");
         let _ = writeln!(s, "    \"parallelism\": {},", self.parallel.parallelism);
         let _ = writeln!(s, "    \"bugs\": {},", self.parallel.bugs);
@@ -518,6 +631,9 @@ pub const BENCH_JSON_REQUIRED: &[&str] = &[
     "\"steps_per_sec\"",
     "\"steps_per_sec_legacy\"",
     "\"dispatch\"",
+    "\"memmodel\"",
+    "\"tso_worklist\"",
+    "\"worklist_growth\"",
     "\"speedup\"",
     "\"identical_results\"",
 ];
@@ -573,6 +689,14 @@ mod tests {
                 wall: Duration::from_millis(20),
                 reproduced: true,
             },
+            memmodel: MemModelCell {
+                tso_bugs: 2,
+                reproduced: 2,
+                sc_candidates: 12,
+                tso_candidates: 16,
+                sc_worklist: 78,
+                tso_worklist: 136,
+            },
             parallel: ParallelCell {
                 parallelism: 8,
                 bugs: 7,
@@ -591,6 +715,9 @@ mod tests {
             "\"tries_per_sec\"",
             "\"guided\"",
             "\"plain\"",
+            "\"memmodel\"",
+            "\"tso_worklist\": 136",
+            "\"worklist_growth\": 1.74",
             "\"parallelism\"",
             "\"speedup\"",
             "\"identical_results\": true",

@@ -330,6 +330,7 @@ fn candidate_kind_tag(kind: CandidateKind) -> u8 {
         CandidateKind::AfterRelease => 2,
         CandidateKind::AfterSpawn => 3,
         CandidateKind::BeforeJoin => 4,
+        CandidateKind::BeforeFlush => 5,
     }
 }
 
@@ -340,6 +341,7 @@ fn candidate_kind_from_tag(t: u8) -> Option<CandidateKind> {
         2 => CandidateKind::AfterRelease,
         3 => CandidateKind::AfterSpawn,
         4 => CandidateKind::BeforeJoin,
+        5 => CandidateKind::BeforeFlush,
         _ => return None,
     })
 }

@@ -93,8 +93,9 @@ pub use store::{
     ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, ShardedStore, StoreStats,
 };
 pub use stress::{
-    find_failure, find_failure_par, find_failure_par_cancellable, find_failure_pool,
-    passes_deterministically, StressFailure,
+    find_failure, find_failure_cfg, find_failure_par, find_failure_par_cancellable,
+    find_failure_par_cfg, find_failure_pool, passes_deterministically,
+    passes_deterministically_cfg, RunConfig, StressFailure,
 };
 
 // Cancellation lives in `mcr-search` (its budget polls the token inside

@@ -171,6 +171,15 @@ pub struct ReproOptions {
     /// pools from [`ReproOptions::parallelism`], the historical
     /// behavior. A runtime attachment like `store`.
     pub pool: Option<minipool::Pool>,
+    /// Memory consistency model every VM in the session runs under
+    /// (replay, alignment, stress, search). Part of the phase key: a
+    /// schedule found under TSO is only valid under TSO.
+    pub mem_model: mcr_vm::MemModel,
+    /// Fault-injection plan applied to every VM in the session. Faults
+    /// are named by per-thread operation ordinals, so they survive
+    /// schedule perturbation; like `mem_model` they are part of run
+    /// identity and serialize into checkpoints.
+    pub faults: Vec<mcr_vm::FaultSpec>,
 }
 
 impl Default for ReproOptions {
@@ -187,6 +196,8 @@ impl Default for ReproOptions {
             budgets: PhaseBudgets::default(),
             store: None,
             pool: None,
+            mem_model: mcr_vm::MemModel::Sc,
+            faults: Vec::new(),
         }
     }
 }
@@ -283,6 +294,18 @@ impl ReproOptionsBuilder {
     /// Injects a shared executor handle.
     pub fn pool(mut self, pool: minipool::Pool) -> Self {
         self.options.pool = Some(pool);
+        self
+    }
+
+    /// Sets the memory consistency model for every VM in the session.
+    pub fn mem_model(mut self, model: mcr_vm::MemModel) -> Self {
+        self.options.mem_model = model;
+        self
+    }
+
+    /// Sets the fault-injection plan for every VM in the session.
+    pub fn faults(mut self, faults: Vec<mcr_vm::FaultSpec>) -> Self {
+        self.options.faults = faults;
         self
     }
 

@@ -61,13 +61,14 @@ use mcr_dump::{CoreDump, DecodeError, TraverseLimits};
 use mcr_lang::Program;
 use mcr_search::{Algorithm, CancelToken, SearchConfig};
 use mcr_slice::Strategy;
-use mcr_vm::{DispatchPlan, Failure, FunctionPlan, Vm};
+use mcr_vm::{DispatchPlan, Failure, FaultKind, FaultSpec, FunctionPlan, MemModel, ThreadId, Vm};
 use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
 use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"MCRS";
-const VERSION: u8 = 1;
+// v2: options carry the memory model and fault-injection plan.
+const VERSION: u8 = 2;
 
 /// Function-granular cache counters of one session: how many of the
 /// program's per-function compile/analysis units were rehydrated from
@@ -533,7 +534,10 @@ impl<'p> ReproSession<'p> {
     /// session's dispatch plan attached. Every phase that executes the
     /// program builds its VMs here.
     pub(crate) fn new_vm(&self) -> Vm<'p> {
-        Vm::new(self.program, &self.input).with_plan(self.ensure_plan())
+        Vm::new(self.program, &self.input)
+            .with_plan(self.ensure_plan())
+            .with_mem_model(self.options.mem_model)
+            .with_faults(&self.options.faults)
     }
 
     /// The content hash of `phase`'s encoded artifact, once produced
@@ -912,7 +916,54 @@ fn session_basis(
 /// [`BytesStore`](crate::BytesStore) snapshot would silently never
 /// hit). Checkpoints still serialize the full options via
 /// [`write_options`].
+/// Serializes the execution environment (memory model + fault plan).
+/// Shared between the checkpoint codec and the key basis: both must see
+/// it — a schedule found under TSO or with injected faults is only
+/// meaningful in that same environment.
+fn write_env(w: &mut Writer, o: &ReproOptions) {
+    match o.mem_model {
+        MemModel::Sc => w.u8(0),
+        MemModel::Tso { buffer_cap } => {
+            w.u8(1);
+            w.uvarint(buffer_cap as u64);
+        }
+    }
+    w.uvarint(o.faults.len() as u64);
+    for f in &o.faults {
+        w.u8(match f.kind {
+            FaultKind::AllocFail => 0,
+            FaultKind::LockTimeout => 1,
+        });
+        w.uvarint(f.tid.0 as u64);
+        w.uvarint(f.nth as u64);
+    }
+}
+
+fn read_env(r: &mut Reader<'_>) -> Result<(MemModel, Vec<FaultSpec>), DecodeError> {
+    let mem_model = match r.u8()? {
+        0 => MemModel::Sc,
+        1 => MemModel::Tso {
+            buffer_cap: r.uvarint()? as u32,
+        },
+        t => return r.err(format!("bad memory model tag {t}")),
+    };
+    let n = r.len("faults")?;
+    let mut faults = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let kind = match r.u8()? {
+            0 => FaultKind::AllocFail,
+            1 => FaultKind::LockTimeout,
+            t => return r.err(format!("bad fault kind tag {t}")),
+        };
+        let tid = ThreadId(r.uvarint()? as u32);
+        let nth = r.uvarint()? as u32;
+        faults.push(FaultSpec { kind, tid, nth });
+    }
+    Ok((mem_model, faults))
+}
+
 fn write_key_options(w: &mut Writer, o: &ReproOptions) {
+    write_env(w, o);
     w.u8(match o.strategy {
         Strategy::Temporal => 0,
         Strategy::Dependence => 1,
@@ -976,6 +1027,7 @@ fn read_artifact<T>(
 /// process-local and excluded; they also do not contribute to session
 /// bases, so attaching a store never changes a phase key).
 fn write_options(w: &mut Writer, o: &ReproOptions) {
+    write_env(w, o);
     w.u8(match o.strategy {
         Strategy::Temporal => 0,
         Strategy::Dependence => 1,
@@ -1012,6 +1064,7 @@ fn write_options(w: &mut Writer, o: &ReproOptions) {
 }
 
 fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
+    let (mem_model, faults) = read_env(r)?;
     let strategy = match r.u8()? {
         0 => Strategy::Temporal,
         1 => Strategy::Dependence,
@@ -1070,6 +1123,8 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
         budgets,
         store: None,
         pool: None,
+        mem_model,
+        faults,
     })
 }
 

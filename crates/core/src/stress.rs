@@ -9,8 +9,28 @@
 use mcr_dump::CoreDump;
 use mcr_lang::Program;
 use mcr_search::CancelToken;
-use mcr_vm::{run, NullObserver, Outcome, StressScheduler, Vm};
+use mcr_vm::{run, FaultSpec, MemModel, NullObserver, Outcome, StressScheduler, Vm};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Execution environment a stress campaign (and its dump capture) runs
+/// under: the memory model and any injected faults. The default is the
+/// plain SC, fault-free environment every pre-existing caller gets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunConfig {
+    /// Memory consistency model.
+    pub mem_model: MemModel,
+    /// Fault-injection plan.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl RunConfig {
+    /// Builds a VM for `program`/`input` running under this environment.
+    fn vm<'p>(&self, program: &'p Program, input: &[i64]) -> Vm<'p> {
+        Vm::new(program, input)
+            .with_mem_model(self.mem_model)
+            .with_faults(&self.faults)
+    }
+}
 
 /// Outcome of a stress campaign.
 #[derive(Debug, Clone)]
@@ -37,9 +57,21 @@ pub fn find_failure(
     seeds: std::ops::Range<u64>,
     max_steps: u64,
 ) -> Option<StressFailure> {
+    find_failure_cfg(program, input, seeds, max_steps, &RunConfig::default())
+}
+
+/// [`find_failure`] under an explicit execution environment (memory
+/// model and fault plan).
+pub fn find_failure_cfg(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    cfg: &RunConfig,
+) -> Option<StressFailure> {
     let start = seeds.start;
     for seed in seeds {
-        let mut vm = Vm::new(program, input);
+        let mut vm = cfg.vm(program, input);
         let mut sched = StressScheduler::new(seed);
         let outcome = run(&mut vm, &mut sched, &mut NullObserver, max_steps);
         if let Outcome::Crashed(_) = outcome {
@@ -80,6 +112,29 @@ pub fn find_failure_par(
     )
 }
 
+/// [`find_failure_par`] under an explicit execution environment.
+pub fn find_failure_par_cfg(
+    program: &Program,
+    input: &[i64],
+    seeds: std::ops::Range<u64>,
+    max_steps: u64,
+    parallelism: usize,
+    cfg: &RunConfig,
+) -> Option<StressFailure> {
+    if parallelism <= 1 {
+        return find_failure_cfg(program, input, seeds, max_steps, cfg);
+    }
+    scan(
+        program,
+        input,
+        seeds,
+        max_steps,
+        &minipool::Pool::new(parallelism),
+        None,
+        cfg,
+    )
+}
+
 /// [`find_failure_par`] over an *injected* executor handle — the form a
 /// fleet scheduler uses so that every stress scan it launches draws from
 /// one shared worker budget instead of constructing its own pool.
@@ -90,7 +145,15 @@ pub fn find_failure_pool(
     max_steps: u64,
     pool: &minipool::Pool,
 ) -> Option<StressFailure> {
-    scan(program, input, seeds, max_steps, pool, None)
+    scan(
+        program,
+        input,
+        seeds,
+        max_steps,
+        pool,
+        None,
+        &RunConfig::default(),
+    )
 }
 
 /// Cancellable parallel seed scan.
@@ -116,9 +179,11 @@ pub fn find_failure_par_cancellable(
         max_steps,
         &minipool::Pool::new(parallelism.max(1)),
         Some(cancel),
+        &RunConfig::default(),
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scan(
     program: &Program,
     input: &[i64],
@@ -126,6 +191,7 @@ fn scan(
     max_steps: u64,
     pool: &minipool::Pool,
     cancel: Option<&CancelToken>,
+    cfg: &RunConfig,
 ) -> Option<StressFailure> {
     let start = seeds.start;
     let n = usize::try_from(seeds.end.saturating_sub(start)).unwrap_or(usize::MAX);
@@ -147,7 +213,7 @@ fn scan(
         if seed > winner.load(Ordering::Acquire) {
             return;
         }
-        if crashes(program, input, seed, max_steps) {
+        if crashes(program, input, seed, max_steps, cfg) {
             winner.fetch_min(seed, Ordering::AcqRel);
         }
         if let Some(flags) = &done {
@@ -173,14 +239,14 @@ fn scan(
     // Replay the winning seed to capture the dump: stress runs are pure
     // functions of the seed, so this reproduces the identical crash state
     // without shipping VM snapshots across threads.
-    Some(capture_at_seed(program, input, seed, max_steps, start))
+    Some(capture_at_seed(program, input, seed, max_steps, start, cfg))
 }
 
 /// Does one stress run at `seed` crash? (Parallel-scan probe: workers
 /// only need the verdict; the winning seed's dump is captured once, by
 /// [`capture_at_seed`], after the scan settles.)
-fn crashes(program: &Program, input: &[i64], seed: u64, max_steps: u64) -> bool {
-    let mut vm = Vm::new(program, input);
+fn crashes(program: &Program, input: &[i64], seed: u64, max_steps: u64, cfg: &RunConfig) -> bool {
+    let mut vm = cfg.vm(program, input);
     let mut sched = StressScheduler::new(seed);
     matches!(
         run(&mut vm, &mut sched, &mut NullObserver, max_steps),
@@ -195,8 +261,9 @@ fn capture_at_seed(
     seed: u64,
     max_steps: u64,
     start: u64,
+    cfg: &RunConfig,
 ) -> StressFailure {
-    let mut vm = Vm::new(program, input);
+    let mut vm = cfg.vm(program, input);
     let mut sched = StressScheduler::new(seed);
     let outcome = run(&mut vm, &mut sched, &mut NullObserver, max_steps);
     debug_assert!(matches!(outcome, Outcome::Crashed(_)));
@@ -213,7 +280,17 @@ fn capture_at_seed(
 /// Verifies that the program passes deterministically (the Heisenbug
 /// premise: the single-core canonical run does not fail).
 pub fn passes_deterministically(program: &Program, input: &[i64], max_steps: u64) -> bool {
-    let mut vm = Vm::new(program, input);
+    passes_deterministically_cfg(program, input, max_steps, &RunConfig::default())
+}
+
+/// [`passes_deterministically`] under an explicit execution environment.
+pub fn passes_deterministically_cfg(
+    program: &Program,
+    input: &[i64],
+    max_steps: u64,
+    cfg: &RunConfig,
+) -> bool {
+    let mut vm = cfg.vm(program, input);
     let mut sched = mcr_vm::DeterministicScheduler::new();
     matches!(
         run(&mut vm, &mut sched, &mut NullObserver, max_steps),

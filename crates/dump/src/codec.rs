@@ -10,12 +10,15 @@
 use crate::dump::{CoreDump, DumpReason, FrameImage, ThreadImage};
 use crate::wire::{Reader, Writer};
 use mcr_lang::{FuncId, StmtId};
-use mcr_vm::{GSlot, ThreadId, ThreadState};
+use mcr_vm::{BufferedStore, GSlot, ThreadId, ThreadState};
 use std::error::Error;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"MCRD";
-const VERSION: u8 = 1;
+// v2: per-thread store-buffer images (TSO mode). v1 dumps (no buffer
+// field) are rejected rather than read as empty-buffered — a frozen
+// buffer is part of the failure state and silence would be a lie.
+const VERSION: u8 = 2;
 
 /// Decoding error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +98,12 @@ pub fn encode(dump: &CoreDump) -> Vec<u8> {
         w.uvarint(t.instrs);
         w.value(t.last_value);
         w.uvarint(t.sync_seq as u64);
+        w.uvarint(t.store_buffer.len() as u64);
+        for b in &t.store_buffer {
+            w.memloc(b.loc);
+            w.value(b.value);
+            w.pc(b.pc);
+        }
         w.uvarint(t.frames.len() as u64);
         for f in &t.frames {
             w.uvarint(f.func.0 as u64);
@@ -193,6 +202,14 @@ pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
         let instrs = r.uvarint()?;
         let last_value = r.value()?;
         let sync_seq = r.uvarint()? as u32;
+        let nbuf = r.len("store buffer")?;
+        let mut store_buffer = Vec::with_capacity(nbuf.min(1024));
+        for _ in 0..nbuf {
+            let loc = r.memloc()?;
+            let value = r.value()?;
+            let pc = r.pc()?;
+            store_buffer.push(BufferedStore { loc, value, pc });
+        }
         let nframes = r.len("frames")?;
         let mut frames = Vec::with_capacity(nframes.min(1024));
         for _ in 0..nframes {
@@ -223,6 +240,7 @@ pub fn decode(bytes: &[u8]) -> Result<CoreDump, DecodeError> {
             instrs,
             last_value,
             sync_seq,
+            store_buffer,
         });
     }
 

@@ -9,7 +9,7 @@
 //! lock ownership.
 
 use mcr_lang::{FuncId, StmtId};
-use mcr_vm::{Failure, GSlot, ThreadId, ThreadState, Value, Vm};
+use mcr_vm::{BufferedStore, Failure, GSlot, ThreadId, ThreadState, Value, Vm};
 
 /// Why a dump was taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,10 @@ pub struct ThreadImage {
     pub last_value: Value,
     /// Synchronization operations executed.
     pub sync_seq: u32,
+    /// Unflushed store-buffer entries (TSO mode), oldest first. A crash
+    /// freezes the buffer, so a failure dump can show a write the program
+    /// performed that never became globally visible — empty under SC.
+    pub store_buffer: Vec<BufferedStore>,
 }
 
 impl ThreadImage {
@@ -129,6 +133,7 @@ impl CoreDump {
                     instrs: t.instrs,
                     last_value: t.last_value,
                     sync_seq: t.sync_seq,
+                    store_buffer: t.store_buffer.clone(),
                 })
                 .collect(),
             locks: vm.lock_owners().to_vec(),

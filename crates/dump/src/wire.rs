@@ -21,8 +21,10 @@
 //!   content-addressed artifact stores built on top.
 
 use crate::codec::DecodeError;
-use mcr_lang::{FuncId, Pc, StmtId};
-use mcr_vm::{Failure, FailureKind, ObjId, ThreadId, Value};
+use mcr_lang::{FuncId, GlobalId, LocalId, LockId, LoopId, Pc, StmtId};
+use mcr_vm::{
+    Event, Failure, FailureKind, FaultKind, InjectedFault, MemLoc, ObjId, SyncKind, ThreadId, Value,
+};
 use std::time::Duration;
 
 /// FNV-1a 128-bit offset basis.
@@ -245,11 +247,192 @@ impl Writer {
         }
     }
 
-    /// Appends a failure record (kind tag, pc, failing thread).
+    /// Appends a failure record (kind tag, pc, failing thread, optional
+    /// injected-fault stamp).
     pub fn failure(&mut self, f: Failure) {
         self.u8(failure_kind_tag(f.kind));
         self.pc(f.pc);
         self.uvarint(f.thread.0 as u64);
+        match f.fault {
+            None => self.bool(false),
+            Some(fault) => {
+                self.bool(true);
+                self.u8(fault_kind_tag(fault.kind));
+                self.uvarint(fault.nth as u64);
+            }
+        }
+    }
+
+    /// Appends a memory location (tagged by shape).
+    pub fn memloc(&mut self, loc: MemLoc) {
+        match loc {
+            MemLoc::Global(g) => {
+                self.u8(0);
+                self.uvarint(g.0 as u64);
+            }
+            MemLoc::GlobalElem(g, i) => {
+                self.u8(1);
+                self.uvarint(g.0 as u64);
+                self.uvarint(i as u64);
+            }
+            MemLoc::Heap(o, i) => {
+                self.u8(2);
+                self.uvarint(o.0 as u64);
+                self.uvarint(i as u64);
+            }
+            MemLoc::Local { tid, frame, local } => {
+                self.u8(3);
+                self.uvarint(tid.0 as u64);
+                self.uvarint(frame);
+                self.uvarint(local.0 as u64);
+            }
+        }
+    }
+
+    /// Appends a synchronization-operation kind.
+    pub fn sync_kind(&mut self, kind: SyncKind) {
+        match kind {
+            SyncKind::Acquire(l) => {
+                self.u8(0);
+                self.uvarint(l.0 as u64);
+            }
+            SyncKind::Release(l) => {
+                self.u8(1);
+                self.uvarint(l.0 as u64);
+            }
+            SyncKind::Spawn(t) => {
+                self.u8(2);
+                self.uvarint(t.0 as u64);
+            }
+            SyncKind::Join(t) => {
+                self.u8(3);
+                self.uvarint(t.0 as u64);
+            }
+            SyncKind::Flush => self.u8(4),
+        }
+    }
+
+    /// Appends one dynamic event. Tags are pinned in declaration order of
+    /// [`Event`]; new kinds append (the store-buffer events of the TSO
+    /// memory model took tags 4 and 5 when the enum gained them).
+    pub fn event(&mut self, e: &Event) {
+        match e {
+            Event::Stmt { tid, pc, cost } => {
+                self.u8(0);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.u8(*cost);
+            }
+            Event::Branch { tid, pc, outcome } => {
+                self.u8(1);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.bool(*outcome);
+            }
+            Event::Read {
+                tid,
+                pc,
+                loc,
+                value,
+            } => {
+                self.u8(2);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.memloc(*loc);
+                self.value(*value);
+            }
+            Event::Write {
+                tid,
+                pc,
+                loc,
+                value,
+            } => {
+                self.u8(3);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.memloc(*loc);
+                self.value(*value);
+            }
+            Event::StoreBuffered {
+                tid,
+                pc,
+                loc,
+                value,
+            } => {
+                self.u8(4);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.memloc(*loc);
+                self.value(*value);
+            }
+            Event::StoreFlushed {
+                tid,
+                pc,
+                loc,
+                value,
+            } => {
+                self.u8(5);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.memloc(*loc);
+                self.value(*value);
+            }
+            Event::FuncEnter { tid, func, frame } => {
+                self.u8(6);
+                self.uvarint(tid.0 as u64);
+                self.uvarint(func.0 as u64);
+                self.uvarint(*frame);
+            }
+            Event::FuncExit { tid, func, frame } => {
+                self.u8(7);
+                self.uvarint(tid.0 as u64);
+                self.uvarint(func.0 as u64);
+                self.uvarint(*frame);
+            }
+            Event::Sync { tid, pc, kind, seq } => {
+                self.u8(8);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.sync_kind(*kind);
+                self.uvarint(*seq as u64);
+            }
+            Event::ThreadStart { tid, func } => {
+                self.u8(9);
+                self.uvarint(tid.0 as u64);
+                self.uvarint(func.0 as u64);
+            }
+            Event::ThreadEnd { tid } => {
+                self.u8(10);
+                self.uvarint(tid.0 as u64);
+            }
+            Event::Output { tid, value } => {
+                self.u8(11);
+                self.uvarint(tid.0 as u64);
+                self.value(*value);
+            }
+            Event::LoopEnter { tid, pc, loop_id } => {
+                self.u8(12);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.uvarint(loop_id.0 as u64);
+            }
+            Event::LoopIter {
+                tid,
+                pc,
+                loop_id,
+                count,
+            } => {
+                self.u8(13);
+                self.uvarint(tid.0 as u64);
+                self.pc(*pc);
+                self.uvarint(loop_id.0 as u64);
+                self.ivarint(*count);
+            }
+            Event::Crash { failure } => {
+                self.u8(14);
+                self.failure(*failure);
+            }
+        }
     }
 
     /// Appends a content hash (16 little-endian bytes).
@@ -478,7 +661,149 @@ impl<'a> Reader<'a> {
         };
         let pc = self.pc()?;
         let thread = ThreadId(self.uvarint()? as u32);
-        Ok(Failure { kind, pc, thread })
+        let fault = if self.bool()? {
+            let tag = self.u8()?;
+            let Some(kind) = fault_kind_from_tag(tag) else {
+                return self.err(format!("bad fault kind tag {tag}"));
+            };
+            let nth = self.uvarint()? as u32;
+            Some(InjectedFault { kind, nth })
+        } else {
+            None
+        };
+        Ok(Failure {
+            kind,
+            pc,
+            thread,
+            fault,
+        })
+    }
+
+    /// Reads a memory location.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown shape tag or truncation.
+    pub fn memloc(&mut self) -> Result<MemLoc, DecodeError> {
+        match self.u8()? {
+            0 => Ok(MemLoc::Global(GlobalId(self.uvarint()? as u32))),
+            1 => Ok(MemLoc::GlobalElem(
+                GlobalId(self.uvarint()? as u32),
+                self.uvarint()? as u32,
+            )),
+            2 => Ok(MemLoc::Heap(
+                ObjId(self.uvarint()? as u32),
+                self.uvarint()? as u32,
+            )),
+            3 => Ok(MemLoc::Local {
+                tid: ThreadId(self.uvarint()? as u32),
+                frame: self.uvarint()?,
+                local: LocalId(self.uvarint()? as u32),
+            }),
+            t => self.err(format!("bad memloc tag {t}")),
+        }
+    }
+
+    /// Reads a synchronization-operation kind.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown kind tag or truncation.
+    pub fn sync_kind(&mut self) -> Result<SyncKind, DecodeError> {
+        match self.u8()? {
+            0 => Ok(SyncKind::Acquire(LockId(self.uvarint()? as u32))),
+            1 => Ok(SyncKind::Release(LockId(self.uvarint()? as u32))),
+            2 => Ok(SyncKind::Spawn(ThreadId(self.uvarint()? as u32))),
+            3 => Ok(SyncKind::Join(ThreadId(self.uvarint()? as u32))),
+            4 => Ok(SyncKind::Flush),
+            t => self.err(format!("bad sync kind tag {t}")),
+        }
+    }
+
+    /// Reads one dynamic event.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown event tag or truncation.
+    pub fn event(&mut self) -> Result<Event, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Event::Stmt {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                cost: self.u8()?,
+            }),
+            1 => Ok(Event::Branch {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                outcome: self.bool()?,
+            }),
+            2 => Ok(Event::Read {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loc: self.memloc()?,
+                value: self.value()?,
+            }),
+            3 => Ok(Event::Write {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loc: self.memloc()?,
+                value: self.value()?,
+            }),
+            4 => Ok(Event::StoreBuffered {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loc: self.memloc()?,
+                value: self.value()?,
+            }),
+            5 => Ok(Event::StoreFlushed {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loc: self.memloc()?,
+                value: self.value()?,
+            }),
+            6 => Ok(Event::FuncEnter {
+                tid: ThreadId(self.uvarint()? as u32),
+                func: FuncId(self.uvarint()? as u32),
+                frame: self.uvarint()?,
+            }),
+            7 => Ok(Event::FuncExit {
+                tid: ThreadId(self.uvarint()? as u32),
+                func: FuncId(self.uvarint()? as u32),
+                frame: self.uvarint()?,
+            }),
+            8 => Ok(Event::Sync {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                kind: self.sync_kind()?,
+                seq: self.uvarint()? as u32,
+            }),
+            9 => Ok(Event::ThreadStart {
+                tid: ThreadId(self.uvarint()? as u32),
+                func: FuncId(self.uvarint()? as u32),
+            }),
+            10 => Ok(Event::ThreadEnd {
+                tid: ThreadId(self.uvarint()? as u32),
+            }),
+            11 => Ok(Event::Output {
+                tid: ThreadId(self.uvarint()? as u32),
+                value: self.value()?,
+            }),
+            12 => Ok(Event::LoopEnter {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loop_id: LoopId(self.uvarint()? as u32),
+            }),
+            13 => Ok(Event::LoopIter {
+                tid: ThreadId(self.uvarint()? as u32),
+                pc: self.pc()?,
+                loop_id: LoopId(self.uvarint()? as u32),
+                count: self.ivarint()?,
+            }),
+            14 => Ok(Event::Crash {
+                failure: self.failure()?,
+            }),
+            t => self.err(format!("bad event tag {t}")),
+        }
     }
 
     /// Reads a content hash.
@@ -509,6 +834,7 @@ fn failure_kind_tag(k: FailureKind) -> u8 {
         FailureKind::JoinInvalid => 7,
         FailureKind::StackOverflow => 8,
         FailureKind::AllocTooLarge => 9,
+        FailureKind::LockTimeout => 10,
     }
 }
 
@@ -524,6 +850,22 @@ fn failure_kind_from_tag(t: u8) -> Option<FailureKind> {
         7 => FailureKind::JoinInvalid,
         8 => FailureKind::StackOverflow,
         9 => FailureKind::AllocTooLarge,
+        10 => FailureKind::LockTimeout,
+        _ => return None,
+    })
+}
+
+fn fault_kind_tag(k: FaultKind) -> u8 {
+    match k {
+        FaultKind::AllocFail => 0,
+        FaultKind::LockTimeout => 1,
+    }
+}
+
+fn fault_kind_from_tag(t: u8) -> Option<FaultKind> {
+    Some(match t {
+        0 => FaultKind::AllocFail,
+        1 => FaultKind::LockTimeout,
         _ => return None,
     })
 }
@@ -591,18 +933,30 @@ mod tests {
             kind: FailureKind::OutOfBounds,
             pc,
             thread: ThreadId(3),
+            fault: None,
+        };
+        let g = Failure {
+            kind: FailureKind::LockTimeout,
+            pc,
+            thread: ThreadId(1),
+            fault: Some(InjectedFault {
+                kind: FaultKind::LockTimeout,
+                nth: 2,
+            }),
         };
         let mut w = Writer::new();
         w.pc(pc);
         w.opt_pc(None);
         w.opt_pc(Some(pc));
         w.failure(f);
+        w.failure(g);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.pc().unwrap(), pc);
         assert_eq!(r.opt_pc().unwrap(), None);
         assert_eq!(r.opt_pc().unwrap(), Some(pc));
         assert_eq!(r.failure().unwrap(), f);
+        assert_eq!(r.failure().unwrap(), g);
         r.finish().unwrap();
     }
 

@@ -149,6 +149,8 @@ pub enum AStmtKind {
     Release(String),
     /// `join e;`.
     Join(AExpr),
+    /// `fence;` — full memory fence (store-buffer drain point).
+    Fence,
     /// `assert(e);`.
     Assert(AExpr),
     /// `output(e);`.

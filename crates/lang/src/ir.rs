@@ -249,6 +249,10 @@ pub enum Inst {
     },
     /// No operation (labels, empty statements).
     Nop,
+    /// Full memory fence: drains the executing thread's store buffer
+    /// under a relaxed memory model and acts as a scheduling point in
+    /// every model. A no-op for memory under sequential consistency.
+    Fence,
 }
 
 impl Inst {
@@ -274,6 +278,7 @@ impl Inst {
             Inst::LoopEnter { .. } => 12,
             Inst::LoopIter { .. } => 13,
             Inst::Nop => 14,
+            Inst::Fence => 15,
         }
     }
 
@@ -289,11 +294,15 @@ impl Inst {
     }
 
     /// True for synchronization operations that act as CHESS scheduling
-    /// points: acquire, release, spawn, join.
+    /// points: acquire, release, spawn, join, fence.
     pub fn is_sync(&self) -> bool {
         matches!(
             self,
-            Inst::Acquire { .. } | Inst::Release { .. } | Inst::Spawn { .. } | Inst::Join { .. }
+            Inst::Acquire { .. }
+                | Inst::Release { .. }
+                | Inst::Spawn { .. }
+                | Inst::Join { .. }
+                | Inst::Fence
         )
     }
 }
@@ -697,6 +706,7 @@ fn render_inst(program: &Program, f: &Function, inst: &Inst) -> String {
         Inst::LoopEnter { loop_id } => format!("loop_enter L{}", loop_id.0),
         Inst::LoopIter { loop_id } => format!("loop_iter L{}", loop_id.0),
         Inst::Nop => "nop".into(),
+        Inst::Fence => "fence".into(),
     }
 }
 
@@ -850,6 +860,7 @@ mod tests {
             (Inst::LoopEnter { loop_id: LoopId(0) }, 12),
             (Inst::LoopIter { loop_id: LoopId(0) }, 13),
             (Inst::Nop, 14),
+            (Inst::Fence, 15),
         ];
         for (inst, tag) in cases {
             assert_eq!(inst.opcode(), tag, "{inst:?}");

@@ -39,6 +39,7 @@ pub enum Kw {
     Release,
     Spawn,
     Join,
+    Fence,
     Assert,
     Output,
     Alloc,
@@ -117,6 +118,7 @@ fn keyword(s: &str) -> Option<Kw> {
         "release" => Kw::Release,
         "spawn" => Kw::Spawn,
         "join" => Kw::Join,
+        "fence" => Kw::Fence,
         "assert" => Kw::Assert,
         "output" => Kw::Output,
         "alloc" => Kw::Alloc,

@@ -536,6 +536,9 @@ impl<'a> FuncLowerer<'a> {
                 let thread = self.expr(e, line)?;
                 self.emit(Inst::Join { thread }, line);
             }
+            AStmtKind::Fence => {
+                self.emit(Inst::Fence, line);
+            }
             AStmtKind::Assert(e) => {
                 let cond = self.expr(e, line)?;
                 self.emit(Inst::Assert { cond }, line);

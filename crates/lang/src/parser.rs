@@ -367,6 +367,11 @@ impl Parser {
                 self.expect_punct(Punct::Semi, "`;`")?;
                 AStmtKind::Join(e)
             }
+            Tok::Kw(Kw::Fence) => {
+                self.bump();
+                self.expect_punct(Punct::Semi, "`;`")?;
+                AStmtKind::Fence
+            }
             Tok::Kw(Kw::Assert) => {
                 self.bump();
                 self.expect_punct(Punct::LParen, "`(`")?;

@@ -57,6 +57,10 @@ pub enum CandidateKind {
     AfterSpawn,
     /// Before a `join`.
     BeforeJoin,
+    /// Before a store-buffer flush (TSO mode; also `fence` under SC) —
+    /// the instant at which another thread can still observe the
+    /// pre-flush (stale) memory.
+    BeforeFlush,
 }
 
 /// A schedule-independent name for a preemption point.
@@ -145,6 +149,7 @@ impl Observer for SyncLogger {
                     SyncKind::Release(_) => CandidateKind::AfterRelease,
                     SyncKind::Spawn(_) => CandidateKind::AfterSpawn,
                     SyncKind::Join(_) => CandidateKind::BeforeJoin,
+                    SyncKind::Flush => CandidateKind::BeforeFlush,
                 };
                 self.info.candidates.push(PreemptionPoint {
                     tid: *tid,
@@ -164,6 +169,18 @@ impl Observer for SyncLogger {
                 });
             }
             Event::Write { tid, pc, loc, .. } if loc.is_shared() => {
+                self.info.shared_accesses.push(SharedAccess {
+                    step,
+                    tid: *tid,
+                    pc: *pc,
+                    loc: *loc,
+                    is_write: true,
+                });
+            }
+            // A buffered store is the *program's* write (the flush is
+            // its delayed visibility, not a second access — counting
+            // `StoreFlushed` too would double-count every TSO write).
+            Event::StoreBuffered { tid, pc, loc, .. } if loc.is_shared() => {
                 self.info.shared_accesses.push(SharedAccess {
                     step,
                     tid: *tid,
@@ -293,7 +310,9 @@ pub fn annotate(
         let mut positions: Vec<(u32, u64)> = vec![(0, 0)];
         for c in list.iter() {
             match c.kind {
-                CandidateKind::BeforeAcquire | CandidateKind::BeforeJoin => {
+                CandidateKind::BeforeAcquire
+                | CandidateKind::BeforeJoin
+                | CandidateKind::BeforeFlush => {
                     positions.push((c.sync_seq, c.step));
                 }
                 CandidateKind::AfterRelease | CandidateKind::AfterSpawn => {

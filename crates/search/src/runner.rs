@@ -360,6 +360,7 @@ impl TestRun<'_, '_> {
                 CandidateKind::BeforeJoin => {
                     matches!(vm.next_inst(t), Some(Inst::Join { .. }))
                 }
+                CandidateKind::BeforeFlush => vm.flush_point(t),
                 _ => false,
             };
             if hit {
@@ -400,6 +401,15 @@ impl TestRun<'_, '_> {
             .filter(|&t| t != preempted)
             .filter(|&t| match self.guidance {
                 Guidance::All => true,
+                // A flush preemption perturbs the *visibility* of stores
+                // already executed, and the threads that race with stale
+                // memory do so on paths the passing run never took (a
+                // stale read flips a branch — that is what makes the bug
+                // SC-unreachable). Passing-run future-CSV sets therefore
+                // systematically under-approximate at flush anchors, and
+                // the CSV diff itself can be empty when the raced state
+                // converges afterwards; fall back to unguided selection.
+                Guidance::CsvOverlap if pm.point.kind == CandidateKind::BeforeFlush => true,
                 Guidance::CsvOverlap => {
                     let pos = vm.thread(t).sync_seq;
                     let fut = self.future.future(t, pos).or_else(|| self.future.any(t));

@@ -153,7 +153,12 @@ impl Observer for TraceCollector<'_> {
                     cur.uses.push((*loc, writer));
                 }
             }
-            Event::Write { loc, .. } => {
+            // Under TSO a buffered store is still the defining statement
+            // for dataflow purposes: the value a later read observes (via
+            // snooping or after the flush) originates here. The matching
+            // `StoreFlushed` is visibility bookkeeping, not a second def,
+            // and falls through to the ignore arm.
+            Event::Write { loc, .. } | Event::StoreBuffered { loc, .. } => {
                 if let Some(cur) = &mut self.current {
                     cur.defs.push(*loc);
                     self.last_writer.insert(*loc, cur.serial);

@@ -23,6 +23,12 @@ pub enum SyncKind {
     Spawn(ThreadId),
     /// Join; payload is the joined thread.
     Join(ThreadId),
+    /// A store-buffer drain point (TSO mode): the thread's pending
+    /// stores became globally visible here. Emitted by `fence`
+    /// unconditionally and by any drain of a non-empty buffer, so the
+    /// schedule search can enumerate preemptions *before* the flush —
+    /// the only place a store→load reordering is observable.
+    Flush,
 }
 
 /// One dynamic event.
@@ -68,6 +74,30 @@ pub enum Event {
         /// Location written.
         loc: MemLoc,
         /// Value stored.
+        value: Value,
+    },
+    /// A shared store entered the thread's store buffer instead of
+    /// memory (TSO mode only). Pairs with a later [`Event::StoreFlushed`]
+    /// for the same entry.
+    StoreBuffered {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Statement that issued the store.
+        pc: Pc,
+        /// Location the store targets.
+        loc: MemLoc,
+        /// Buffered value.
+        value: Value,
+    },
+    /// A buffered store became globally visible (TSO mode only).
+    StoreFlushed {
+        /// Thread whose buffer drained.
+        tid: ThreadId,
+        /// Statement that originally issued the store.
+        pc: Pc,
+        /// Location written.
+        loc: MemLoc,
+        /// Value committed to memory.
         value: Value,
     },
     /// A function body was entered (call, or thread root at spawn).
@@ -153,6 +183,8 @@ impl Event {
             | Event::Branch { tid, .. }
             | Event::Read { tid, .. }
             | Event::Write { tid, .. }
+            | Event::StoreBuffered { tid, .. }
+            | Event::StoreFlushed { tid, .. }
             | Event::FuncEnter { tid, .. }
             | Event::FuncExit { tid, .. }
             | Event::Sync { tid, .. }

@@ -1,10 +1,12 @@
 //! Failure descriptions — what a crash "is" for reproduction purposes.
 //!
 //! Two runs exhibit *the same failure* when they crash with the same
-//! [`FailureKind`] at the same program counter in the same thread role.
-//! This is the oracle the schedule search uses to decide that a candidate
-//! schedule reproduced the bug.
+//! [`FailureKind`] at the same program counter in the same thread role,
+//! under the same injected fault (if any). This is the oracle the
+//! schedule search uses to decide that a candidate schedule reproduced
+//! the bug.
 
+use crate::memmodel::InjectedFault;
 use crate::value::ThreadId;
 use mcr_lang::Pc;
 use std::fmt;
@@ -32,6 +34,9 @@ pub enum FailureKind {
     StackOverflow,
     /// Allocation request exceeded the heap object size limit.
     AllocTooLarge,
+    /// Lock acquisition timed out (injected via
+    /// [`crate::FaultKind::LockTimeout`]).
+    LockTimeout,
 }
 
 impl fmt::Display for FailureKind {
@@ -47,6 +52,7 @@ impl fmt::Display for FailureKind {
             FailureKind::JoinInvalid => "join on invalid thread id",
             FailureKind::StackOverflow => "stack overflow",
             FailureKind::AllocTooLarge => "allocation too large",
+            FailureKind::LockTimeout => "lock acquisition timed out",
         };
         f.write_str(s)
     }
@@ -61,26 +67,36 @@ pub struct Failure {
     pub pc: Pc,
     /// Which thread crashed.
     pub thread: ThreadId,
+    /// The injected fault that caused (or contributed to) the crash, if
+    /// any. Part of the bug's identity: the same crash kind/pc reached
+    /// via different injected faults is a different bug.
+    pub fault: Option<InjectedFault>,
 }
 
 impl Failure {
     /// Whether another failure is "the same bug": same kind at the same
-    /// program counter. The thread id is deliberately ignored — thread
-    /// numbering can differ between a stress run and a replay.
+    /// program counter, caused by the same injected fault (if any). The
+    /// thread id is deliberately ignored — thread numbering can differ
+    /// between a stress run and a replay.
     pub fn same_bug(&self, other: &Failure) -> bool {
-        self.kind == other.kind && self.pc == other.pc
+        self.kind == other.kind && self.pc == other.pc && self.fault == other.fault
     }
 }
 
 impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {} in {}", self.kind, self.pc, self.thread)
+        write!(f, "{} at {} in {}", self.kind, self.pc, self.thread)?;
+        if let Some(fault) = &self.fault {
+            write!(f, " (injected {} #{})", fault.kind, fault.nth)?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memmodel::FaultKind;
     use mcr_lang::{FuncId, StmtId};
 
     #[test]
@@ -90,11 +106,13 @@ mod tests {
             kind: FailureKind::NullDeref,
             pc,
             thread: ThreadId(1),
+            fault: None,
         };
         let b = Failure {
             kind: FailureKind::NullDeref,
             pc,
             thread: ThreadId(2),
+            fault: None,
         };
         assert!(a.same_bug(&b));
         let c = Failure {
@@ -105,14 +123,68 @@ mod tests {
     }
 
     #[test]
+    fn same_bug_distinguishes_injected_faults() {
+        let pc = Pc::new(FuncId(2), StmtId(7));
+        let base = Failure {
+            kind: FailureKind::NullDeref,
+            pc,
+            thread: ThreadId(1),
+            fault: Some(InjectedFault {
+                kind: FaultKind::AllocFail,
+                nth: 0,
+            }),
+        };
+        // Same fault, different thread: still the same bug.
+        let same = Failure {
+            thread: ThreadId(3),
+            ..base
+        };
+        assert!(base.same_bug(&same));
+        // Same crash kind/pc via a *different* alloc failing: distinct bug.
+        let other_nth = Failure {
+            fault: Some(InjectedFault {
+                kind: FaultKind::AllocFail,
+                nth: 1,
+            }),
+            ..base
+        };
+        assert!(!base.same_bug(&other_nth));
+        // Same crash kind/pc via a different fault kind: distinct bug.
+        let other_kind = Failure {
+            fault: Some(InjectedFault {
+                kind: FaultKind::LockTimeout,
+                nth: 0,
+            }),
+            ..base
+        };
+        assert!(!base.same_bug(&other_kind));
+        // Faulted vs organic crash at the same pc: distinct bug.
+        let organic = Failure {
+            fault: None,
+            ..base
+        };
+        assert!(!base.same_bug(&organic));
+    }
+
+    #[test]
     fn display_is_informative() {
         let f = Failure {
             kind: FailureKind::NullDeref,
             pc: Pc::new(FuncId(0), StmtId(2)),
             thread: ThreadId(1),
+            fault: None,
         };
         let s = f.to_string();
         assert!(s.contains("null pointer"), "{s}");
         assert!(s.contains("t1"), "{s}");
+        let g = Failure {
+            fault: Some(InjectedFault {
+                kind: FaultKind::AllocFail,
+                nth: 2,
+            }),
+            ..f
+        };
+        let s = g.to_string();
+        assert!(s.contains("injected alloc-fail #2"), "{s}");
     }
 }

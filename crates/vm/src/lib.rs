@@ -36,6 +36,7 @@
 pub mod event;
 pub mod failure;
 pub mod memloc;
+pub mod memmodel;
 pub mod plan;
 pub mod rng;
 pub mod sched;
@@ -46,6 +47,9 @@ pub mod vm;
 pub use event::{Event, NullObserver, Observer, Recorder, SyncKind, Tee};
 pub use failure::{Failure, FailureKind};
 pub use memloc::MemLoc;
+pub use memmodel::{
+    BufferedStore, FaultKind, FaultSpec, InjectedFault, MemModel, DEFAULT_STORE_BUFFER_CAP,
+};
 pub use plan::{DispatchPlan, FunctionPlan, PlanStats};
 pub use rng::SplitMix64;
 pub use sched::{

@@ -50,7 +50,7 @@ pub(crate) const EXPR_STACK: usize = 16;
 /// Number of [`Inst`] kinds the opcode layout was compiled against.
 /// Serialized plans embed this as a layout-version byte: a plan written
 /// by a build with a different instruction set never rehydrates.
-const OPCODE_LAYOUT: u8 = 15;
+const OPCODE_LAYOUT: u8 = 16;
 
 /// Plan wire magic + version.
 const MAGIC: &[u8; 4] = b"MCRD";
@@ -632,8 +632,9 @@ fn compile_inst(inst: &Inst, exprs: &mut Vec<Box<[Tok]>>) -> Op {
         Inst::LoopEnter { loop_id } => Op::LoopEnter { loop_id: *loop_id },
         Inst::LoopIter { loop_id } => Op::LoopIter { loop_id: *loop_id },
         Inst::Nop => Op::Nop,
-        // Call/Return/Spawn/Join/Alloc/Assert/Output mutate frames or
-        // evaluate arbitrary expressions; they stay on the legacy path.
+        // Call/Return/Spawn/Join/Alloc/Assert/Output/Fence mutate frames,
+        // evaluate arbitrary expressions, or interact with the memory
+        // model; they stay on the legacy path.
         _ => Op::Slow,
     }
 }

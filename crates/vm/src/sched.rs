@@ -77,7 +77,9 @@ impl StressScheduler {
     }
 
     /// Creates a stress scheduler with an explicit switch probability
-    /// (in percent, clamped to `1..=100`).
+    /// (in percent, clamped to `1..=100`; zero and out-of-range inputs
+    /// are brought into range rather than rejected so stress configs
+    /// from untrusted seeds can never disable switching entirely).
     pub fn with_switch_percent(seed: u64, switch_percent: u64) -> Self {
         StressScheduler {
             rng: SplitMix64::new(seed),
@@ -85,13 +87,31 @@ impl StressScheduler {
             current: Option::None,
         }
     }
+
+    /// The effective (clamped) per-statement switch probability.
+    pub fn switch_percent(&self) -> u64 {
+        self.switch_percent
+    }
 }
 
 impl Scheduler for StressScheduler {
-    fn pick(&mut self, _vm: &Vm<'_>, runnable: &[ThreadId]) -> ThreadId {
+    fn pick(&mut self, vm: &Vm<'_>, runnable: &[ThreadId]) -> ThreadId {
         if let Some(c) = self.current {
-            if runnable.contains(&c) && self.rng.next_below(100) >= self.switch_percent {
-                return c;
+            if runnable.contains(&c) {
+                // Flush points (pending store-buffer drains, fences) are
+                // where weak-memory reorderings become observable, so a
+                // stress run leans into them: double the switch odds right
+                // before one. Exactly one rng draw either way keeps the
+                // interleaving bit-identical for programs that never reach
+                // a flush point (every SC program without fences).
+                let switch = if vm.flush_point(c) {
+                    (self.switch_percent * 2).min(100)
+                } else {
+                    self.switch_percent
+                };
+                if self.rng.next_below(100) >= switch {
+                    return c;
+                }
             }
         }
         let pick = runnable[self.rng.next_below(runnable.len() as u64) as usize];
@@ -248,6 +268,44 @@ mod tests {
         // Racy increments/resets must yield more than one final value
         // across 40 random interleavings.
         assert!(distinct.len() > 1, "only saw {distinct:?}");
+    }
+
+    #[test]
+    fn switch_percent_inputs_are_clamped() {
+        assert_eq!(
+            StressScheduler::with_switch_percent(1, 0).switch_percent(),
+            1
+        );
+        assert_eq!(
+            StressScheduler::with_switch_percent(1, 55).switch_percent(),
+            55
+        );
+        assert_eq!(
+            StressScheduler::with_switch_percent(1, 100).switch_percent(),
+            100
+        );
+        assert_eq!(
+            StressScheduler::with_switch_percent(1, 10_000).switch_percent(),
+            100
+        );
+    }
+
+    #[test]
+    fn flush_points_do_not_perturb_sc_interleavings() {
+        // A fence-free SC program never reaches a flush point, so the
+        // flush-aware pick must replay the exact interleaving the
+        // historical scheduler produced (same rng draw sequence).
+        let p = mcr_lang::compile(RACY).unwrap();
+        for seed in [1u64, 7, 42, 1337] {
+            let trace = |_: ()| {
+                let mut vm = Vm::new(&p, &[]);
+                let mut s = StressScheduler::new(seed);
+                let mut rec = Recorder::default();
+                run(&mut vm, &mut s, &mut rec, 1_000_000);
+                rec.events
+            };
+            assert_eq!(trace(()), trace(()));
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use crate::event::{Event, Observer, SyncKind};
 use crate::failure::{Failure, FailureKind};
 use crate::memloc::MemLoc;
+use crate::memmodel::{BufferedStore, FaultKind, FaultSpec, InjectedFault, MemModel};
 use crate::plan::{DispatchPlan, Op, Rhs};
 use crate::value::{ObjId, ThreadId, Value};
 use mcr_lang::{
@@ -154,6 +155,15 @@ pub struct Thread {
     pub steps_taken: u64,
     /// The thread's "register file": the most recently computed value.
     pub last_value: Value,
+    /// Pending shared stores not yet globally visible (TSO mode only;
+    /// always empty under [`MemModel::Sc`]). Oldest first.
+    pub store_buffer: Vec<BufferedStore>,
+    /// Allocations attempted so far (the per-thread ordinal
+    /// [`crate::FaultSpec`] keys [`FaultKind::AllocFail`] on).
+    pub alloc_seq: u32,
+    /// Lock acquisitions attempted so far (the per-thread ordinal
+    /// [`crate::FaultSpec`] keys [`FaultKind::LockTimeout`] on).
+    pub acquire_seq: u32,
 }
 
 impl Thread {
@@ -205,6 +215,16 @@ pub struct Vm<'p> {
     steps: u64,
     instrs: u64,
     count_loop_instr: bool,
+    /// Memory consistency model for this run. [`MemModel::Sc`] (the
+    /// default) is bit-identical to the historical VM; see
+    /// [`crate::memmodel`].
+    mem_model: MemModel,
+    /// Environment faults to inject, keyed by per-thread operation
+    /// ordinals (schedule-independent).
+    faults: Vec<FaultSpec>,
+    /// The most recent injected fault, attached to the failure if the
+    /// run crashes (so distinct faults stay distinct bugs).
+    pending_fault: Option<InjectedFault>,
     failure: Option<Failure>,
     outputs: Vec<Value>,
     /// Events describing state that existed before any observer attached
@@ -255,6 +275,9 @@ impl<'p> Vm<'p> {
             steps: 0,
             instrs: 0,
             count_loop_instr: true,
+            mem_model: MemModel::Sc,
+            faults: Vec::new(),
+            pending_fault: None,
             failure: None,
             outputs: Vec::new(),
             pending_events: Vec::new(),
@@ -309,6 +332,84 @@ impl<'p> Vm<'p> {
     /// The attached dispatch plan, if any.
     pub fn plan(&self) -> Option<&Arc<DispatchPlan>> {
         self.plan.as_ref()
+    }
+
+    /// Selects the memory consistency model. Must be called before the
+    /// first step (store buffers start empty either way, so switching on
+    /// a fresh VM is always safe; switching mid-run is not supported).
+    pub fn set_mem_model(&mut self, model: MemModel) {
+        debug_assert_eq!(self.steps, 0, "memory model must be set before stepping");
+        self.mem_model = model;
+    }
+
+    /// Builder form of [`Vm::set_mem_model`].
+    pub fn with_mem_model(mut self, model: MemModel) -> Self {
+        self.set_mem_model(model);
+        self
+    }
+
+    /// The memory consistency model this run executes under.
+    pub fn mem_model(&self) -> MemModel {
+        self.mem_model
+    }
+
+    /// Installs the set of environment faults to inject (see
+    /// [`FaultSpec`]). Injection is schedule-independent, so the same
+    /// specs make a stress run and a search replay fault identically.
+    pub fn set_faults(&mut self, faults: &[FaultSpec]) {
+        self.faults = faults.to_vec();
+    }
+
+    /// Builder form of [`Vm::set_faults`].
+    pub fn with_faults(mut self, faults: &[FaultSpec]) -> Self {
+        self.set_faults(faults);
+        self
+    }
+
+    /// The installed fault specs.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether thread `tid`'s *next* statement is a store-buffer drain
+    /// point: a `fence` (always — fences are stable scheduling anchors
+    /// in every model), or, with pending buffered stores, any
+    /// drain-forcing operation (lock ops, spawn, join, thread exit).
+    ///
+    /// This is the lookahead predicate the schedule search and the
+    /// stress scheduler use to place preemptions *before* the flush —
+    /// the only instant at which a store→load reordering is observable
+    /// from outside the thread.
+    pub fn flush_point(&self, tid: ThreadId) -> bool {
+        let Some(t) = self.threads.get(tid.0 as usize) else {
+            return false;
+        };
+        if t.state != ThreadState::Ready {
+            return false;
+        }
+        match self.next_inst(tid) {
+            Some(Inst::Fence) => true,
+            Some(
+                Inst::Acquire { .. }
+                | Inst::Release { .. }
+                | Inst::Spawn { .. }
+                | Inst::Join { .. },
+            ) => !t.store_buffer.is_empty(),
+            Some(Inst::Return { .. }) => t.frames.len() == 1 && !t.store_buffer.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// The injected fault matching thread `tid`'s `nth` operation of
+    /// `kind`, if one is configured.
+    fn fault_for(&self, kind: FaultKind, tid: ThreadId, nth: u32) -> Option<InjectedFault> {
+        self.faults
+            .iter()
+            .find(|f| f.kind == kind && f.tid == tid && f.nth == nth)
+            .map(|f| InjectedFault {
+                kind: f.kind,
+                nth: f.nth,
+            })
     }
 
     /// Enables or disables charging instructions for loop-counter
@@ -408,8 +509,15 @@ impl<'p> Vm<'p> {
         match self.next_inst(tid) {
             // A held lock blocks the acquirer — including re-acquisition by
             // the owner (locks are not reentrant; a self-acquire deadlocks,
-            // as with a default pthread mutex).
-            Some(Inst::Acquire { lock }) => self.locks[lock.0 as usize].is_none(),
+            // as with a default pthread mutex). An injected lock timeout
+            // makes the blocked acquirer runnable so the step can surface
+            // the LockTimeout failure.
+            Some(Inst::Acquire { lock }) => {
+                self.locks[lock.0 as usize].is_none()
+                    || self
+                        .fault_for(FaultKind::LockTimeout, tid, t.acquire_seq)
+                        .is_some()
+            }
             Some(Inst::Join { thread }) => {
                 let frame = t.frames.last().expect("live thread has a frame");
                 match self.eval_quiet(t, frame, thread) {
@@ -480,6 +588,9 @@ impl<'p> Vm<'p> {
             instrs: 0,
             steps_taken: 0,
             last_value: Value::default(),
+            store_buffer: Vec::new(),
+            alloc_seq: 0,
+            acquire_seq: 0,
         });
         tid
     }
@@ -488,6 +599,20 @@ impl<'p> Vm<'p> {
     fn eval_quiet(&self, thread: &Thread, frame: &Frame, e: &Expr) -> Result<Value, FailureKind> {
         let mut sink = Vec::new();
         self.eval(thread, frame, e, &mut sink)
+    }
+
+    /// Store-to-load forwarding: the youngest buffered store to `loc`
+    /// from the reading thread's own buffer, if any. Other threads'
+    /// buffers are invisible by TSO design; under SC the buffer is
+    /// always empty and this is a no-op.
+    #[inline]
+    fn snoop(thread: &Thread, loc: MemLoc) -> Option<Value> {
+        thread
+            .store_buffer
+            .iter()
+            .rev()
+            .find(|b| b.loc == loc)
+            .map(|b| b.value)
     }
 
     fn eval(
@@ -514,8 +639,9 @@ impl<'p> Vm<'p> {
             }
             Expr::Global(g) => match &self.globals[g.0 as usize] {
                 GSlot::Scalar(v) => {
-                    reads.push((MemLoc::Global(*g), *v));
-                    Ok(*v)
+                    let v = Self::snoop(thread, MemLoc::Global(*g)).unwrap_or(*v);
+                    reads.push((MemLoc::Global(*g), v));
+                    Ok(v)
                 }
                 GSlot::Array(_) => Err(FailureKind::TypeConfusion),
             },
@@ -527,8 +653,9 @@ impl<'p> Vm<'p> {
                         if i < 0 || i as usize >= slots.len() {
                             return Err(FailureKind::GlobalOutOfBounds);
                         }
-                        let v = slots[i as usize];
-                        reads.push((MemLoc::GlobalElem(*g, i as u32), v));
+                        let loc = MemLoc::GlobalElem(*g, i as u32);
+                        let v = Self::snoop(thread, loc).unwrap_or(slots[i as usize]);
+                        reads.push((loc, v));
                         Ok(v)
                     }
                     GSlot::Scalar(_) => Err(FailureKind::TypeConfusion),
@@ -548,8 +675,9 @@ impl<'p> Vm<'p> {
                 if i < 0 || i as usize >= slots.len() {
                     return Err(FailureKind::OutOfBounds);
                 }
-                let v = slots[i as usize];
-                reads.push((MemLoc::Heap(obj, i as u32), v));
+                let loc = MemLoc::Heap(obj, i as u32);
+                let v = Self::snoop(thread, loc).unwrap_or(slots[i as usize]);
+                reads.push((loc, v));
                 Ok(v)
             }
             Expr::Unary(op, a) => {
@@ -698,6 +826,114 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Commits a drained store directly to shared memory (the TSO flush
+    /// path). Locals are never buffered, so only shared locations occur.
+    fn store_shared(&mut self, loc: MemLoc, v: Value) {
+        match loc {
+            MemLoc::Global(g) => Arc::make_mut(&mut self.globals)[g.0 as usize] = GSlot::Scalar(v),
+            MemLoc::GlobalElem(g, i) => {
+                if let GSlot::Array(slots) = &mut Arc::make_mut(&mut self.globals)[g.0 as usize] {
+                    slots[i as usize] = v;
+                }
+            }
+            MemLoc::Heap(o, i) => {
+                if let Some(slots) = &mut Arc::make_mut(&mut self.heap)[o.0 as usize] {
+                    Arc::make_mut(slots)[i as usize] = v;
+                }
+            }
+            MemLoc::Local { .. } => unreachable!("locals are never buffered"),
+        }
+    }
+
+    /// Routes a store through the memory model. Under SC — and for
+    /// thread-local destinations in every model — the store commits
+    /// immediately with a `Write` event, exactly as before. Under TSO a
+    /// shared store enqueues in the thread's FIFO buffer
+    /// (`StoreBuffered`); if the buffer is at capacity the oldest entry
+    /// spills to memory first (`StoreFlushed`, no sync point — capacity
+    /// pressure is not a scheduling event).
+    fn store_or_buffer(
+        &mut self,
+        rp: ResolvedPlace,
+        tid: ThreadId,
+        frame_serial: u64,
+        pc: Pc,
+        v: Value,
+        events: &mut Vec<Event>,
+    ) {
+        let loc = self.memloc_of(tid, frame_serial, rp);
+        let cap = match self.mem_model.buffer_cap() {
+            Some(cap) if loc.is_shared() => cap,
+            _ => {
+                self.store(rp, tid, v);
+                events.push(Event::Write {
+                    tid,
+                    pc,
+                    loc,
+                    value: v,
+                });
+                return;
+            }
+        };
+        let t = &mut self.threads[tid.0 as usize];
+        if t.store_buffer.len() >= cap as usize {
+            let old = t.store_buffer.remove(0);
+            self.store_shared(old.loc, old.value);
+            events.push(Event::StoreFlushed {
+                tid,
+                pc: old.pc,
+                loc: old.loc,
+                value: old.value,
+            });
+        }
+        self.threads[tid.0 as usize]
+            .store_buffer
+            .push(BufferedStore { loc, value: v, pc });
+        events.push(Event::StoreBuffered {
+            tid,
+            pc,
+            loc,
+            value: v,
+        });
+    }
+
+    /// Drains `tid`'s store buffer to memory, oldest first, emitting one
+    /// `StoreFlushed` per entry (each stamped with the pc that issued
+    /// the store).
+    fn drain_store_buffer(&mut self, tid: ThreadId, events: &mut Vec<Event>) {
+        let buf = std::mem::take(&mut self.threads[tid.0 as usize].store_buffer);
+        for b in buf {
+            self.store_shared(b.loc, b.value);
+            events.push(Event::StoreFlushed {
+                tid,
+                pc: b.pc,
+                loc: b.loc,
+                value: b.value,
+            });
+        }
+    }
+
+    /// Emits a [`SyncKind::Flush`] scheduling point (consuming a sync
+    /// ordinal) and drains the buffer. With `always` false this is a
+    /// no-op on an empty buffer — drain-forcing operations only become
+    /// scheduling events when there is something to drain; `fence` passes
+    /// true so it is a stable anchor in every model (including SC).
+    fn flush(&mut self, tid: ThreadId, pc: Pc, always: bool, events: &mut Vec<Event>) {
+        if !always && self.threads[tid.0 as usize].store_buffer.is_empty() {
+            return;
+        }
+        let t = &mut self.threads[tid.0 as usize];
+        let seq = t.sync_seq;
+        t.sync_seq += 1;
+        events.push(Event::Sync {
+            tid,
+            pc,
+            kind: SyncKind::Flush,
+            seq,
+        });
+        self.drain_store_buffer(tid, events);
+    }
+
     /// Executes one statement of thread `tid`.
     ///
     /// Returns `false` when the thread could not step (not runnable, done,
@@ -789,6 +1025,7 @@ impl<'p> Vm<'p> {
                     kind,
                     pc,
                     thread: tid,
+                    fault: self.pending_fault.take(),
                 };
                 self.failure = Some(failure);
                 self.threads[tid.0 as usize].state = ThreadState::Crashed;
@@ -832,8 +1069,9 @@ impl<'p> Vm<'p> {
             }
             Rhs::Global(g) => match &self.globals[g.0 as usize] {
                 GSlot::Scalar(v) => {
-                    reads.push((MemLoc::Global(g), *v));
-                    Ok(*v)
+                    let v = Self::snoop(thread, MemLoc::Global(g)).unwrap_or(*v);
+                    reads.push((MemLoc::Global(g), v));
+                    Ok(v)
                 }
                 GSlot::Array(_) => Err(FailureKind::TypeConfusion),
             },
@@ -890,8 +1128,9 @@ impl<'p> Vm<'p> {
                 }
                 Tok::Global(g) => match &self.globals[g.0 as usize] {
                     GSlot::Scalar(v) => {
-                        reads.push((MemLoc::Global(g), *v));
-                        stack[sp] = *v;
+                        let v = Self::snoop(thread, MemLoc::Global(g)).unwrap_or(*v);
+                        reads.push((MemLoc::Global(g), v));
+                        stack[sp] = v;
                         sp += 1;
                     }
                     GSlot::Array(_) => return Err(FailureKind::TypeConfusion),
@@ -965,14 +1204,8 @@ impl<'p> Vm<'p> {
                     (v, rp)
                 };
                 let serial = cur_frame!().serial;
-                self.store(rp, tid, v);
+                self.store_or_buffer(rp, tid, serial, pc, v, events);
                 self.threads[tid.0 as usize].last_value = v;
-                events.push(Event::Write {
-                    tid,
-                    pc,
-                    loc: self.memloc_of(tid, serial, rp),
-                    value: v,
-                });
                 advance!();
             }
             Inst::Branch {
@@ -1065,6 +1298,9 @@ impl<'p> Vm<'p> {
                     frame: popped.serial,
                 });
                 if self.threads[tid.0 as usize].frames.is_empty() {
+                    // A thread's stores become visible no later than its
+                    // exit (as joining it must observe them).
+                    self.flush(tid, pc, false, events);
                     self.threads[tid.0 as usize].state = ThreadState::Done;
                     events.push(Event::ThreadEnd { tid });
                 } else {
@@ -1074,20 +1310,28 @@ impl<'p> Vm<'p> {
                             Pc::new(f.func, f.pc)
                         };
                         let serial = cur_frame!().serial;
-                        self.store(rp, tid, v);
+                        self.store_or_buffer(rp, tid, serial, caller_pc, v, events);
                         self.threads[tid.0 as usize].last_value = v;
-                        events.push(Event::Write {
-                            tid,
-                            pc: caller_pc,
-                            loc: self.memloc_of(tid, serial, rp),
-                            value: v,
-                        });
                     }
                     advance!();
                 }
             }
             Inst::Acquire { lock } => {
-                debug_assert!(self.locks[lock.0 as usize].is_none());
+                // Every acquire attempt consumes the thread's acquire
+                // ordinal (the schedule-independent key lock-timeout
+                // injection matches on), faulting or not.
+                let nth = self.threads[tid.0 as usize].acquire_seq;
+                self.threads[tid.0 as usize].acquire_seq += 1;
+                if self.locks[lock.0 as usize].is_some() {
+                    // Only an injected timeout makes a blocked acquire
+                    // runnable (see `runnable`). Crash before draining:
+                    // the dump shows the buffer frozen mid-flight.
+                    let fault = self.fault_for(FaultKind::LockTimeout, tid, nth);
+                    debug_assert!(fault.is_some(), "blocked acquire stepped without a fault");
+                    self.pending_fault = fault;
+                    return Err(FailureKind::LockTimeout);
+                }
+                self.flush(tid, pc, false, events);
                 self.locks[lock.0 as usize] = Some(tid);
                 let seq = self.threads[tid.0 as usize].sync_seq;
                 self.threads[tid.0 as usize].sync_seq += 1;
@@ -1103,6 +1347,7 @@ impl<'p> Vm<'p> {
                 if self.locks[lock.0 as usize] != Some(tid) {
                     return Err(FailureKind::LockMisuse);
                 }
+                self.flush(tid, pc, false, events);
                 self.locks[lock.0 as usize] = None;
                 let seq = self.threads[tid.0 as usize].sync_seq;
                 self.threads[tid.0 as usize].sync_seq += 1;
@@ -1128,6 +1373,7 @@ impl<'p> Vm<'p> {
                     };
                     (vals, rp)
                 };
+                self.flush(tid, pc, false, events);
                 let child = self.spawn_thread(*callee, vals);
                 let child_frame = self.threads[child.0 as usize]
                     .frames
@@ -1154,13 +1400,7 @@ impl<'p> Vm<'p> {
                 if let Some(rp) = rp {
                     let serial = cur_frame!().serial;
                     let v = Value::Int(child.0 as i64);
-                    self.store(rp, tid, v);
-                    events.push(Event::Write {
-                        tid,
-                        pc,
-                        loc: self.memloc_of(tid, serial, rp),
-                        value: v,
-                    });
+                    self.store_or_buffer(rp, tid, serial, pc, v, events);
                 }
                 advance!();
             }
@@ -1180,6 +1420,7 @@ impl<'p> Vm<'p> {
                     ThreadState::Ready,
                     "runnable() only admits joins on finished threads"
                 );
+                self.flush(tid, pc, false, events);
                 let seq = self.threads[tid.0 as usize].sync_seq;
                 self.threads[tid.0 as usize].sync_seq += 1;
                 events.push(Event::Sync {
@@ -1201,22 +1442,32 @@ impl<'p> Vm<'p> {
                     let rp = self.resolve_place(thread, frame, dst, reads)?;
                     (n, rp)
                 };
-                if !(0..=MAX_ALLOC).contains(&n) {
-                    return Err(FailureKind::AllocTooLarge);
-                }
-                let obj = ObjId(self.heap.len() as u32);
-                Arc::make_mut(&mut self.heap)
-                    .push(Some(Arc::new(vec![Value::default(); n as usize])));
+                // Every attempt consumes the thread's alloc ordinal (the
+                // schedule-independent key alloc-failure injection
+                // matches on), before any size validation.
+                let nth = self.threads[tid.0 as usize].alloc_seq;
+                self.threads[tid.0 as usize].alloc_seq += 1;
+                let v = match self.fault_for(FaultKind::AllocFail, tid, nth) {
+                    Some(fault) => {
+                        // Injected allocation failure: the program sees
+                        // null and runs its recovery path. Non-fatal; the
+                        // fault identity sticks to any later crash.
+                        self.pending_fault = Some(fault);
+                        Value::NULL
+                    }
+                    None => {
+                        if !(0..=MAX_ALLOC).contains(&n) {
+                            return Err(FailureKind::AllocTooLarge);
+                        }
+                        let obj = ObjId(self.heap.len() as u32);
+                        Arc::make_mut(&mut self.heap)
+                            .push(Some(Arc::new(vec![Value::default(); n as usize])));
+                        Value::Ptr(Some(obj))
+                    }
+                };
                 let serial = cur_frame!().serial;
-                let v = Value::Ptr(Some(obj));
-                self.store(rp, tid, v);
+                self.store_or_buffer(rp, tid, serial, pc, v, events);
                 self.threads[tid.0 as usize].last_value = v;
-                events.push(Event::Write {
-                    tid,
-                    pc,
-                    loc: self.memloc_of(tid, serial, rp),
-                    value: v,
-                });
                 advance!();
             }
             Inst::Assert { cond } => {
@@ -1266,6 +1517,14 @@ impl<'p> Vm<'p> {
                     loop_id: *loop_id,
                     count,
                 });
+                advance!();
+            }
+            Inst::Fence => {
+                // A fence drains the buffer and is a scheduling anchor in
+                // *every* model (the sync point is emitted even when the
+                // buffer is empty), so a fence inside a critical section
+                // gives the search a stable preemption point under SC too.
+                self.flush(tid, pc, true, events);
                 advance!();
             }
             Inst::Nop => {

@@ -1,0 +1,427 @@
+//! Seeded bugs that need a non-default execution environment.
+//!
+//! The Table 2 suite ([`crate::bugs`]) lives entirely in the default
+//! environment: sequential consistency, no injected faults. This module
+//! holds the bugs that *cannot* exist there:
+//!
+//! * two store-buffering bugs (`tso-sb`, `tso-dekker`) whose failing
+//!   executions are impossible under SC — both are instances of the
+//!   store→load reordering TSO permits (a thread's own store is delayed
+//!   in its buffer past its next load of a *different* location), the
+//!   only relaxation TSO adds over SC;
+//! * two fault-injection bugs (`fault-publish`, `fault-timeout`) whose
+//!   buggy recovery paths are dead code until an injected allocation
+//!   failure or lock timeout steers execution into them.
+//!
+//! Every entry keeps the Heisenbug premise *within its own environment*:
+//! the deterministic single-core run passes even under TSO / with the
+//! fault plan armed, and only stressed interleavings crash. The suite is
+//! deliberately a separate registry from [`crate::bugs::all_bugs`] — the
+//! Table 2 census and its pinned shapes stay byte-identical.
+
+use mcr_vm::{FaultKind, FaultSpec, MemModel, ThreadId};
+
+/// Why a seeded bug needs its environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvRequirement {
+    /// Only reachable under TSO store buffering (SC-unreachable).
+    WeakMemory,
+    /// Only reachable with the fault plan armed.
+    FaultInjection,
+}
+
+/// One environment-gated seeded bug.
+#[derive(Debug, Clone)]
+pub struct FaultBugSpec {
+    /// Short name ("tso-sb").
+    pub name: &'static str,
+    /// What part of the environment the bug depends on.
+    pub requires: EnvRequirement,
+    /// Memory model the bug runs under.
+    pub mem_model: MemModel,
+    /// Fault plan the bug runs under (empty for the TSO bugs).
+    pub faults: Vec<FaultSpec>,
+    /// MiniCC source.
+    pub source: &'static str,
+    /// Program input.
+    pub input: &'static [i64],
+    /// Step budget for runs of this program.
+    pub max_steps: u64,
+}
+
+impl FaultBugSpec {
+    /// Compiles the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to compile (a bug in this
+    /// crate, covered by tests).
+    pub fn compile(&self) -> mcr_lang::Program {
+        mcr_lang::compile(self.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+
+    /// Builds a VM running in this bug's environment.
+    pub fn vm<'p>(&self, program: &'p mcr_lang::Program) -> mcr_vm::Vm<'p> {
+        mcr_vm::Vm::new(program, self.input)
+            .with_mem_model(self.mem_model)
+            .with_faults(&self.faults)
+    }
+}
+
+/// The classic SB litmus test, weaponized. Each worker publishes its
+/// flag and then polls the other's; under TSO both stores can sit in
+/// their buffers across both loads, so both workers observe 0 — an
+/// outcome SC forbids (whichever load executes last must see the other
+/// worker's already-visible store).
+const TSO_SB_SRC: &str = r#"
+    global x: int;
+    global y: int;
+    global r1: int;
+    global r2: int;
+
+    fn t0() {
+        x = 1;          // buffered under TSO
+        r1 = y;         // may read y before t1's store becomes visible
+    }
+
+    fn t1() {
+        y = 1;
+        r2 = x;
+    }
+
+    fn main() {
+        var a; var b;
+        a = spawn t0();
+        b = spawn t1();
+        join a;
+        join b;
+        // SC invariant: at least one worker saw the other's flag.
+        assert(r1 + r2 > 0);
+    }
+"#;
+
+/// Dekker-style mutual exclusion by flags alone. Each worker raises its
+/// intent flag and enters the critical section only if the other's flag
+/// is down — correct under SC, broken under TSO where both intent
+/// stores can be buffer-delayed past both loads, letting both workers
+/// in at once. Entry is recorded in per-thread indicator globals (a
+/// shared counter would let a lost update mask the double entry).
+const TSO_DEKKER_SRC: &str = r#"
+    global f0: int;
+    global f1: int;
+    global e0: int;
+    global e1: int;
+    global work: int;
+
+    fn t0() {
+        f0 = 1;                 // intent, buffered under TSO
+        if (f1 == 0) {
+            e0 = 1;             // entered the critical section
+            work = work + 1;
+        }
+        // Intent flags stay raised: lowering them would let the workers
+        // enter *sequentially* under SC, which is not the bug.
+    }
+
+    fn t1() {
+        f1 = 1;
+        if (f0 == 0) {
+            e1 = 1;
+            work = work + 1;
+        }
+    }
+
+    fn main() {
+        var a; var b;
+        a = spawn t0();
+        b = spawn t1();
+        join a;
+        join b;
+        // Mutual exclusion: both workers inside is an SC-impossible
+        // double entry.
+        assert(e0 + e1 < 2);
+    }
+"#;
+
+/// Publish-after-recovery order bug, dead until an allocation fails.
+/// The happy path publishes buffer-then-flag (correct). The recovery
+/// path for a failed allocation raises the flag *before* the retry
+/// allocation lands — an injected first-allocation failure plus a
+/// reader scheduled into that window dereferences the null buffer.
+const FAULT_PUBLISH_SRC: &str = r#"
+    global buf: ptr;
+    global ready: int;
+    global sink: int;
+
+    fn worker() {
+        var p;
+        p = alloc(4);
+        if (p == null) {
+            // Degraded mode. BUG: the flag goes up before the retry
+            // allocation is published. The fence pushes the flag out
+            // promptly — and is a first-class scheduling point, so the
+            // search can preempt inside the window it opens.
+            ready = 1;
+            fence;
+            p = alloc(4);
+            p[0] = 1;
+            buf = p;
+        } else {
+            p[0] = 7;
+            buf = p;
+            ready = 1;
+        }
+    }
+
+    fn reader() {
+        if (ready > 0) {
+            sink = buf[0];
+        }
+    }
+
+    fn main() {
+        spawn worker();
+        spawn reader();
+    }
+"#;
+
+/// Lock-timeout path: the fast worker's acquire is configured to time
+/// out (crash) when the gate is contended. The slow worker holds the
+/// gate across a `fence` — a first-class scheduling point inside the
+/// critical section, so schedule exploration can park `slow` mid-section
+/// and drive `fast` into the held lock. Fault-free, `fast` just blocks
+/// and the program always completes.
+const FAULT_TIMEOUT_SRC: &str = r#"
+    global done: int;
+    lock gate;
+
+    fn slow() {
+        acquire gate;
+        fence;              // schedulable point while holding the gate
+        done = done + 1;
+        release gate;
+    }
+
+    fn fast() {
+        acquire gate;       // injected: times out if the gate is held
+        done = done + 1;
+        release gate;
+    }
+
+    fn main() {
+        spawn slow();
+        spawn fast();
+    }
+"#;
+
+/// All environment-gated seeded bugs.
+pub fn fault_bugs() -> Vec<FaultBugSpec> {
+    vec![
+        FaultBugSpec {
+            name: "tso-sb",
+            requires: EnvRequirement::WeakMemory,
+            mem_model: MemModel::tso(),
+            faults: Vec::new(),
+            source: TSO_SB_SRC,
+            input: &[],
+            max_steps: 100_000,
+        },
+        FaultBugSpec {
+            name: "tso-dekker",
+            requires: EnvRequirement::WeakMemory,
+            mem_model: MemModel::tso(),
+            faults: Vec::new(),
+            source: TSO_DEKKER_SRC,
+            input: &[],
+            max_steps: 100_000,
+        },
+        FaultBugSpec {
+            name: "fault-publish",
+            requires: EnvRequirement::FaultInjection,
+            mem_model: MemModel::Sc,
+            // main = 0, worker = 1: fail the worker's first allocation.
+            faults: vec![FaultSpec {
+                kind: FaultKind::AllocFail,
+                tid: ThreadId(1),
+                nth: 0,
+            }],
+            source: FAULT_PUBLISH_SRC,
+            input: &[],
+            max_steps: 100_000,
+        },
+        FaultBugSpec {
+            name: "fault-timeout",
+            requires: EnvRequirement::FaultInjection,
+            mem_model: MemModel::Sc,
+            // main = 0, slow = 1, fast = 2: time out the fast worker's
+            // first acquire when contended.
+            faults: vec![FaultSpec {
+                kind: FaultKind::LockTimeout,
+                tid: ThreadId(2),
+                nth: 0,
+            }],
+            source: FAULT_TIMEOUT_SRC,
+            input: &[],
+            max_steps: 100_000,
+        },
+    ]
+}
+
+/// Looks up a seeded bug by name (same forgiving matching as
+/// [`crate::bugs::bug_by_name`]: case-insensitive, `_` ≡ `-`).
+pub fn fault_bug_by_name(name: &str) -> Option<FaultBugSpec> {
+    let wanted = normalize(name);
+    fault_bugs()
+        .into_iter()
+        .find(|b| normalize(b.name) == wanted)
+}
+
+fn normalize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '_' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_vm::{run, DeterministicScheduler, NullObserver, Outcome, StressScheduler, Vm};
+
+    fn crashes_with(bug: &FaultBugSpec, vm: impl Fn() -> Vm<'static>, seeds: u64) -> bool {
+        let _ = bug;
+        for seed in 0..seeds {
+            let mut vm = vm();
+            let mut s = StressScheduler::new(seed);
+            if let Outcome::Crashed(_) = run(&mut vm, &mut s, &mut NullObserver, 100_000) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn all_fault_bugs_compile_and_validate() {
+        for bug in fault_bugs() {
+            let p = bug.compile();
+            assert!(p.validate().is_ok(), "{}", bug.name);
+        }
+    }
+
+    #[test]
+    fn registry_shape() {
+        let bugs = fault_bugs();
+        assert_eq!(bugs.len(), 4);
+        assert_eq!(
+            bugs.iter()
+                .filter(|b| b.requires == EnvRequirement::WeakMemory)
+                .count(),
+            2
+        );
+        assert_eq!(
+            bugs.iter()
+                .filter(|b| b.requires == EnvRequirement::FaultInjection)
+                .count(),
+            2
+        );
+        // Environment invariants: TSO bugs carry no faults, fault bugs
+        // run under SC (each axis is isolated).
+        for b in &bugs {
+            match b.requires {
+                EnvRequirement::WeakMemory => {
+                    assert!(b.mem_model.is_tso(), "{}", b.name);
+                    assert!(b.faults.is_empty(), "{}", b.name);
+                }
+                EnvRequirement::FaultInjection => {
+                    assert_eq!(b.mem_model, MemModel::Sc, "{}", b.name);
+                    assert!(!b.faults.is_empty(), "{}", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_bug_lookup() {
+        assert_eq!(fault_bug_by_name("TSO_SB").unwrap().name, "tso-sb");
+        assert!(fault_bug_by_name("tso-nope").is_none());
+    }
+
+    #[test]
+    fn all_pass_deterministically_in_their_environment() {
+        // The Heisenbug premise holds even with TSO / the fault plan
+        // armed: the single-core canonical run never crashes.
+        for bug in fault_bugs() {
+            let p = bug.compile();
+            let mut vm = bug.vm(&p);
+            let mut s = DeterministicScheduler::new();
+            let out = run(&mut vm, &mut s, &mut NullObserver, bug.max_steps);
+            assert_eq!(out, Outcome::Completed, "{}", bug.name);
+        }
+    }
+
+    #[test]
+    fn all_fail_under_stress_in_their_environment() {
+        for bug in fault_bugs() {
+            let p = Box::leak(Box::new(bug.compile()));
+            let found = crashes_with(&bug, || bug.vm(p), 50_000);
+            assert!(found, "{}: stress never exposed the bug", bug.name);
+        }
+    }
+
+    #[test]
+    fn tso_bugs_are_unreachable_under_sc() {
+        for bug in fault_bugs() {
+            if bug.requires != EnvRequirement::WeakMemory {
+                continue;
+            }
+            let p = Box::leak(Box::new(bug.compile()));
+            let found = crashes_with(&bug, || Vm::new(p, bug.input), 50_000);
+            assert!(!found, "{}: crashed under SC", bug.name);
+        }
+    }
+
+    #[test]
+    fn fault_bugs_are_unreachable_without_the_fault_plan() {
+        for bug in fault_bugs() {
+            if bug.requires != EnvRequirement::FaultInjection {
+                continue;
+            }
+            let p = Box::leak(Box::new(bug.compile()));
+            let found = crashes_with(
+                &bug,
+                || Vm::new(p, bug.input).with_mem_model(bug.mem_model),
+                50_000,
+            );
+            assert!(!found, "{}: crashed without faults", bug.name);
+        }
+    }
+
+    #[test]
+    fn injected_failures_carry_their_fault_tag() {
+        for bug in fault_bugs() {
+            if bug.requires != EnvRequirement::FaultInjection {
+                continue;
+            }
+            let p = bug.compile();
+            let mut failure = None;
+            for seed in 0..50_000u64 {
+                let mut vm = bug.vm(&p);
+                let mut s = StressScheduler::new(seed);
+                if let Outcome::Crashed(f) = run(&mut vm, &mut s, &mut NullObserver, bug.max_steps)
+                {
+                    failure = Some(f);
+                    break;
+                }
+            }
+            let f = failure.unwrap_or_else(|| panic!("{}: no crash", bug.name));
+            let fault = f
+                .fault
+                .unwrap_or_else(|| panic!("{}: crash lost its fault tag", bug.name));
+            assert_eq!(fault.kind, bug.faults[0].kind, "{}", bug.name);
+            assert_eq!(fault.nth, bug.faults[0].nth, "{}", bug.name);
+        }
+    }
+}

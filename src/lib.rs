@@ -16,10 +16,19 @@
 //!
 //! Every test runs in both tiers; the tier changes only how hard the
 //! stress loop and the schedule search are allowed to work.
+//!
+//! ## Memory-model matrix
+//!
+//! Orthogonally, `MCR_TEST_MEMMODEL=tso` re-runs every fixture-driven
+//! test under the TSO store-buffer mode (`mcr_vm::MemModel::Tso`):
+//! [`stress_bug`], [`fig1_failure`], and [`repro_options`] then stress,
+//! align, replay, and search in that environment, exercising the whole
+//! pipeline over buffered stores and flush scheduling points. Unset (or
+//! any other value) is sequential consistency.
 
 #![warn(missing_docs)]
 
-use mcr_core::{find_failure, ReproOptions, StressFailure};
+use mcr_core::{ReproOptions, StressFailure};
 
 // Facade re-exports: the staged session API, so tests and examples can
 // take everything from one crate.
@@ -59,6 +68,27 @@ pub fn stress_seed_cap() -> u64 {
     }
 }
 
+/// Memory model the suite-wide fixtures execute under. The CI matrix
+/// sets `MCR_TEST_MEMMODEL=tso` to drive the tier-1 suite through the
+/// TSO store-buffer mode end to end (stress, alignment, replay, and
+/// search all run in the same environment); unset — or any other value
+/// — is sequential consistency, the default.
+pub fn test_mem_model() -> mcr_vm::MemModel {
+    match std::env::var("MCR_TEST_MEMMODEL") {
+        Ok(v) if v.eq_ignore_ascii_case("tso") => mcr_vm::MemModel::tso(),
+        _ => mcr_vm::MemModel::Sc,
+    }
+}
+
+/// The suite-wide stress environment derived from `MCR_TEST_MEMMODEL`
+/// (no fault plan — faults are always opted into per bug).
+pub fn test_run_config() -> mcr_core::RunConfig {
+    mcr_core::RunConfig {
+        mem_model: test_mem_model(),
+        faults: Vec::new(),
+    }
+}
+
 /// Try cap for schedule searches driven through [`ReproOptions`].
 pub fn search_max_tries() -> u64 {
     match tier() {
@@ -67,11 +97,13 @@ pub fn search_max_tries() -> u64 {
     }
 }
 
-/// Standard reproduction options at the active tier's search budget.
+/// Standard reproduction options at the active tier's search budget and
+/// the suite-wide memory model (see [`test_mem_model`]).
 pub fn repro_options(algorithm: Algorithm, strategy: Strategy) -> ReproOptions {
     ReproOptions {
         algorithm,
         strategy,
+        mem_model: test_mem_model(),
         search: SearchConfig {
             max_tries: search_max_tries(),
             ..Default::default()
@@ -133,9 +165,54 @@ pub fn assert_reports_equivalent(
 pub fn stress_bug(bug: &BugSpec) -> (mcr_lang::Program, StressFailure) {
     let program = bug.compile();
     let input = bug.default_input();
-    let sf = find_failure(&program, &input, 0..stress_seed_cap(), bug.max_steps)
-        .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
+    let sf = mcr_core::find_failure_cfg(
+        &program,
+        &input,
+        0..stress_seed_cap(),
+        bug.max_steps,
+        &test_run_config(),
+    )
+    .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
     (program, sf)
+}
+
+/// The execution environment ([`mcr_core::RunConfig`]) of an
+/// environment-gated seeded bug.
+pub fn fault_bug_env(bug: &mcr_workloads::FaultBugSpec) -> mcr_core::RunConfig {
+    mcr_core::RunConfig {
+        mem_model: bug.mem_model,
+        faults: bug.faults.clone(),
+    }
+}
+
+/// Like [`stress_bug`] for the environment-gated suite: stresses `bug`
+/// *in its own environment* (TSO and/or fault plan) to a failure dump.
+pub fn stress_fault_bug(bug: &mcr_workloads::FaultBugSpec) -> (mcr_lang::Program, StressFailure) {
+    let program = bug.compile();
+    let sf = mcr_core::find_failure_cfg(
+        &program,
+        bug.input,
+        0..stress_seed_cap(),
+        bug.max_steps,
+        &fault_bug_env(bug),
+    )
+    .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
+    (program, sf)
+}
+
+/// [`repro_options`] with the environment of an environment-gated bug
+/// applied (memory model + fault plan), so the whole session — passing
+/// run, alignment, replay, and search — executes where the bug lives.
+pub fn repro_options_env(
+    algorithm: Algorithm,
+    strategy: Strategy,
+    bug: &mcr_workloads::FaultBugSpec,
+) -> ReproOptions {
+    ReproOptions {
+        mem_model: bug.mem_model,
+        faults: bug.faults.clone(),
+        ..repro_options(algorithm, strategy)
+    }
 }
 
 /// The paper's Fig. 1 program. `input[i]` plays the role of `a[i]`.
@@ -171,11 +248,12 @@ pub const FIXTURE_MAX_STEPS: u64 = 1_000_000;
 /// Compiles Fig. 1 and stresses it to its failure dump.
 pub fn fig1_failure() -> (mcr_lang::Program, StressFailure) {
     let program = mcr_lang::compile(FIG1).expect("FIG1 compiles");
-    let sf = find_failure(
+    let sf = mcr_core::find_failure_cfg(
         &program,
         &FIG1_INPUT,
         0..stress_seed_cap(),
         FIXTURE_MAX_STEPS,
+        &test_run_config(),
     )
     .expect("fig1 race fires under stress");
     (program, sf)

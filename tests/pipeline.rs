@@ -52,15 +52,33 @@ fn every_bug_reproduces_with_chessx_dependence() {
 /// directed search needs no more tries than plain CHESS.
 #[test]
 fn directed_search_never_loses_to_plain_chess() {
+    // Pinned to SC regardless of the MCR_TEST_MEMMODEL matrix: the
+    // order-of-magnitude headline is a claim about the *directed*
+    // search. Under TSO flush preemptions are deliberately unguided
+    // (passing-run CSV sets under-approximate at flush anchors), so
+    // the guided/plain gap legitimately narrows there. The stress
+    // dump is built under SC too, so the whole comparison stays in
+    // one environment.
+    let sc = |algorithm| mcr_core::ReproOptions {
+        mem_model: mcr_vm::MemModel::Sc,
+        ..options(algorithm, Strategy::Temporal)
+    };
     for name in ["apache-2", "mysql-1", "mysql-3"] {
         let bug = mcr_workloads::bug_by_name(name).unwrap();
-        let (program, sf) = stress_bug(&bug);
+        let program = bug.compile();
         let input = bug.default_input();
+        let sf = mcr_core::find_failure(
+            &program,
+            &input,
+            0..mcr_testsupport::stress_seed_cap(),
+            bug.max_steps,
+        )
+        .unwrap();
 
-        let guided = Reproducer::new(&program, options(Algorithm::ChessX, Strategy::Temporal))
+        let guided = Reproducer::new(&program, sc(Algorithm::ChessX))
             .reproduce(&sf.dump, &input)
             .unwrap();
-        let plain = Reproducer::new(&program, options(Algorithm::Chess, Strategy::Temporal))
+        let plain = Reproducer::new(&program, sc(Algorithm::Chess))
             .reproduce(&sf.dump, &input)
             .unwrap();
         assert!(guided.search.reproduced, "{name}: guided failed");
@@ -133,8 +151,12 @@ fn winning_schedule_replays_to_the_same_failure() {
     let report = reproducer.reproduce(&sf.dump, &input).unwrap();
     let winning = report.search.winning.expect("reproduced");
 
+    // The schedule was found in the matrix environment; the standalone
+    // replay must run in the same one or the candidate anchors drift.
+    let model = mcr_testsupport::test_mem_model();
+
     // Rebuild the future map (the replay needs only the schedule).
-    let mut vm = Vm::new(&program, &input);
+    let mut vm = Vm::new(&program, &input).with_mem_model(model);
     let mut log = SyncLogger::new();
     run(
         &mut vm,
@@ -145,7 +167,7 @@ fn winning_schedule_replays_to_the_same_failure() {
     let info = log.finish();
     let (_, future) = mcr_search::annotate(&info, &Default::default(), &Default::default());
 
-    let fresh = Vm::new(&program, &input);
+    let fresh = Vm::new(&program, &input).with_mem_model(model);
     let replay = TestRun {
         fresh_vm: &fresh,
         preemptions: &winning,

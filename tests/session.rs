@@ -268,7 +268,10 @@ fn instruction_count_alignment_logs_in_one_run() {
     let mut session = ReproSession::new(&program, sf.dump, &input, opts).unwrap();
     let artifact = session.run_align().unwrap().clone();
 
-    let mut vm = Vm::new(&program, &input);
+    // The session follows the MCR_TEST_MEMMODEL matrix; the explicitly
+    // logged run must execute under the same model or the flush
+    // candidates diverge.
+    let mut vm = Vm::new(&program, &input).with_mem_model(mcr_testsupport::test_mem_model());
     let mut logger = SyncLogger::new();
     run(
         &mut vm,
