@@ -24,10 +24,11 @@
 //! `BENCH_batch.json` so successive PRs leave a measurable trajectory
 //! alongside `BENCH_search.json`.
 
-use mcr_batch::{Fleet, FleetConfig, FleetJob};
+use mcr_batch::{AdmissionPolicy, Fleet, FleetConfig, FleetJob, TriageService};
 use mcr_core::{
     find_failure_par, ArtifactStore, CorpusManifest, FuncUnitStats, ManifestStats, MemoryStore,
-    PhaseStats, ReproOptions, ReproReport, ReproSession, Reproducer, StoreStats, PHASE_KINDS,
+    PhaseStats, ReproOptions, ReproReport, ReproSession, Reproducer, SegStore, StoreStats,
+    PHASE_KINDS, SEG_STORE_FRAME_SIZE,
 };
 use mcr_workloads::{all_bugs, bug_by_name, fleet_mix, fleet_recompile, FleetSpec};
 use std::collections::HashMap;
@@ -102,6 +103,11 @@ pub struct BatchReport {
     /// Function-granular recompile measurement over a revision stream
     /// (see [`recompile_report`]).
     pub recompile: RecompileReport,
+    /// Streaming-artifacts measurement: peak resident bytes of the
+    /// materialized vs. segmented churn replay, segment-level access
+    /// counters, and the adaptive-admission shed count (see
+    /// [`StreamingReport`]).
+    pub streaming: StreamingReport,
     /// Byte capacity of the churn probe (see [`BatchReport::churn`]).
     pub churn_capacity: usize,
     /// Cache-churn simulation: the fleet's warm artifacts replayed, in
@@ -233,20 +239,35 @@ pub fn batch_report() -> BatchReport {
 
     // Churn probe: replay the warm cache through an LRU bounded just
     // below the measured footprint and record which phase kinds get
-    // evicted. One put pass in key order (deterministic), then one full
-    // get scan over the same keys — the misses show what the pressure
-    // pushed out.
-    let entries = mem_store.entries();
-    let entry_sizes: Vec<usize> = entries.iter().map(|(_, b)| b.len()).collect();
+    // evicted. One put pass in key order (deterministic, streamed
+    // borrowed — no materialized clone), then one full get scan over
+    // the same keys — the misses show what the pressure pushed out.
+    let entry_sizes: Vec<usize> = mem_store.entry_sizes().iter().map(|(_, n)| *n).collect();
     let churn_capacity = churn_probe_capacity(&entry_sizes);
     let probe = MemoryStore::with_capacity(churn_capacity);
-    for (key, bytes) in &entries {
-        probe.put(key, bytes);
-    }
-    for (key, _) in &entries {
+    mem_store.for_each_entry(|key, bytes| probe.put(key, bytes));
+    mem_store.for_each_entry(|key, _| {
         let _ = probe.get(key);
-    }
+    });
     let churn = probe.stats().per_phase;
+
+    // Snapshot the fleet-run counters before the streaming legs replay
+    // (and the adaptive fleet rehydrates) against the same warm store.
+    let store_stats = store.stats();
+
+    let fleet_reports: Vec<Option<&ReproReport>> = outcome
+        .jobs
+        .iter()
+        .map(|j| j.result.as_ref().ok())
+        .collect();
+    let streaming = streaming_report(
+        &mem_store,
+        &store,
+        &prepared,
+        &programs,
+        &fleet_reports,
+        workers,
+    );
 
     let recompile = recompile_report();
 
@@ -273,10 +294,160 @@ pub fn batch_report() -> BatchReport {
         },
         identical_results: identical,
         reproduced,
-        store: store.stats(),
+        store: store_stats,
         recompile,
+        streaming,
         churn_capacity,
         churn,
+    }
+}
+
+/// Results of the streaming-artifacts measurement: the fleet's warm
+/// store replayed through a *half-footprint* churn workload via both
+/// artifact paths, plus a segment-rehydration scan and a small
+/// adaptive-admission fleet.
+///
+/// * **materialized leg** — the historical path: `entries()` clones
+///   every warm artifact up front, then replays them through a
+///   capacity-bounded LRU. Peak residency ≈ full clone + probe.
+/// * **segmented leg** — the streaming path: the same artifacts
+///   rehydrated one at a time, by byte range, from a [`SegStore`]
+///   container snapshot. Peak residency ≈ probe + one entry.
+///
+/// `peak_reduction` (materialized / segmented) is the acceptance
+/// metric: `tables -- batch-json` refuses to write a report below
+/// 1.5×.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingReport {
+    /// Total warm artifact bytes replayed.
+    pub footprint_bytes: usize,
+    /// Probe LRU capacity: half the footprint (floored at the largest
+    /// single entry so every artifact stays admissible).
+    pub capacity_bytes: usize,
+    /// Peak resident bytes of the materialized replay (clone +
+    /// probe).
+    pub peak_materialized_bytes: usize,
+    /// Peak resident bytes of the segmented replay (probe + one
+    /// rehydrated entry).
+    pub peak_segmented_bytes: usize,
+    /// `peak_materialized_bytes / peak_segmented_bytes` — gated ≥ 1.5.
+    pub peak_reduction: f64,
+    /// Physical size of the [`SegStore`] container the segmented leg
+    /// read from.
+    pub container_bytes: usize,
+    /// Segments touched rehydrating entries (with repetition).
+    pub segment_touches: u64,
+    /// Touches that verified a segment checksum for the first time.
+    pub segment_verified: u64,
+    /// Fraction of touches that found the segment already verified
+    /// (see [`mcr_core::SegAccessStats::hit_rate`]).
+    pub segment_hit_rate: f64,
+    /// Jobs the adaptive-admission fleet shed to the cold store.
+    pub shed_jobs: u64,
+    /// Whether every adaptive-fleet report matched its plain-fleet
+    /// counterpart (shedding must never change results).
+    pub identical_results: bool,
+}
+
+/// Runs the streaming measurement against the fleet's warm store (see
+/// [`StreamingReport`]). `fleet_reports` are the plain fleet's reports
+/// in `prepared` order — the baseline the adaptive fleet must match.
+fn streaming_report(
+    warm: &MemoryStore,
+    warm_dyn: &Arc<dyn ArtifactStore>,
+    prepared: &[PreparedJob],
+    programs: &[mcr_lang::Program],
+    fleet_reports: &[Option<&ReproReport>],
+    workers: usize,
+) -> StreamingReport {
+    let sizes = warm.entry_sizes();
+    let footprint: usize = sizes.iter().map(|(_, n)| n).sum();
+    let largest = sizes.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    let capacity = (footprint / 2).max(largest).max(1);
+
+    // Materialized leg: the full clone is held for the whole replay.
+    let entries = warm.entries();
+    let probe = MemoryStore::with_capacity(capacity);
+    let mut peak_materialized = footprint;
+    for (key, bytes) in &entries {
+        probe.put(key, bytes);
+        peak_materialized = peak_materialized.max(footprint + probe.stats().bytes);
+    }
+    drop(entries);
+
+    // Segmented leg: rehydrate each entry by byte range from the
+    // container; only the probe and one in-flight entry are resident.
+    let seg = SegStore::from_bytes(SegStore::snapshot(warm, SEG_STORE_FRAME_SIZE))
+        .expect("snapshot of a live store parses");
+    let probe = MemoryStore::with_capacity(capacity);
+    let mut peak_segmented = 0usize;
+    for (key, _) in &sizes {
+        let bytes = seg.get(key).expect("snapshot holds every warm entry");
+        probe.put(key, &bytes);
+        peak_segmented = peak_segmented.max(probe.stats().bytes + bytes.len());
+    }
+    // A second full scan: every segment is verified now, so re-reads
+    // are pure hits — the steady-state access profile.
+    for (key, _) in &sizes {
+        let _ = seg.get(key);
+    }
+    let access = seg.access_stats();
+
+    // Adaptive-admission leg: the same job mix against a hot store far
+    // too small for its artifacts, with the warm store as the cold
+    // shard. Once the first job's churn trips the telemetry, admission
+    // sheds the rest cold — where they rehydrate bit-identically.
+    let service = TriageService::new(FleetConfig {
+        workers,
+        store: Arc::new(MemoryStore::with_capacity(64)),
+        cold_store: Some(Arc::clone(warm_dyn)),
+        admission: AdmissionPolicy::Adaptive {
+            max_pending: 2,
+            churn_permille: 250,
+        },
+        ..Default::default()
+    });
+    let mut identical = true;
+    for (job, baseline) in prepared.iter().zip(fleet_reports) {
+        let outcome = service
+            .submit(
+                FleetJob::new(
+                    job.spec.name.clone(),
+                    &programs[job.program_idx],
+                    job.dump.clone(),
+                    &job.input,
+                )
+                .with_priority(job.spec.priority),
+            )
+            .unwrap_or_else(|e| panic!("adaptive admission blocks, never rejects: {e}"))
+            .wait();
+        match (&outcome.result, baseline) {
+            (Ok(report), Some(base)) => {
+                if !reports_equal(report, base) {
+                    identical = false;
+                }
+            }
+            _ => identical = false,
+        }
+    }
+    let summary = service.shutdown();
+
+    StreamingReport {
+        footprint_bytes: footprint,
+        capacity_bytes: capacity,
+        peak_materialized_bytes: peak_materialized,
+        peak_segmented_bytes: peak_segmented,
+        peak_reduction: if peak_segmented > 0 {
+            peak_materialized as f64 / peak_segmented as f64
+        } else {
+            0.0
+        },
+        container_bytes: seg.container_len(),
+        segment_touches: access.touches,
+        segment_verified: access.verified,
+        segment_hit_rate: access.hit_rate(),
+        shed_jobs: summary.shed,
+        identical_results: identical,
     }
 }
 
@@ -459,6 +630,28 @@ impl BatchReport {
         let _ = writeln!(s, "      \"dedup_ratio\": {:.3}", r.manifest.dedup_ratio());
         let _ = writeln!(s, "    }}");
         let _ = writeln!(s, "  }},");
+        let st = &self.streaming;
+        let _ = writeln!(s, "  \"streaming\": {{");
+        let _ = writeln!(s, "    \"footprint_bytes\": {},", st.footprint_bytes);
+        let _ = writeln!(s, "    \"capacity_bytes\": {},", st.capacity_bytes);
+        let _ = writeln!(
+            s,
+            "    \"peak_materialized_bytes\": {},",
+            st.peak_materialized_bytes
+        );
+        let _ = writeln!(
+            s,
+            "    \"peak_segmented_bytes\": {},",
+            st.peak_segmented_bytes
+        );
+        let _ = writeln!(s, "    \"peak_reduction\": {:.2},", st.peak_reduction);
+        let _ = writeln!(s, "    \"container_bytes\": {},", st.container_bytes);
+        let _ = writeln!(s, "    \"segment_touches\": {},", st.segment_touches);
+        let _ = writeln!(s, "    \"segment_verified\": {},", st.segment_verified);
+        let _ = writeln!(s, "    \"segment_hit_rate\": {:.3},", st.segment_hit_rate);
+        let _ = writeln!(s, "    \"shed_jobs\": {},", st.shed_jobs);
+        let _ = writeln!(s, "    \"identical_results\": {}", st.identical_results);
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"churn\": {{");
         let _ = writeln!(s, "    \"probe_capacity_bytes\": {},", self.churn_capacity);
         let _ = writeln!(s, "    \"per_phase\": {{");
@@ -513,6 +706,12 @@ pub const BATCH_JSON_REQUIRED: &[&str] = &[
     "\"recompile\"",
     "\"function_hit_rate\"",
     "\"recomputed_per_edit\"",
+    "\"streaming\"",
+    "\"peak_materialized_bytes\"",
+    "\"peak_segmented_bytes\"",
+    "\"peak_reduction\"",
+    "\"segment_hit_rate\"",
+    "\"shed_jobs\"",
 ];
 
 /// Validates the serialized batch bench report against
@@ -584,6 +783,19 @@ mod tests {
                     shared_functions: 12,
                 },
             },
+            streaming: StreamingReport {
+                footprint_bytes: 123_456,
+                capacity_bytes: 61_728,
+                peak_materialized_bytes: 185_184,
+                peak_segmented_bytes: 65_824,
+                peak_reduction: 185_184.0 / 65_824.0,
+                container_bytes: 124_000,
+                segment_touches: 96,
+                segment_verified: 31,
+                segment_hit_rate: (96.0 - 31.0) / 96.0,
+                shed_jobs: 8,
+                identical_results: true,
+            },
             churn_capacity: 61_728,
             churn: [PhaseStats::default(); 6],
         };
@@ -608,6 +820,12 @@ mod tests {
             "\"function_hit_rate\": 0.917",
             "\"recomputed_per_edit\": 2.00",
             "\"dedup_ratio\": 0.764",
+            "\"streaming\"",
+            "\"peak_materialized_bytes\": 185184",
+            "\"peak_segmented_bytes\": 65824",
+            "\"peak_reduction\": 2.81",
+            "\"segment_hit_rate\": 0.677",
+            "\"shed_jobs\": 8",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -131,6 +131,18 @@ fn main() {
                 "recompile stream: expected exactly 2 recomputed units per edit, got {:.2}",
                 report.recompile.recomputed_per_edit
             );
+            assert!(
+                report.streaming.identical_results,
+                "adaptive fleet: shed reports diverged from the plain fleet"
+            );
+            assert!(
+                report.streaming.peak_reduction >= 1.5,
+                "streaming: peak resident bytes reduction {:.2}x fell below the 1.5x gate \
+                 (materialized {} vs segmented {})",
+                report.streaming.peak_reduction,
+                report.streaming.peak_materialized_bytes,
+                report.streaming.peak_segmented_bytes
+            );
             let json = report.to_json();
             mcr_bench::batch::check_batch_json_schema(&json)
                 .unwrap_or_else(|e| panic!("refusing to write {path}: {e}"));

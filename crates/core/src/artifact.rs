@@ -475,61 +475,15 @@ fn read_search_result(r: &mut Reader<'_>) -> Result<SearchResult, DecodeError> {
     })
 }
 
+// The trace-event byte layout is canonical in `mcr_slice` (the
+// segment-spilling sink seals frames on it); the diff artifact reuses it
+// verbatim so spilled frames and cached artifacts stay bit-identical.
 fn write_trace_event(w: &mut Writer, e: &TraceEvent) {
-    w.uvarint(e.serial);
-    w.uvarint(e.step);
-    w.uvarint(e.tid.0 as u64);
-    w.pc(e.pc);
-    w.uvarint(e.uses.len() as u64);
-    for &(loc, writer) in &e.uses {
-        write_memloc(w, loc);
-        w.opt_uvarint(writer);
-    }
-    w.uvarint(e.defs.len() as u64);
-    for &loc in &e.defs {
-        write_memloc(w, loc);
-    }
-    w.opt_uvarint(e.ctrl_dep);
-    match e.branch_outcome {
-        None => w.u8(0),
-        Some(false) => w.u8(1),
-        Some(true) => w.u8(2),
-    }
+    mcr_slice::write_trace_event(w, e);
 }
 
 fn read_trace_event(r: &mut Reader<'_>) -> Result<TraceEvent, DecodeError> {
-    let serial = r.uvarint()?;
-    let step = r.uvarint()?;
-    let tid = ThreadId(r.uvarint()? as u32);
-    let pc = r.pc()?;
-    let n = r.len("trace uses")?;
-    let mut uses = Vec::with_capacity(n.min(65536));
-    for _ in 0..n {
-        let loc = read_memloc(r)?;
-        uses.push((loc, r.opt_uvarint()?));
-    }
-    let n = r.len("trace defs")?;
-    let mut defs = Vec::with_capacity(n.min(65536));
-    for _ in 0..n {
-        defs.push(read_memloc(r)?);
-    }
-    let ctrl_dep = r.opt_uvarint()?;
-    let branch_outcome = match r.u8()? {
-        0 => None,
-        1 => Some(false),
-        2 => Some(true),
-        t => return r.err(format!("bad branch outcome tag {t}")),
-    };
-    Ok(TraceEvent {
-        serial,
-        step,
-        tid,
-        pc,
-        uses,
-        defs,
-        ctrl_dep,
-        branch_outcome,
-    })
+    mcr_slice::read_trace_event(r)
 }
 
 // ---------------------------------------------------------------------

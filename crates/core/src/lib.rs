@@ -90,7 +90,8 @@ pub use pipeline::{
 pub use session::{FuncUnitStats, ReproSession};
 pub use store::{
     function_fingerprint, program_fingerprint, ArtifactStore, BytesStore, CorpusManifest,
-    ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, ShardedStore, StoreStats,
+    ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, SegAccessStats, SegStore,
+    ShardedStore, StoreStats, SEG_STORE_FRAME_SIZE,
 };
 pub use stress::{
     find_failure, find_failure_cfg, find_failure_par, find_failure_par_cancellable,

@@ -423,7 +423,12 @@ impl PipelinePhase for DiffPhase {
         // Replay to the aligned point; capture dump + trace.
         let t0 = Instant::now();
         let mut replay = s.new_vm();
-        let mut collector = TraceCollector::new(s.program, s.analysis(), s.options.trace_window);
+        let mut collector = TraceCollector::with_spill(
+            s.program,
+            s.analysis(),
+            s.options.trace_window,
+            s.options.trace_spill,
+        );
         {
             let mut sched = DeterministicScheduler::new();
             let stop_after = alignment.step;

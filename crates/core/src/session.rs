@@ -1025,7 +1025,11 @@ fn read_artifact<T>(
 /// Serializes the options' *semantic* knobs (runtime attachments — the
 /// cancel token, artifact store, and executor handle — are
 /// process-local and excluded; they also do not contribute to session
-/// bases, so attaching a store never changes a phase key).
+/// bases, so attaching a store never changes a phase key). The
+/// `trace_spill` residency knob is likewise excluded from both codecs:
+/// it never changes the collected trace, only where the window lives
+/// while it is gathered, so resumed sessions default to
+/// `TraceSpill::InMemory`.
 fn write_options(w: &mut Writer, o: &ReproOptions) {
     write_env(w, o);
     w.u8(match o.strategy {
@@ -1117,6 +1121,7 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
         algorithm,
         search,
         trace_window,
+        trace_spill: mcr_slice::TraceSpill::InMemory,
         max_steps,
         limits,
         parallelism,

@@ -37,4 +37,7 @@ pub mod trace;
 pub use slicer::{
     backward_slice, rank_csv_accesses, DynamicSlice, RankedAccess, Strategy, PRIORITY_BOTTOM,
 };
-pub use trace::{Trace, TraceCollector, TraceEvent};
+pub use trace::{
+    read_trace_event, write_trace_event, RingSink, SegmentSpillSink, Trace, TraceCollector,
+    TraceEvent, TraceSink, TraceSpill,
+};

@@ -126,11 +126,11 @@ fn sharded_store_warm_runs_match_the_single_store_for_every_bug() {
             .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", bug.name));
 
         // Migrate the warm entries into a 4-shard composite (the
-        // re-partitioning path a scaling deployment takes).
+        // re-partitioning path a scaling deployment takes) — streamed
+        // entry by entry via `for_each_entry`, so the migration never
+        // clones the whole store.
         let sharded = Arc::new(ShardedStore::with_memory_shards(4));
-        for (key, bytes) in single.entries() {
-            sharded.put(&key, &bytes);
-        }
+        single.for_each_entry(|key, bytes| sharded.put(key, bytes));
         assert_eq!(
             sharded.stats().entries,
             PHASES.len() + 2 * program.funcs.len(),
