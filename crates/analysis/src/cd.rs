@@ -256,7 +256,7 @@ impl FuncAnalysis {
             None => s,
         };
         let mut out: Vec<(PredKey, bool)> = Vec::new();
-        for &(p, b) in self.raw_cds(base).iter() {
+        for &(p, b) in self.raw_cds(base) {
             if p == base || p == s {
                 continue; // loop-header self dependence
             }
@@ -588,7 +588,7 @@ mod tests {
                 lossy: true,
             } => {
                 // q must be the outermost branch (smallest branch stmt id).
-                let outer = f.body.iter().position(|i| i.is_branch()).unwrap();
+                let outer = f.body.iter().position(mcr_lang::Inst::is_branch).unwrap();
                 assert_eq!(q.0 as usize, outer);
             }
             other => panic!("{other:?}"),
@@ -668,7 +668,7 @@ mod tests {
                 }
             )
         });
-        let outer = StmtId(f.body.iter().position(|i| i.is_branch()).unwrap() as u32);
+        let outer = StmtId(f.body.iter().position(mcr_lang::Inst::is_branch).unwrap() as u32);
         assert!(an.transitively_control_dependent(inner_assign, outer, true));
         assert!(!an.transitively_control_dependent(inner_assign, outer, false));
     }
@@ -713,7 +713,7 @@ mod tests {
                 ..
             } => {
                 // q is the outer `c > 0` branch.
-                let outer = f.body.iter().position(|i| i.is_branch()).unwrap();
+                let outer = f.body.iter().position(mcr_lang::Inst::is_branch).unwrap();
                 assert_eq!(q.0 as usize, outer);
             }
             other => panic!("{other:?}"),

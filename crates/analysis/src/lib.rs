@@ -31,10 +31,15 @@
 pub mod cd;
 pub mod census;
 pub mod cfg;
+pub mod race;
 
 pub use cd::{CdClass, FuncAnalysis, ParentStep, PredEvent, PredKey};
 pub use census::CdCensus;
 pub use cfg::Cfg;
+pub use race::{
+    AccessSite, AccessTarget, ContendedLock, FuncRaceSummary, RaceAnalysis, RaceFinding,
+    RaceReport, RaceVerdict, RaceVerdicts,
+};
 
 use mcr_lang::{FuncId, Program};
 

@@ -1675,9 +1675,10 @@ mod tests {
             .submit(FleetJob::new("job", &program, dump, &INPUT))
             .unwrap();
         assert!(!ticket.is_ready());
-        let ticket = match ticket.try_outcome() {
-            Err(t) => t, // nothing has driven the service yet
-            Ok(_) => panic!("outcome cannot be ready before any wave"),
+        // Nothing has driven the service yet, so the outcome cannot be
+        // ready.
+        let Err(ticket) = ticket.try_outcome() else {
+            panic!("outcome cannot be ready before any wave")
         };
         service.drain();
         assert!(ticket.is_ready());

@@ -64,7 +64,7 @@ fn bench_instrumentation(c: &mut Criterion) {
                 1_000_000,
             );
             black_box(vm.instrs())
-        })
+        });
     });
     g.bench_function("loop_counters", |b| {
         b.iter(|| {
@@ -77,7 +77,7 @@ fn bench_instrumentation(c: &mut Criterion) {
                 1_000_000,
             );
             black_box(vm.instrs())
-        })
+        });
     });
     g.bench_function("online_ei", |b| {
         b.iter(|| {
@@ -90,7 +90,7 @@ fn bench_instrumentation(c: &mut Criterion) {
                 1_000_000,
             );
             black_box(indexer.ops())
-        })
+        });
     });
     g.finish();
 }
@@ -130,13 +130,13 @@ fn bench_dump(c: &mut Criterion) {
     let mut g = c.benchmark_group("dump");
     g.bench_function("encode", |b| b.iter(|| black_box(mcr_dump::encode(&dump))));
     g.bench_function("decode", |b| {
-        b.iter(|| black_box(mcr_dump::decode(&bytes).unwrap()))
+        b.iter(|| black_box(mcr_dump::decode(&bytes).unwrap()));
     });
     g.bench_function("traverse", |b| {
-        b.iter(|| black_box(reachable_vars(&dump, TraverseLimits::default())))
+        b.iter(|| black_box(reachable_vars(&dump, TraverseLimits::default())));
     });
     g.bench_function("diff", |b| {
-        b.iter(|| black_box(DumpDiff::compare_maps(&vars, &vars)))
+        b.iter(|| black_box(DumpDiff::compare_maps(&vars, &vars)));
     });
     g.finish();
 }
@@ -174,7 +174,7 @@ fn bench_index(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("index");
     g.bench_function("reverse_engineer", |b| {
-        b.iter(|| black_box(reverse_index(&program, &analysis, &dump).unwrap()))
+        b.iter(|| black_box(reverse_index(&program, &analysis, &dump).unwrap()));
     });
     g.bench_function("alignment_scan", |b| {
         b.iter(|| {
@@ -188,7 +188,7 @@ fn bench_index(c: &mut Criterion) {
                 |_| false,
             );
             black_box(aligner.finish())
-        })
+        });
     });
     g.finish();
 }
@@ -219,10 +219,10 @@ fn bench_slice(c: &mut Criterion) {
                 1_000_000,
             );
             black_box(tc.finish().len())
-        })
+        });
     });
     g.bench_function("backward_slice", |b| {
-        b.iter(|| black_box(backward_slice(&trace, &[criterion]).len()))
+        b.iter(|| black_box(backward_slice(&trace, &[criterion]).len()));
     });
     g.finish();
 }
@@ -254,7 +254,7 @@ fn bench_search(c: &mut Criterion) {
                 let report = reproducer.reproduce(&sf.dump, &input).unwrap();
                 assert!(report.search.reproduced);
                 black_box(report.search.tries)
-            })
+            });
         });
     }
     g.finish();
@@ -272,10 +272,10 @@ fn bench_segment_seek(c: &mut Criterion) {
             let (off, len) = ranges[i % ranges.len()];
             i += 1;
             black_box(seg.read_range(off, len).expect("fixture range"))
-        })
+        });
     });
     g.bench_function("whole_blob", |b| {
-        b.iter(|| black_box(seg.read_range(0, total).expect("whole blob")))
+        b.iter(|| black_box(seg.read_range(0, total).expect("whole blob")));
     });
     g.finish();
 }
@@ -299,14 +299,14 @@ fn bench_search_hotpath(c: &mut Criterion) {
                 10_000_000,
             );
             black_box(vm.steps())
-        })
+        });
     });
     g.sample_size(10);
     g.bench_function("guided_search", |b| {
-        b.iter(|| black_box(fixture.search(Algorithm::ChessX, 1).tries))
+        b.iter(|| black_box(fixture.search(Algorithm::ChessX, 1).tries));
     });
     g.bench_function("plain_search", |b| {
-        b.iter(|| black_box(fixture.search(Algorithm::Chess, 1).tries))
+        b.iter(|| black_box(fixture.search(Algorithm::Chess, 1).tries));
     });
     g.finish();
 }

@@ -26,7 +26,7 @@ fn main() {
                     "{:9} {:16} repro={} tries={:5} combos={:4} csvs={:2} idx={:?} align={:?} vars={} shared={} diffs={} ({:?}, stress {:?})",
                     bug.name, label, rep.search.reproduced, rep.search.tries,
                     rep.search.combinations_tested,
-                    rep.csv_locs.len(), rep.index.as_ref().map(|i| i.len()),
+                    rep.csv_locs.len(), rep.index.as_ref().map(mcr_index::index::ExecutionIndex::len),
                     rep.alignment.signal, rep.vars, rep.shared, rep.diffs, t1.elapsed(), stress_t
                 ),
                 Err(e) => println!("{:9} {:16} ERROR: {e}", bug.name, label),

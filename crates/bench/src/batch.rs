@@ -26,9 +26,9 @@
 
 use mcr_batch::{AdmissionPolicy, Fleet, FleetConfig, FleetJob, TriageService};
 use mcr_core::{
-    find_failure_par, ArtifactStore, CorpusManifest, FuncUnitStats, ManifestStats, MemoryStore,
-    PhaseStats, ReproOptions, ReproReport, ReproSession, Reproducer, SegStore, StoreStats,
-    PHASE_KINDS, SEG_STORE_FRAME_SIZE,
+    find_failure_par, measured_frame_size, ArtifactStore, CorpusManifest, FuncUnitStats,
+    ManifestStats, MemoryStore, PhaseStats, ReproOptions, ReproReport, ReproSession, Reproducer,
+    SegStore, StoreStats, PHASE_KINDS,
 };
 use mcr_workloads::{all_bugs, bug_by_name, fleet_mix, fleet_recompile, FleetSpec};
 use std::collections::HashMap;
@@ -116,7 +116,7 @@ pub struct BatchReport {
     /// [`churn_probe_capacity`]). The per-phase eviction rows show
     /// *which* phase kinds fall out first under memory pressure — the
     /// capacity-planning signal an unbounded hit rate cannot show.
-    pub churn: [PhaseStats; 6],
+    pub churn: [PhaseStats; 7],
 }
 
 /// Everything observable about a report except wall-clock timings.
@@ -335,6 +335,10 @@ pub struct StreamingReport {
     /// Physical size of the [`SegStore`] container the segmented leg
     /// read from.
     pub container_bytes: usize,
+    /// Frame size the container was built with — derived from the warm
+    /// store's measured per-phase residency histogram
+    /// ([`mcr_core::measured_frame_size`]), not a fixed constant.
+    pub frame_bytes: usize,
     /// Segments touched rehydrating entries (with repetition).
     pub segment_touches: u64,
     /// Touches that verified a segment checksum for the first time.
@@ -377,7 +381,10 @@ fn streaming_report(
 
     // Segmented leg: rehydrate each entry by byte range from the
     // container; only the probe and one in-flight entry are resident.
-    let seg = SegStore::from_bytes(SegStore::snapshot(warm, SEG_STORE_FRAME_SIZE))
+    // The container is framed at the size the warm store's own
+    // per-phase residency histogram measured, not a fixed constant.
+    let frame_bytes = measured_frame_size(&warm.stats());
+    let seg = SegStore::from_bytes(SegStore::snapshot(warm, frame_bytes))
         .expect("snapshot of a live store parses");
     let probe = MemoryStore::with_capacity(capacity);
     let mut peak_segmented = 0usize;
@@ -443,6 +450,7 @@ fn streaming_report(
             0.0
         },
         container_bytes: seg.container_len(),
+        frame_bytes,
         segment_touches: access.touches,
         segment_verified: access.verified,
         segment_hit_rate: access.hit_rate(),
@@ -646,6 +654,7 @@ impl BatchReport {
         );
         let _ = writeln!(s, "    \"peak_reduction\": {:.2},", st.peak_reduction);
         let _ = writeln!(s, "    \"container_bytes\": {},", st.container_bytes);
+        let _ = writeln!(s, "    \"frame_bytes\": {},", st.frame_bytes);
         let _ = writeln!(s, "    \"segment_touches\": {},", st.segment_touches);
         let _ = writeln!(s, "    \"segment_verified\": {},", st.segment_verified);
         let _ = writeln!(s, "    \"segment_hit_rate\": {:.3},", st.segment_hit_rate);
@@ -678,7 +687,7 @@ pub fn churn_probe_capacity(entry_sizes: &[usize]) -> usize {
 
 /// Writes the six phase-kind rows of a [`PhaseStats`] histogram as JSON
 /// object members (the five pipeline phases plus the compile pre-phase).
-fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 6]) {
+fn write_phase_rows(s: &mut String, indent: &str, rows: &[PhaseStats; 7]) {
     for (i, phase) in PHASE_KINDS.iter().enumerate() {
         let row = &rows[phase.index()];
         let comma = if i + 1 < PHASE_KINDS.len() { "," } else { "" };
@@ -710,6 +719,7 @@ pub const BATCH_JSON_REQUIRED: &[&str] = &[
     "\"peak_materialized_bytes\"",
     "\"peak_segmented_bytes\"",
     "\"peak_reduction\"",
+    "\"frame_bytes\"",
     "\"segment_hit_rate\"",
     "\"shed_jobs\"",
 ];
@@ -738,7 +748,10 @@ mod tests {
         let corpus = bench_corpus();
         // 3 bugs x (2 dups + 1 variant).
         assert_eq!(corpus.len(), 9);
-        let distinct: std::collections::HashSet<_> = corpus.iter().map(|s| s.dedup_key()).collect();
+        let distinct: std::collections::HashSet<_> = corpus
+            .iter()
+            .map(mcr_workloads::FleetSpec::dedup_key)
+            .collect();
         assert_eq!(distinct.len(), 6);
     }
 
@@ -790,6 +803,7 @@ mod tests {
                 peak_segmented_bytes: 65_824,
                 peak_reduction: 185_184.0 / 65_824.0,
                 container_bytes: 124_000,
+                frame_bytes: 1715,
                 segment_touches: 96,
                 segment_verified: 31,
                 segment_hit_rate: (96.0 - 31.0) / 96.0,
@@ -797,7 +811,7 @@ mod tests {
                 identical_results: true,
             },
             churn_capacity: 61_728,
-            churn: [PhaseStats::default(); 6],
+            churn: [PhaseStats::default(); 7],
         };
         let json = report.to_json();
         for key in [
@@ -824,6 +838,7 @@ mod tests {
             "\"peak_materialized_bytes\": 185184",
             "\"peak_segmented_bytes\": 65824",
             "\"peak_reduction\": 2.81",
+            "\"frame_bytes\": 1715",
             "\"segment_hit_rate\": 0.677",
             "\"shed_jobs\": 8",
         ] {

@@ -6,6 +6,7 @@
 //! cargo run --release -p mcr-bench --bin tables -- table2 | table3 | table4
 //! cargo run --release -p mcr-bench --bin tables -- table5 | table6 | fig10
 //! cargo run --release -p mcr-bench --bin tables -- steps
+//! cargo run --release -p mcr-bench --bin tables -- race-lint
 //! cargo run --release -p mcr-bench --bin tables -- bench-json [PATH]
 //! cargo run --release -p mcr-bench --bin tables -- batch-json [PATH]
 //! ```
@@ -14,6 +15,10 @@
 //! clone, steps/sec, tries/sec, guided vs plain, parallel-vs-serial over
 //! the bug suite) and writes them to `PATH` (default
 //! `BENCH_search.json`), printing the JSON to stdout as well.
+//!
+//! `race-lint` runs the static race/lockset lint over the whole
+//! workload corpus — no dump, no failing input — and fails if any
+//! seeded bug comes back without a statically visible hazard.
 //!
 //! `batch-json` measures the `mcr-batch` fleet engine on a
 //! duplicate-heavy job mix (throughput, cache-hit rate, single-flight
@@ -32,7 +37,7 @@ use mcr_bench::experiments::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let which = args.first().map_or("all", String::as_str);
     let full_scale = args.iter().any(|a| a == "--full-scale");
     let t1_scale = if full_scale { None } else { Some(40_000) };
 
@@ -65,15 +70,46 @@ fn main() {
             println!("== Fig. 10: runtime overhead on production systems ==");
             println!("{}", render_fig10(&fig10()));
         }
+        "race-lint" => {
+            println!("== static race lint: dump-less triage of the workload corpus ==");
+            let rows = mcr_bench::lint::race_lint_corpus();
+            let mut missed = Vec::new();
+            for row in &rows {
+                println!("\n-- {} --", row.name);
+                print!("{}", row.rendered);
+                if !row.flagged() {
+                    missed.push(row.name.clone());
+                }
+            }
+            assert!(
+                missed.is_empty(),
+                "seeded bugs with no static hazard: {missed:?}"
+            );
+            println!(
+                "\nrace-lint: {} workloads triaged, all flagged, no dump needed",
+                rows.len()
+            );
+        }
         "bench-json" => {
             let path = args
                 .iter()
                 .skip(1)
                 .find(|a| !a.starts_with("--"))
-                .map(String::as_str)
-                .unwrap_or("BENCH_search.json");
+                .map_or("BENCH_search.json", String::as_str);
             eprintln!("running search_hotpath measurements (stress + search over the bug suite)…");
             let report = mcr_bench::hotpath::bench_report();
+            assert!(
+                report.static_race.identical_winners,
+                "static-race pruning changed a winning schedule"
+            );
+            assert!(
+                report.static_race.reduction() >= 1.3,
+                "static-race candidate reduction {:.2}x fell below the 1.3x gate \
+                 (unpruned {} vs pruned {})",
+                report.static_race.reduction(),
+                report.static_race.unpruned_candidates,
+                report.static_race.pruned_candidates
+            );
             let json = report.to_json();
             mcr_bench::hotpath::check_bench_json_schema(&json)
                 .unwrap_or_else(|e| panic!("refusing to write {path}: {e}"));
@@ -102,8 +138,7 @@ fn main() {
                 .iter()
                 .skip(1)
                 .find(|a| !a.starts_with("--"))
-                .map(String::as_str)
-                .unwrap_or("BENCH_batch.json");
+                .map_or("BENCH_batch.json", String::as_str);
             eprintln!("running batch measurements (duplicate-heavy fleet vs serial baseline)…");
             let report = mcr_bench::batch::batch_report();
             assert!(
@@ -155,7 +190,7 @@ fn main() {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "usage: tables [all|table1|table2|table3|table4|table5|table6|fig10|steps|\
-                 bench-json|batch-json] [--full-scale]"
+                 race-lint|bench-json|batch-json] [--full-scale]"
             );
             std::process::exit(2);
         }

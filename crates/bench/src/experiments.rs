@@ -252,7 +252,10 @@ pub fn table3() -> Vec<Table3Row> {
                 diffs: report.diffs,
                 shared: report.shared,
                 csv: report.csv_paths.len(),
-                index_len: report.index.as_ref().map(|i| i.len()).unwrap_or(0),
+                index_len: report
+                    .index
+                    .as_ref()
+                    .map_or(0, mcr_index::index::ExecutionIndex::len),
             }
         })
         .collect()

@@ -98,7 +98,7 @@ pub fn checkpoint_fixture_program() -> mcr_lang::Program {
 
 /// Median-of-samples timing helper.
 fn median_ns(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 
@@ -448,6 +448,133 @@ pub fn measure_memmodel() -> MemModelCell {
     cell
 }
 
+/// Candidate-space reduction from the static race/lockset pruning
+/// (`ReproOptions::static_race`), summed over the Table 2 suite. The
+/// warmup loops of every bug churn locks *before* the first spawn, so
+/// their acquire/release candidates are statically Solo and pruning
+/// drops them; `identical_winners` pins the soundness contract — the
+/// pruned search must reproduce every bug with a bit-identical winning
+/// schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticRaceCell {
+    /// Bugs measured (the whole Table 2 suite).
+    pub bugs: usize,
+    /// How many the pruned search reproduced end to end.
+    pub reproduced: usize,
+    /// Passing-run preemption candidates without pruning.
+    pub unpruned_candidates: usize,
+    /// Candidates surviving the static-race prune.
+    pub pruned_candidates: usize,
+    /// Worklist combinations without pruning (default bound/pool).
+    pub unpruned_worklist: usize,
+    /// Worklist combinations after pruning.
+    pub pruned_worklist: usize,
+    /// Whether every bug's winning schedule was bit-identical between
+    /// the pruned and unpruned reproductions.
+    pub identical_winners: bool,
+}
+
+impl StaticRaceCell {
+    /// Candidate-count reduction factor (unpruned / pruned).
+    pub fn reduction(&self) -> f64 {
+        if self.pruned_candidates > 0 {
+            self.unpruned_candidates as f64 / self.pruned_candidates as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures [`StaticRaceCell`]: per-bug candidate counts of the
+/// deterministic passing run with and without the static-race prune,
+/// plus a full pruned-vs-unpruned reproduction of each bug comparing
+/// the winning preemption points.
+pub fn measure_static_race() -> StaticRaceCell {
+    use mcr_analysis::RaceAnalysis;
+    use std::collections::{HashMap, HashSet};
+
+    let cfg = SearchConfig::default();
+    let mut cell = StaticRaceCell {
+        bugs: 0,
+        reproduced: 0,
+        unpruned_candidates: 0,
+        pruned_candidates: 0,
+        unpruned_worklist: 0,
+        pruned_worklist: 0,
+        identical_winners: true,
+    };
+    for bug in all_bugs() {
+        cell.bugs += 1;
+        let program = bug.compile();
+        let input = bug.default_input();
+
+        // Candidate counts from the deterministic passing run (the same
+        // run the align phase replays), with no CSV context: the prune
+        // is purely static, so dump-free counts are the honest measure.
+        let mut vm = Vm::new(&program, &input);
+        let mut log = mcr_search::SyncLogger::new();
+        run(
+            &mut vm,
+            &mut DeterministicScheduler::new(),
+            &mut log,
+            bug.max_steps,
+        );
+        let info = log.finish();
+        let race = RaceAnalysis::analyze(&program);
+        let (unpruned, _) = mcr_search::annotate(&info, &HashSet::new(), &HashMap::new());
+        let (pruned, _) = mcr_search::annotate_with_race(
+            &info,
+            &HashSet::new(),
+            &HashMap::new(),
+            Some(race.verdicts()),
+        );
+        cell.unpruned_candidates += unpruned.len();
+        cell.pruned_candidates += pruned.len();
+        cell.unpruned_worklist +=
+            worklist_size(unpruned.len(), cfg.preemption_bound, cfg.pair_pool);
+        cell.pruned_worklist += worklist_size(pruned.len(), cfg.preemption_bound, cfg.pair_pool);
+
+        // End-to-end winner identity: the same stress dump reproduced
+        // with the knob off and on.
+        let sf = find_failure_par(
+            &program,
+            &input,
+            0..stress_seed_cap(),
+            bug.max_steps,
+            minipool::available_parallelism(),
+        )
+        .unwrap_or_else(|| panic!("{}: stress found no failure", bug.name));
+        let reproduce = |static_race: bool| {
+            Reproducer::new(
+                &program,
+                ReproOptions {
+                    strategy: Strategy::Temporal,
+                    algorithm: Algorithm::ChessX,
+                    static_race,
+                    ..Default::default()
+                },
+            )
+            .reproduce(&sf.dump, &input)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name))
+        };
+        let off = reproduce(false);
+        let on = reproduce(true);
+        let points = |r: &mcr_core::ReproReport| {
+            r.search
+                .winning
+                .as_ref()
+                .map(|w| w.iter().map(|c| c.point).collect::<Vec<_>>())
+        };
+        if off.search.reproduced != on.search.reproduced || points(&off) != points(&on) {
+            cell.identical_winners = false;
+        }
+        if on.search.reproduced {
+            cell.reproduced += 1;
+        }
+    }
+    cell
+}
+
 /// The full `search_hotpath` report serialized to `BENCH_search.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -471,6 +598,8 @@ pub struct BenchReport {
     pub memmodel: MemModelCell,
     /// Bug-suite parallel comparison.
     pub parallel: ParallelCell,
+    /// Static race pruning: candidate reduction + winner identity.
+    pub static_race: StaticRaceCell,
 }
 
 fn algo_cell(r: &SearchResult) -> AlgoCell {
@@ -584,6 +713,7 @@ pub fn bench_report() -> BenchReport {
     // engine; the speedup column is only meaningful with real cores.
     let memmodel = measure_memmodel();
     let parallel = measure_parallel_suite(minipool::available_parallelism().max(2));
+    let static_race = measure_static_race();
     BenchReport {
         checkpoint_clone_ns,
         steps_per_sec,
@@ -594,6 +724,7 @@ pub fn bench_report() -> BenchReport {
         plain: algo_cell(&plain_result),
         memmodel,
         parallel,
+        static_race,
     }
 }
 
@@ -682,6 +813,40 @@ impl BenchReport {
             "    \"identical_results\": {}",
             self.parallel.identical_results
         );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"static_race\": {{");
+        let _ = writeln!(s, "    \"bugs\": {},", self.static_race.bugs);
+        let _ = writeln!(s, "    \"reproduced\": {},", self.static_race.reproduced);
+        let _ = writeln!(
+            s,
+            "    \"unpruned_candidates\": {},",
+            self.static_race.unpruned_candidates
+        );
+        let _ = writeln!(
+            s,
+            "    \"pruned_candidates\": {},",
+            self.static_race.pruned_candidates
+        );
+        let _ = writeln!(
+            s,
+            "    \"unpruned_worklist\": {},",
+            self.static_race.unpruned_worklist
+        );
+        let _ = writeln!(
+            s,
+            "    \"pruned_worklist\": {},",
+            self.static_race.pruned_worklist
+        );
+        let _ = writeln!(
+            s,
+            "    \"candidate_reduction\": {:.2},",
+            self.static_race.reduction()
+        );
+        let _ = writeln!(
+            s,
+            "    \"identical_winners\": {}",
+            self.static_race.identical_winners
+        );
         let _ = writeln!(s, "  }}");
         let _ = write!(s, "}}");
         s
@@ -700,6 +865,9 @@ pub const BENCH_JSON_REQUIRED: &[&str] = &[
     "\"worklist_growth\"",
     "\"speedup\"",
     "\"identical_results\"",
+    "\"static_race\"",
+    "\"candidate_reduction\"",
+    "\"identical_winners\"",
 ];
 
 /// Validates the serialized search bench report against
@@ -769,6 +937,15 @@ mod tests {
                 identical_results: true,
                 reproduced: 7,
             },
+            static_race: StaticRaceCell {
+                bugs: 7,
+                reproduced: 7,
+                unpruned_candidates: 4200,
+                pruned_candidates: 2100,
+                unpruned_worklist: 90_000,
+                pruned_worklist: 40_000,
+                identical_winners: true,
+            },
         };
         let json = report.to_json();
         for key in [
@@ -785,6 +962,9 @@ mod tests {
             "\"parallelism\"",
             "\"speedup\"",
             "\"identical_results\": true",
+            "\"static_race\"",
+            "\"candidate_reduction\": 2.00",
+            "\"identical_winners\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -24,9 +24,17 @@
 //! ```text
 //! cargo run --release -p mcr-bench --bin tables -- batch-json
 //! ```
+//!
+//! [`lint`] is the dump-less surface: the static race/lockset lint over
+//! the whole workload corpus, via:
+//!
+//! ```text
+//! cargo run --release -p mcr-bench --bin tables -- race-lint
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod experiments;
 pub mod hotpath;
+pub mod lint;

@@ -1,0 +1,78 @@
+//! The dump-less triage surface: the static race/lockset lint
+//! (`mcr_analysis::race`) run over the whole workload corpus.
+//!
+//! Everything else in this crate measures the dump-directed pipeline —
+//! a failure already happened and the question is how fast it
+//! reproduces. The lint answers the *pre-failure* question: which
+//! `(function, access site)` pairs of a program can race at all. It
+//! needs no dump, no failing input, and no schedule search, so it
+//! triages the entire corpus in milliseconds.
+
+use mcr_analysis::RaceAnalysis;
+
+/// One program's lint outcome.
+#[derive(Debug, Clone)]
+pub struct LintRow {
+    /// Workload name ("apache-1", "tso-sb", …).
+    pub name: String,
+    /// May-Race pairs found.
+    pub findings: usize,
+    /// Contended locks found.
+    pub contended: usize,
+    /// The rendered report.
+    pub rendered: String,
+}
+
+impl LintRow {
+    /// Whether the lint flagged any hazard (a May-Race pair or a
+    /// contended lock).
+    pub fn flagged(&self) -> bool {
+        self.findings + self.contended > 0
+    }
+}
+
+fn lint(name: &str, program: &mcr_lang::Program) -> LintRow {
+    let analysis = RaceAnalysis::analyze(program);
+    let report = analysis.report();
+    LintRow {
+        name: name.to_string(),
+        findings: report.findings.len(),
+        contended: report.contended.len(),
+        rendered: report.render(program),
+    }
+}
+
+/// Lints every workload — the Table 2 suite and the environment-gated
+/// suite — with no dump and no failing input.
+pub fn race_lint_corpus() -> Vec<LintRow> {
+    let mut rows = Vec::new();
+    for bug in mcr_workloads::all_bugs() {
+        rows.push(lint(bug.name, &bug.compile()));
+    }
+    for bug in mcr_workloads::fault_bugs() {
+        rows.push(lint(bug.name, &bug.compile()));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seeded_bug_is_flagged() {
+        let rows = race_lint_corpus();
+        assert_eq!(
+            rows.len(),
+            mcr_workloads::all_bugs().len() + mcr_workloads::fault_bugs().len()
+        );
+        for row in &rows {
+            assert!(
+                row.flagged(),
+                "{}: seeded concurrency bug but no static hazard\n{}",
+                row.name,
+                row.rendered
+            );
+        }
+    }
+}

@@ -41,6 +41,7 @@ enum Kind {
     Search = 4,
     Plan = 5,
     Analysis = 6,
+    Race = 7,
 }
 
 fn frame(kind: Kind, body: impl FnOnce(&mut Writer)) -> Vec<u8> {
@@ -168,6 +169,20 @@ pub struct FuncAnalysisArtifact {
     /// Short-circuit cluster membership per statement.
     pub member_of: Vec<Option<CondGroupId>>,
     /// Wall-clock time the analysis took.
+    pub elapsed: Duration,
+}
+
+/// Per-function static race/lockset cache unit: one function's
+/// [`mcr_analysis::FuncRaceSummary`], keyed by the function's content
+/// fingerprint under [`Phase::StaticRace`](crate::Phase). Summaries are
+/// content-local (no whole-program facts), so Merkle-cached units
+/// compose bottom-up: a session rehydrates the unchanged functions'
+/// summaries and runs only the cheap whole-program composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncRaceArtifact {
+    /// The function's race summary.
+    pub summary: mcr_analysis::FuncRaceSummary,
+    /// Wall-clock time the summary extraction took.
     pub elapsed: Duration,
 }
 
@@ -862,6 +877,45 @@ impl FuncAnalysisArtifact {
             member_of,
             elapsed,
         })
+    }
+}
+
+impl FuncRaceArtifact {
+    /// Captures one function's race summary.
+    pub fn of(summary: mcr_analysis::FuncRaceSummary, elapsed: Duration) -> FuncRaceArtifact {
+        FuncRaceArtifact { summary, elapsed }
+    }
+
+    /// The cached summary, if it fits `func` (same statement count and
+    /// per-statement table shapes). `None` on a content-hash collision
+    /// or corrupted cache — callers re-summarize.
+    pub fn rehydrate(&self, func: &mcr_lang::Function) -> Option<mcr_analysis::FuncRaceSummary> {
+        if self.summary.fits(func) {
+            Some(self.summary.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Serializes the artifact to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        frame(Kind::Race, |w| {
+            mcr_dump::wire::write_race_summary(w, &self.summary);
+            w.duration(self.elapsed);
+        })
+    }
+
+    /// Parses an artifact from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = unframe(bytes, Kind::Race)?;
+        let summary = mcr_dump::wire::read_race_summary(&mut r)?;
+        let elapsed = r.duration()?;
+        r.finish()?;
+        Ok(FuncRaceArtifact { summary, elapsed })
     }
 }
 

@@ -77,7 +77,7 @@ pub mod stress;
 
 pub use artifact::{
     AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
-    FuncAnalysisArtifact, RankedAccessesArtifact, SearchArtifact,
+    FuncAnalysisArtifact, FuncRaceArtifact, RankedAccessesArtifact, SearchArtifact,
 };
 pub use observe::{
     NullPhaseObserver, Phase, PhaseEvent, PhaseObserver, TimingLog, PHASES, PHASE_KINDS,
@@ -89,9 +89,9 @@ pub use pipeline::{
 };
 pub use session::{FuncUnitStats, ReproSession};
 pub use store::{
-    function_fingerprint, program_fingerprint, ArtifactStore, BytesStore, CorpusManifest,
-    ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, SegAccessStats, SegStore,
-    ShardedStore, StoreStats, SEG_STORE_FRAME_SIZE,
+    function_fingerprint, measured_frame_size, program_fingerprint, ArtifactStore, BytesStore,
+    CorpusManifest, ManifestStats, MemoryStore, NullStore, PhaseKey, PhaseStats, SegAccessStats,
+    SegStore, ShardedStore, StoreStats, SEG_STORE_FRAME_SIZE,
 };
 pub use stress::{
     find_failure, find_failure_cfg, find_failure_par, find_failure_par_cancellable,

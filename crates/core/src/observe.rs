@@ -36,6 +36,14 @@ pub enum Phase {
     /// like any other cached artifact. Declared last so `Ord` matches
     /// [`Phase::index`].
     Compile,
+    /// Pre-phase: the static race/lockset analysis
+    /// (`mcr_analysis::race`). Like [`Phase::Compile`] it sits outside
+    /// the five-phase pipeline — per-function summaries are cached
+    /// under `PhaseKey::derive_for_function` and composed per program,
+    /// and the result feeds candidate pruning in the search phase plus
+    /// the dump-less `race-lint` surface. Appended after `Compile` so
+    /// existing wire indices stay stable.
+    StaticRace,
 }
 
 /// The five pipeline phases, in execution order. Deliberately excludes
@@ -50,15 +58,17 @@ pub const PHASES: [Phase; 5] = [
 ];
 
 /// Every phase kind with a wire index, in index order: the five
-/// pipeline phases followed by the [`Phase::Compile`] pre-phase. This
-/// is the iteration order of per-phase store statistics.
-pub const PHASE_KINDS: [Phase; 6] = [
+/// pipeline phases followed by the [`Phase::Compile`] and
+/// [`Phase::StaticRace`] pre-phases. This is the iteration order of
+/// per-phase store statistics.
+pub const PHASE_KINDS: [Phase; 7] = [
     Phase::Index,
     Phase::Align,
     Phase::Diff,
     Phase::Rank,
     Phase::Search,
     Phase::Compile,
+    Phase::StaticRace,
 ];
 
 impl Phase {
@@ -71,7 +81,7 @@ impl Phase {
             Phase::Align => Some(Phase::Diff),
             Phase::Diff => Some(Phase::Rank),
             Phase::Rank => Some(Phase::Search),
-            Phase::Search | Phase::Compile => None,
+            Phase::Search | Phase::Compile | Phase::StaticRace => None,
         }
     }
 
@@ -79,7 +89,7 @@ impl Phase {
     /// whose artifact this phase consumes).
     pub fn prev(self) -> Option<Phase> {
         match self {
-            Phase::Index | Phase::Compile => None,
+            Phase::Index | Phase::Compile | Phase::StaticRace => None,
             Phase::Align => Some(Phase::Index),
             Phase::Diff => Some(Phase::Align),
             Phase::Rank => Some(Phase::Diff),
@@ -98,6 +108,7 @@ impl Phase {
             Phase::Rank => 3,
             Phase::Search => 4,
             Phase::Compile => 5,
+            Phase::StaticRace => 6,
         }
     }
 
@@ -115,6 +126,7 @@ impl Phase {
             Phase::Rank => "rank",
             Phase::Search => "search",
             Phase::Compile => "compile",
+            Phase::StaticRace => "static-race",
         }
     }
 }
@@ -270,11 +282,16 @@ mod tests {
         assert_eq!(Phase::Compile.next(), None);
         assert_eq!(Phase::Compile.prev(), None);
         assert!(!PHASES.contains(&Phase::Compile));
+        assert_eq!(Phase::StaticRace.index(), 6);
+        assert_eq!(Phase::StaticRace.name(), "static-race");
+        assert_eq!(Phase::StaticRace.next(), None);
+        assert_eq!(Phase::StaticRace.prev(), None);
+        assert!(!PHASES.contains(&Phase::StaticRace));
         for (i, p) in PHASE_KINDS.iter().enumerate() {
             assert_eq!(p.index(), i);
             assert_eq!(Phase::from_index(i), Some(*p));
         }
-        assert_eq!(Phase::from_index(6), None);
+        assert_eq!(Phase::from_index(7), None);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use mcr_dump::{
     reachable_vars, resolve_loc, CoreDump, DecodeError, DumpDiff, DumpReason, ResolvedVar,
 };
 use mcr_index::{AlignSignal, Aligner, Alignment};
-use mcr_search::{annotate, find_schedule, CancelToken, SearchConfig};
+use mcr_search::{annotate_with_race, find_schedule, CancelToken, SearchConfig};
 use mcr_slice::{backward_slice, rank_csv_accesses, Strategy, TraceCollector};
 use mcr_vm::{run_until, DeterministicScheduler, MemLoc, Outcome, Tee, ThreadId};
 use std::collections::{HashMap, HashSet};
@@ -427,7 +427,7 @@ impl PipelinePhase for DiffPhase {
             s.program,
             s.analysis(),
             s.options.trace_window,
-            s.options.trace_spill,
+            s.effective_trace_spill(),
         );
         {
             let mut sched = DeterministicScheduler::new();
@@ -563,7 +563,7 @@ impl PipelinePhase for RankPhase {
             let delta = Self::input(s).expect("diff ran");
             let trace = &delta.trace;
             let csv_set: HashSet<MemLoc> = delta.csv_locs.iter().copied().collect();
-            let aligned_serial = trace.last().map(|e| e.serial).unwrap_or(0);
+            let aligned_serial = trace.last().map_or(0, |e| e.serial);
             let slice = match s.options.strategy {
                 Strategy::Dependence => {
                     let criteria: Vec<u64> = trace.last().map(|e| e.serial).into_iter().collect();
@@ -647,7 +647,12 @@ impl PipelinePhase for SearchPhase {
                     .or_insert(r.priority);
                 *e = (*e).min(r.priority);
             }
-            let (candidates, future) = annotate(&align.passing_run, &csv_set, &priorities);
+            // Under `static_race`, the session's race verdicts prune
+            // provably-Solo preemption points and rank May-Race blocks
+            // ahead of statically clean ones (`race_verdicts` is `None`
+            // unless the knob is on and the fault plan is empty).
+            let (candidates, future) =
+                annotate_with_race(&align.passing_run, &csv_set, &priorities, s.race_verdicts());
             let fresh = s.new_vm();
             let budget = Self::budget(s);
             let mut search_config = SearchConfig {

@@ -104,9 +104,9 @@ pub struct PhaseBudgets {
 }
 
 impl PhaseBudgets {
-    /// The budget configured for `phase`, if any. The `Compile`
-    /// pre-phase is never budgeted (plan compilation is microseconds
-    /// and infallible).
+    /// The budget configured for `phase`, if any. The `Compile` and
+    /// `StaticRace` pre-phases are never budgeted (plan compilation and
+    /// summary composition are microseconds and infallible).
     pub fn get(&self, phase: Phase) -> Option<PhaseBudget> {
         match phase {
             Phase::Index => self.index,
@@ -114,12 +114,12 @@ impl PhaseBudgets {
             Phase::Diff => self.diff,
             Phase::Rank => self.rank,
             Phase::Search => self.search,
-            Phase::Compile => None,
+            Phase::Compile | Phase::StaticRace => None,
         }
     }
 
     /// Sets the budget for `phase` (ignored for the unbudgetable
-    /// `Compile` pre-phase).
+    /// `Compile` and `StaticRace` pre-phases).
     pub fn set(&mut self, phase: Phase, budget: PhaseBudget) {
         match phase {
             Phase::Index => self.index = Some(budget),
@@ -127,7 +127,7 @@ impl PhaseBudgets {
             Phase::Diff => self.diff = Some(budget),
             Phase::Rank => self.rank = Some(budget),
             Phase::Search => self.search = Some(budget),
-            Phase::Compile => {}
+            Phase::Compile | Phase::StaticRace => {}
         }
     }
 }
@@ -153,6 +153,13 @@ pub struct ReproOptions {
     /// so it is excluded from phase keys and, like the other runtime
     /// tuning knobs, not serialized into checkpoints (resumed sessions
     /// default to [`TraceSpill::InMemory`](mcr_slice::TraceSpill)).
+    ///
+    /// The default segmented granularity
+    /// ([`TraceSpill::segmented()`](mcr_slice::TraceSpill::segmented))
+    /// is adaptive: a session with a warm artifact store re-derives the
+    /// frame size from the store's measured per-phase residency
+    /// histogram (see `ReproSession::effective_trace_spill`). An
+    /// explicit `Segmented { frame_events }` is honored verbatim.
     pub trace_spill: mcr_slice::TraceSpill,
     /// Step cap for the passing run and replay.
     pub max_steps: u64,
@@ -189,6 +196,21 @@ pub struct ReproOptions {
     /// schedule perturbation; like `mem_model` they are part of run
     /// identity and serialize into checkpoints.
     pub faults: Vec<mcr_vm::FaultSpec>,
+    /// Consult the static race/lockset analysis (`mcr_analysis::race`)
+    /// during the search phase: preemption candidates anchored at
+    /// statically *Solo* statements (provably executed before the first
+    /// spawn, while only thread 0 exists) are pruned from the search
+    /// worklist, and May-Race accesses are ranked above Unknown ones in
+    /// the bottom priority tier. Sound by construction — pruning only
+    /// removes preemptions that are no-ops, so the winning schedule is
+    /// bit-identical to the unpruned search (see `mcr_analysis::race`).
+    /// Automatically disabled while [`ReproOptions::faults`] is
+    /// non-empty: an injected fault can make any statement fail, which
+    /// voids the static analysis' execution model. Part of run identity
+    /// (the search artifact records how many schedules were tried, and
+    /// pruning changes that), so it serializes into checkpoints and
+    /// phase keys.
+    pub static_race: bool,
 }
 
 impl Default for ReproOptions {
@@ -208,6 +230,7 @@ impl Default for ReproOptions {
             pool: None,
             mem_model: mcr_vm::MemModel::Sc,
             faults: Vec::new(),
+            static_race: false,
         }
     }
 }
@@ -323,6 +346,13 @@ impl ReproOptionsBuilder {
     /// Sets the fault-injection plan for every VM in the session.
     pub fn faults(mut self, faults: Vec<mcr_vm::FaultSpec>) -> Self {
         self.options.faults = faults;
+        self
+    }
+
+    /// Enables (or disables) static-race candidate pruning and ranking
+    /// in the search phase (see [`ReproOptions::static_race`]).
+    pub fn static_race(mut self, enabled: bool) -> Self {
+        self.options.static_race = enabled;
         self
     }
 
@@ -656,6 +686,7 @@ mod tests {
             .budget(Phase::Align, PhaseBudget::wall(Duration::from_secs(9)))
             .store(std::sync::Arc::new(crate::store::MemoryStore::unbounded()))
             .pool(minipool::Pool::new(3))
+            .static_race(true)
             .build();
         assert_eq!(options.strategy, Strategy::Dependence);
         assert_eq!(options.align_mode, AlignMode::InstructionCount);
@@ -677,5 +708,6 @@ mod tests {
         assert_eq!(options.budgets.get(Phase::Rank), None);
         assert!(options.store.is_some());
         assert_eq!(options.pool.as_ref().map(minipool::Pool::threads), Some(3));
+        assert!(options.static_race);
     }
 }

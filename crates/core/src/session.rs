@@ -47,7 +47,7 @@
 
 use crate::artifact::{
     AlignmentArtifact, CompiledPlanArtifact, DumpDeltaArtifact, FailureIndexArtifact,
-    FuncAnalysisArtifact, RankedAccessesArtifact, SearchArtifact,
+    FuncAnalysisArtifact, FuncRaceArtifact, RankedAccessesArtifact, SearchArtifact,
 };
 use crate::observe::{NullPhaseObserver, Phase, PhaseEvent, PhaseObserver};
 use crate::phase::{AlignPhase, DiffPhase, IndexPhase, PipelinePhase, RankPhase, SearchPhase};
@@ -55,7 +55,7 @@ use crate::pipeline::{
     AlignMode, PhaseBudget, PhaseBudgets, ReproError, ReproOptions, ReproReport, ReproTimings,
 };
 use crate::store::{function_fingerprint, program_fingerprint, ArtifactStore, NullStore, PhaseKey};
-use mcr_analysis::{FuncAnalysis, ProgramAnalysis};
+use mcr_analysis::{FuncAnalysis, ProgramAnalysis, RaceAnalysis};
 use mcr_dump::wire::{ContentHash, ContentHasher, Reader, Writer};
 use mcr_dump::{CoreDump, DecodeError, TraverseLimits};
 use mcr_lang::Program;
@@ -68,7 +68,8 @@ use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"MCRS";
 // v2: options carry the memory model and fault-injection plan.
-const VERSION: u8 = 2;
+// v3: options carry the static-race knob.
+const VERSION: u8 = 3;
 
 /// Function-granular cache counters of one session: how many of the
 /// program's per-function compile/analysis units were rehydrated from
@@ -89,13 +90,19 @@ pub struct FuncUnitStats {
     pub analysis_hits: u64,
     /// Per-function analysis units computed (and written back).
     pub analysis_computed: u64,
+    /// Per-function static-race summary units rehydrated from the
+    /// store (only resolved under [`ReproOptions::static_race`]).
+    pub race_hits: u64,
+    /// Per-function static-race summary units computed (and written
+    /// back).
+    pub race_computed: u64,
 }
 
 impl FuncUnitStats {
     /// Fraction of unit lookups that hit, in `[0, 1]` (0 when no unit
     /// was resolved).
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.compile_hits + self.analysis_hits;
+        let hits = self.compile_hits + self.analysis_hits + self.race_hits;
         let total = hits + self.recomputed();
         if total == 0 {
             0.0
@@ -104,9 +111,9 @@ impl FuncUnitStats {
         }
     }
 
-    /// Units that had to be computed (compile + analysis).
+    /// Units that had to be computed (compile + analysis + race).
     pub fn recomputed(&self) -> u64 {
-        self.compile_computed + self.analysis_computed
+        self.compile_computed + self.analysis_computed + self.race_computed
     }
 
     /// Adds every counter of `o` into `self` (how a benchmark
@@ -116,6 +123,8 @@ impl FuncUnitStats {
         self.compile_computed += o.compile_computed;
         self.analysis_hits += o.analysis_hits;
         self.analysis_computed += o.analysis_computed;
+        self.race_hits += o.race_hits;
+        self.race_computed += o.race_computed;
     }
 }
 
@@ -173,6 +182,15 @@ pub struct ReproSession<'p> {
     /// attachment like the store itself: excluded from checkpoints — a
     /// resumed session recompiles or re-fetches it.
     plan: RefCell<Option<Arc<DispatchPlan>>>,
+    /// The static race analysis, resolved lazily on first use by the
+    /// search phase (and only under [`ReproOptions::static_race`] with
+    /// no fault plan — `None` once resolved means disabled). Assembled
+    /// per function against a caching store: unchanged functions'
+    /// [`FuncRaceArtifact`] units rehydrate under
+    /// [`Phase::StaticRace`] keys and only cache-missing functions are
+    /// re-summarized. Like the plan, a runtime attachment excluded from
+    /// checkpoints.
+    race: OnceCell<Option<RaceAnalysis>>,
 }
 
 impl std::fmt::Debug for ReproSession<'_> {
@@ -245,6 +263,7 @@ impl<'p> ReproSession<'p> {
             artifacts: Artifacts::default(),
             hashes: std::array::from_fn(|_| Cell::new(None)),
             plan: RefCell::new(None),
+            race: OnceCell::new(),
         })
     }
 
@@ -392,6 +411,88 @@ impl<'p> ReproSession<'p> {
                 .collect();
             ProgramAnalysis::from_funcs(funcs)
         })
+    }
+
+    /// The session's static race verdicts, resolved on first use —
+    /// `None` unless [`ReproOptions::static_race`] is set and the fault
+    /// plan is empty (an injected fault voids the analysis' execution
+    /// model, so faulted sessions never prune). Per-function summaries
+    /// rehydrate from cached [`FuncRaceArtifact`] units where the store
+    /// has them; the whole-program composition is recomputed locally
+    /// (it is cheap and program-global, so it cannot be a
+    /// content-local unit).
+    pub fn race_verdicts(&self) -> Option<&mcr_analysis::RaceVerdicts> {
+        self.race
+            .get_or_init(|| {
+                if !self.options.static_race || !self.options.faults.is_empty() {
+                    return None;
+                }
+                if !self.store.is_caching() {
+                    return Some(RaceAnalysis::analyze(self.program));
+                }
+                let summaries = self
+                    .program
+                    .funcs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, func)| {
+                        let key = PhaseKey::derive_for_function(
+                            self.function_fingerprints()[i],
+                            Phase::StaticRace,
+                        );
+                        // As with analysis units: corrupted bytes or a
+                        // summary that does not fit the function are a
+                        // miss, never an error.
+                        let cached = self
+                            .store
+                            .get(&key)
+                            .and_then(|bytes| FuncRaceArtifact::from_bytes(&bytes).ok())
+                            .and_then(|artifact| artifact.rehydrate(func));
+                        match cached {
+                            Some(summary) => {
+                                self.bump_units(|u| u.race_hits += 1);
+                                summary
+                            }
+                            None => {
+                                let started = Instant::now();
+                                let summary = mcr_analysis::FuncRaceSummary::of(func);
+                                let artifact =
+                                    FuncRaceArtifact::of(summary.clone(), started.elapsed());
+                                self.store.put(&key, &artifact.to_bytes());
+                                self.bump_units(|u| u.race_computed += 1);
+                                summary
+                            }
+                        }
+                    })
+                    .collect();
+                Some(RaceAnalysis::compose(self.program, summaries))
+            })
+            .as_ref()
+            .map(RaceAnalysis::verdicts)
+    }
+
+    /// The spill mode the diff replay should collect its trace with.
+    ///
+    /// [`mcr_slice::TraceSpill::segmented()`] asks for spilling without
+    /// committing to a frame granularity, so for that value (and only
+    /// that value — an explicit `Segmented { frame_events }` is
+    /// honored verbatim, as is `InMemory`) the session re-derives the
+    /// granularity from the attached store's measured per-phase
+    /// residency histogram ([`crate::store::measured_frame_size`]):
+    /// artifacts and spilled trace frames ride the same shipping and
+    /// caching fabric, so the frame size that suits the measured
+    /// artifact mix suits the spill. Residency-only, like the knob
+    /// itself — never part of phase keys or checkpoints.
+    pub fn effective_trace_spill(&self) -> mcr_slice::TraceSpill {
+        let spill = self.options.trace_spill;
+        if spill != mcr_slice::TraceSpill::segmented() || !self.store.is_caching() {
+            return spill;
+        }
+        let stats = self.store.stats();
+        if stats.mean_entry_size().is_none() {
+            return spill;
+        }
+        mcr_slice::TraceSpill::segmented_sized(crate::store::measured_frame_size(&stats))
     }
 
     /// The latest completed phase, if any.
@@ -568,7 +669,7 @@ impl<'p> ReproSession<'p> {
             Phase::Diff => self.artifacts.delta.as_ref()?.to_bytes(),
             Phase::Rank => self.artifacts.ranked.as_ref()?.to_bytes(),
             Phase::Search => self.artifacts.search.as_ref()?.to_bytes(),
-            Phase::Compile => return None,
+            Phase::Compile | Phase::StaticRace => return None,
         })
     }
 
@@ -687,10 +788,15 @@ impl<'p> ReproSession<'p> {
             Phase::Diff => self.run::<DiffPhase>().map(drop),
             Phase::Rank => self.run::<RankPhase>().map(drop),
             Phase::Search => self.run::<SearchPhase>().map(drop),
-            // The pre-phase is not independently runnable: resolving
-            // the plan is a side effect of running any real phase.
+            // The pre-phases are not independently runnable: resolving
+            // the plan (or the race summaries) is a side effect of
+            // running a real phase that needs them.
             Phase::Compile => {
                 self.ensure_plan();
+                Ok(())
+            }
+            Phase::StaticRace => {
+                self.race_verdicts();
                 Ok(())
             }
         }
@@ -964,6 +1070,7 @@ fn read_env(r: &mut Reader<'_>) -> Result<(MemModel, Vec<FaultSpec>), DecodeErro
 
 fn write_key_options(w: &mut Writer, o: &ReproOptions) {
     write_env(w, o);
+    w.bool(o.static_race);
     w.u8(match o.strategy {
         Strategy::Temporal => 0,
         Strategy::Dependence => 1,
@@ -1032,6 +1139,7 @@ fn read_artifact<T>(
 /// `TraceSpill::InMemory`.
 fn write_options(w: &mut Writer, o: &ReproOptions) {
     write_env(w, o);
+    w.bool(o.static_race);
     w.u8(match o.strategy {
         Strategy::Temporal => 0,
         Strategy::Dependence => 1,
@@ -1069,6 +1177,7 @@ fn write_options(w: &mut Writer, o: &ReproOptions) {
 
 fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
     let (mem_model, faults) = read_env(r)?;
+    let static_race = r.bool()?;
     let strategy = match r.u8()? {
         0 => Strategy::Temporal,
         1 => Strategy::Dependence,
@@ -1130,6 +1239,7 @@ fn read_options(r: &mut Reader<'_>) -> Result<ReproOptions, DecodeError> {
         pool: None,
         mem_model,
         faults,
+        static_race,
     })
 }
 
@@ -1283,6 +1393,8 @@ mod tests {
                 compile_computed: funcs,
                 analysis_hits: 0,
                 analysis_computed: funcs,
+                race_hits: 0,
+                race_computed: 0,
             }
         );
 
@@ -1305,6 +1417,8 @@ mod tests {
                 compile_computed: 0,
                 analysis_hits: 0,
                 analysis_computed: 0,
+                race_hits: 0,
+                race_computed: 0,
             }
         );
         assert!((warm.function_unit_stats().hit_rate() - 1.0).abs() < 1e-9);
@@ -1402,6 +1516,8 @@ mod tests {
                 compile_computed: 1,
                 analysis_hits: funcs - 1,
                 analysis_computed: 1,
+                race_hits: 0,
+                race_computed: 0,
             },
             "exactly the edited function's units recompute"
         );

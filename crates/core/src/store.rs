@@ -153,6 +153,12 @@ impl PhaseStats {
         self.entries += o.entries;
         self.bytes += o.bytes;
     }
+
+    /// Mean resident artifact size of this phase kind, or `None` when
+    /// no entries of the kind are resident.
+    pub fn mean_entry_size(&self) -> Option<usize> {
+        (self.entries > 0).then(|| self.bytes / self.entries)
+    }
 }
 
 /// Cross-program function-sharing counters reported by a
@@ -208,8 +214,8 @@ pub struct StoreStats {
     pub bytes: usize,
     /// The same counters sliced by phase kind, indexed by
     /// [`Phase::index`] (see [`StoreStats::phase`]): the five pipeline
-    /// phases followed by the `Compile` pre-phase.
-    pub per_phase: [PhaseStats; 6],
+    /// phases followed by the `Compile` and `StaticRace` pre-phases.
+    pub per_phase: [PhaseStats; 7],
     /// Cross-program function-sharing counters (zero unless the store is
     /// wrapped in a [`CorpusManifest`]).
     pub manifest: ManifestStats,
@@ -245,6 +251,41 @@ impl StoreStats {
         }
         self.manifest.absorb(&o.manifest);
     }
+
+    /// Mean resident artifact size across the per-phase histogram
+    /// ([`StoreStats::per_phase`]), or `None` when nothing is resident.
+    ///
+    /// Computed from the histogram rows rather than the global
+    /// counters so a composite that absorbs shards with zeroed globals
+    /// still reports a usable mean.
+    pub fn mean_entry_size(&self) -> Option<usize> {
+        let (entries, bytes) = self
+            .per_phase
+            .iter()
+            .fold((0usize, 0usize), |(e, b), p| (e + p.entries, b + p.bytes));
+        (entries > 0).then(|| bytes / entries)
+    }
+}
+
+/// Frame size (bytes) to use for segmented containers serving the
+/// workload `stats` describes, derived from the measured per-phase
+/// residency histogram instead of the fixed [`SEG_STORE_FRAME_SIZE`] /
+/// `mcr_dump::DUMP_FRAME_SIZE` constants.
+///
+/// A frame near the mean entry size keeps a typical rehydration to a
+/// couple of segment touches while bounding resident bytes to roughly
+/// one artifact; the mean is clamped to `[512, 65536]` so a store full
+/// of tiny rank artifacts doesn't shred the container into thousands of
+/// frames (framing overhead) and one giant search artifact doesn't
+/// force whole-blob residency. Falls back to [`SEG_STORE_FRAME_SIZE`]
+/// when `stats` has no resident entries to measure.
+///
+/// Purely a residency/latency knob: frame size never changes decoded
+/// content, so it is excluded from phase keys and checkpoints.
+pub fn measured_frame_size(stats: &StoreStats) -> usize {
+    stats
+        .mean_entry_size()
+        .map_or(SEG_STORE_FRAME_SIZE, |mean| mean.clamp(512, 65_536))
 }
 
 /// A shared, content-addressed artifact cache.
@@ -1079,6 +1120,33 @@ mod tests {
             a.hash,
             PhaseKey::derive(ContentHash::of(b"other basis"), Phase::Index, None).hash
         );
+    }
+
+    #[test]
+    fn measured_frame_size_tracks_the_residency_histogram() {
+        // No measurements → the fixed default.
+        let store = MemoryStore::unbounded();
+        assert_eq!(store.stats().mean_entry_size(), None);
+        assert_eq!(measured_frame_size(&store.stats()), SEG_STORE_FRAME_SIZE);
+
+        // Mean over the per-phase rows, clamped below at 512...
+        store.put(&key(Phase::Index, 1), &[0u8; 40]);
+        store.put(&key(Phase::Search, 2), &[0u8; 80]);
+        let stats = store.stats();
+        assert_eq!(stats.mean_entry_size(), Some(60));
+        assert_eq!(stats.phase(Phase::Index).mean_entry_size(), Some(40));
+        assert_eq!(stats.phase(Phase::Align).mean_entry_size(), None);
+        assert_eq!(measured_frame_size(&stats), 512);
+
+        // ...tracking the mean inside the clamp window...
+        store.put(&key(Phase::Diff, 3), &[0u8; 6000]);
+        let stats = store.stats();
+        assert_eq!(stats.mean_entry_size(), Some(2040));
+        assert_eq!(measured_frame_size(&stats), 2040);
+
+        // ...and clamped above at 64 KiB.
+        store.put(&key(Phase::Search, 4), &[0u8; 1 << 20]);
+        assert_eq!(measured_frame_size(&store.stats()), 65_536);
     }
 
     #[test]

@@ -111,11 +111,8 @@ mod tests {
         let mut vm = Vm::new(&p, input);
         let mut s = DeterministicScheduler::new();
         run(&mut vm, &mut s, &mut NullObserver, 100_000);
-        let focus = vm.failure().map(|f| f.thread).unwrap_or(ThreadId(0));
-        let reason = vm
-            .failure()
-            .map(DumpReason::Failure)
-            .unwrap_or(DumpReason::Manual);
+        let focus = vm.failure().map_or(ThreadId(0), |f| f.thread);
+        let reason = vm.failure().map_or(DumpReason::Manual, DumpReason::Failure);
         let d = crate::dump::CoreDump::capture(&vm, focus, reason);
         (p, d)
     }
@@ -166,7 +163,7 @@ mod tests {
             .iter()
             .any(|c| c.root == crate::refpath::PathRoot::Global(x)));
         // Every CSV is shared.
-        assert!(d.csvs.iter().all(|c| c.is_shared()));
+        assert!(d.csvs.iter().all(crate::refpath::RefPath::is_shared));
         // The private local difference is a diff but not a CSV.
         assert!(d.diff_count() > d.csv_count());
     }

@@ -75,7 +75,7 @@ impl fmt::Display for RefPathDisplay<'_> {
         match self.path.root {
             PathRoot::Global(g) => write!(f, "{}", self.program.globals[g.0 as usize].name)?,
             PathRoot::GlobalElem(g, i) => {
-                write!(f, "{}[{}]", self.program.globals[g.0 as usize].name, i)?
+                write!(f, "{}[{}]", self.program.globals[g.0 as usize].name, i)?;
             }
             PathRoot::FocusLocal(l) => write!(f, "local{}", l.0)?,
             PathRoot::Register => write!(f, "reg")?,
@@ -250,11 +250,8 @@ mod tests {
         let mut vm = Vm::new(&p, &[]);
         let mut s = DeterministicScheduler::new();
         run(&mut vm, &mut s, &mut NullObserver, 100_000);
-        let focus = vm.failure().map(|f| f.thread).unwrap_or(ThreadId(0));
-        let reason = vm
-            .failure()
-            .map(DumpReason::Failure)
-            .unwrap_or(DumpReason::Manual);
+        let focus = vm.failure().map_or(ThreadId(0), |f| f.thread);
+        let reason = vm.failure().map_or(DumpReason::Manual, DumpReason::Failure);
         let d = CoreDump::capture(&vm, focus, reason);
         (p, d)
     }

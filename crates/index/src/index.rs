@@ -123,7 +123,7 @@ mod tests {
             .func(p.main)
             .body
             .iter()
-            .position(|i| i.is_branch())
+            .position(mcr_lang::Inst::is_branch)
             .unwrap() as u32;
         let idx = ExecutionIndex::new(vec![
             IndexEntry::Func(p.main),

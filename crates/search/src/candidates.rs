@@ -13,6 +13,7 @@
 //! * the set of CSVs its thread will access from that point on (used by
 //!   the guided `preempt()` thread selection).
 
+use mcr_analysis::RaceVerdicts;
 use mcr_lang::{GlobalId, Pc};
 use mcr_slice::{RankedAccess, PRIORITY_BOTTOM};
 use mcr_vm::{Event, MemLoc, ObjId, Observer, SyncKind, ThreadId};
@@ -240,6 +241,39 @@ pub fn annotate(
     csv_locs: &HashSet<MemLoc>,
     priorities: &HashMap<(u64, MemLoc, bool), u32>,
 ) -> (Vec<AnnotatedCandidate>, FutureCsvMap) {
+    annotate_with_race(info, csv_locs, priorities, None)
+}
+
+/// [`annotate`], optionally consulting static race verdicts
+/// (`mcr_analysis::RaceVerdicts`):
+///
+/// * **Pruning.** Candidates anchored at a statically *Solo* statement
+///   (provably executed before the first spawn, while only thread 0
+///   exists) are dropped: preempting where no other thread is runnable
+///   is a no-op, so removing the candidate cannot change which schedule
+///   the search finds — the surviving worklist is an order-preserving
+///   subsequence and the winning schedule stays bit-identical.
+///   `ThreadStart` and `AfterSpawn` anchors are never pruned (their
+///   whole point is that another thread just became runnable), and a
+///   candidate without a passing-run `pc` is kept conservatively. A
+///   TSO `BeforeFlush` anchored at a Solo statement is safe to drop for
+///   the same reason: the buffered store drains while no other thread
+///   exists to observe the stale value.
+/// * **Ranking.** Candidates whose block carries no dump-prioritized
+///   CSV access ([`PRIORITY_BOTTOM`]) but does touch a statically
+///   *May-Race* statement move one notch up (`PRIORITY_BOTTOM - 1`), so
+///   the search tries statically suspicious blocks before statically
+///   clean ones. This reorders only the bottom tier — every
+///   dump-prioritized candidate still sorts first.
+///
+/// The future-CSV map is always built from the *full* candidate list:
+/// sync positions must stay aligned with what a test run replays.
+pub fn annotate_with_race(
+    info: &PassingRunInfo,
+    csv_locs: &HashSet<MemLoc>,
+    priorities: &HashMap<(u64, MemLoc, bool), u32>,
+    race: Option<&RaceVerdicts>,
+) -> (Vec<AnnotatedCandidate>, FutureCsvMap) {
     // Next candidate step per thread, for block boundaries.
     let mut next_step: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // tid -> [(step, next_step)]
     let mut per_thread: HashMap<u32, Vec<&PreemptionPoint>> = HashMap::new();
@@ -249,7 +283,7 @@ pub fn annotate(
     for (tid, list) in &per_thread {
         let mut spans = Vec::with_capacity(list.len());
         for (i, c) in list.iter().enumerate() {
-            let end = list.get(i + 1).map(|n| n.step).unwrap_or(u64::MAX);
+            let end = list.get(i + 1).map_or(u64::MAX, |n| n.step);
             spans.push((c.step, end));
         }
         next_step.insert(*tid, spans);
@@ -293,12 +327,29 @@ pub fn annotate(
                 priority,
             });
         }
+        if best == PRIORITY_BOTTOM {
+            if let Some(rv) = race {
+                let block_may_race = info.shared_accesses.iter().any(|a| {
+                    a.tid.0 == c.point_tid()
+                        && a.step >= start
+                        && a.step < end
+                        && rv.has_may_race(a.pc)
+                });
+                if block_may_race {
+                    best = PRIORITY_BOTTOM - 1;
+                }
+            }
+        }
         annotated.push(AnnotatedCandidate {
             point: *c,
             accesses,
             best_priority: best,
             access_locs,
         });
+    }
+
+    if let Some(rv) = race {
+        annotated.retain(|a| !prunable(&a.point, rv));
     }
 
     // Future CSV sets per (thread, sync position).
@@ -308,7 +359,7 @@ pub fn annotate(
         // at which the thread reaches position p is the step of its p-th
         // sync anchor (ThreadStart is position 0's lower bound).
         let mut positions: Vec<(u32, u64)> = vec![(0, 0)];
-        for c in list.iter() {
+        for c in list {
             match c.kind {
                 CandidateKind::BeforeAcquire
                 | CandidateKind::BeforeJoin
@@ -339,6 +390,20 @@ pub fn annotate(
     }
 
     (annotated, fut)
+}
+
+/// Whether static race verdicts prove this preemption point is a no-op
+/// (see [`annotate_with_race`]).
+fn prunable(point: &PreemptionPoint, race: &RaceVerdicts) -> bool {
+    match point.kind {
+        // Another thread just became runnable here — exactly the
+        // schedules pruning must preserve.
+        CandidateKind::ThreadStart | CandidateKind::AfterSpawn => false,
+        CandidateKind::BeforeAcquire
+        | CandidateKind::AfterRelease
+        | CandidateKind::BeforeJoin
+        | CandidateKind::BeforeFlush => point.pc.is_some_and(|pc| race.is_solo(pc)),
+    }
 }
 
 impl PreemptionPoint {

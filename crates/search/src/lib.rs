@@ -20,8 +20,8 @@ pub mod chess;
 pub mod runner;
 
 pub use candidates::{
-    annotate, coarse, AnnotatedCandidate, CandidateKind, CoarseLoc, FutureCsvMap, PassingRunInfo,
-    PreemptionPoint, SharedAccess, SyncLogger,
+    annotate, annotate_with_race, coarse, AnnotatedCandidate, CandidateKind, CoarseLoc,
+    FutureCsvMap, PassingRunInfo, PreemptionPoint, SharedAccess, SyncLogger,
 };
 pub use chess::{find_schedule, worklist_size, Algorithm, SearchConfig, SearchResult};
 pub use runner::{Budget, CancelToken, Guidance, TestRun};

@@ -310,8 +310,7 @@ impl PreemptionIndex {
     fn bucket(&self, tid: ThreadId, sync_seq: u32) -> &[usize] {
         self.by_anchor
             .get(&(tid.0, sync_seq))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 }
 
@@ -495,7 +494,6 @@ impl TestRun<'_, '_> {
                         return true;
                     }
                 }
-                continue;
             }
         }
     }

@@ -150,9 +150,29 @@ pub enum TraceSpill {
 }
 
 impl TraceSpill {
+    /// Rough wire size of one encoded [`TraceEvent`]
+    /// ([`write_trace_event`]): a handful of small varints plus one or
+    /// two use/def memlocs. Only a planning estimate for converting a
+    /// byte budget into a frame granularity — frames seal on event
+    /// *count*, so a wrong estimate costs a little frame-size skew,
+    /// never correctness.
+    const APPROX_EVENT_BYTES: usize = 16;
+
     /// Segmented spilling at the default frame granularity.
     pub fn segmented() -> TraceSpill {
         TraceSpill::Segmented { frame_events: 1024 }
+    }
+
+    /// Segmented spilling with frames sized to roughly `frame_bytes`
+    /// encoded bytes each (≥ 1 event), for callers that measured a
+    /// working frame size (e.g. from a store's residency histogram)
+    /// rather than picking an event count. Like every [`TraceSpill`]
+    /// value this is residency-only tuning: the finalized [`Trace`] is
+    /// identical at any granularity.
+    pub fn segmented_sized(frame_bytes: usize) -> TraceSpill {
+        TraceSpill::Segmented {
+            frame_events: (frame_bytes / TraceSpill::APPROX_EVENT_BYTES).max(1) as u32,
+        }
     }
 }
 
@@ -667,6 +687,24 @@ mod tests {
         let all_ring = collect_with_spill(SPILL_SRC, 1_000_000, TraceSpill::InMemory);
         let all_spill = collect_with_spill(SPILL_SRC, 1_000_000, TraceSpill::segmented());
         assert_eq!(all_spill, all_ring);
+    }
+
+    #[test]
+    fn segmented_sized_maps_a_byte_budget_to_events() {
+        assert_eq!(
+            TraceSpill::segmented_sized(4096),
+            TraceSpill::Segmented { frame_events: 256 }
+        );
+        // Degenerate budgets still seal at least one event per frame.
+        assert_eq!(
+            TraceSpill::segmented_sized(0),
+            TraceSpill::Segmented { frame_events: 1 }
+        );
+        // Granularity is residency-only: a byte-sized spill finalizes
+        // to the identical trace.
+        let ring = collect_with_spill(SPILL_SRC, 37, TraceSpill::InMemory);
+        let sized = collect_with_spill(SPILL_SRC, 37, TraceSpill::segmented_sized(512));
+        assert_eq!(sized, ring);
     }
 
     #[test]

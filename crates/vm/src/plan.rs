@@ -308,7 +308,7 @@ impl DispatchPlan {
         put_u32(&mut w, self.exprs.len() as u32);
         for toks in &self.exprs {
             put_u32(&mut w, toks.len() as u32);
-            for tok in toks.iter() {
+            for tok in toks {
                 put_tok(&mut w, *tok);
             }
         }
@@ -423,7 +423,7 @@ impl FunctionPlan {
         put_u32(&mut w, self.exprs.len() as u32);
         for toks in &self.exprs {
             put_u32(&mut w, toks.len() as u32);
-            for tok in toks.iter() {
+            for tok in toks {
                 put_tok(&mut w, *tok);
             }
         }

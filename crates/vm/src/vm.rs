@@ -524,10 +524,7 @@ impl<'p> Vm<'p> {
                     Ok(Value::Int(target)) => self
                         .threads
                         .get(target as usize)
-                        .map(|th| th.state != ThreadState::Ready)
-                        // Out-of-range target: runnable so the step can
-                        // surface the JoinInvalid failure.
-                        .unwrap_or(true),
+                        .is_none_or(|th| th.state != ThreadState::Ready),
                     // Non-integer or failing evaluation: runnable so the
                     // step surfaces the real failure.
                     _ => true,
@@ -811,7 +808,7 @@ impl<'p> Vm<'p> {
                 frame.locals[l.0 as usize] = v;
             }
             ResolvedPlace::Global(g) => {
-                Arc::make_mut(&mut self.globals)[g.0 as usize] = GSlot::Scalar(v)
+                Arc::make_mut(&mut self.globals)[g.0 as usize] = GSlot::Scalar(v);
             }
             ResolvedPlace::GlobalElem(g, i) => {
                 if let GSlot::Array(slots) = &mut Arc::make_mut(&mut self.globals)[g.0 as usize] {

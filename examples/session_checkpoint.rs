@@ -23,7 +23,7 @@ impl PhaseObserver for Progress {
         match event {
             PhaseEvent::Started { phase } => println!("    {phase} phase ..."),
             PhaseEvent::Finished { phase, elapsed } => {
-                println!("    {phase} phase done in {elapsed:?}")
+                println!("    {phase} phase done in {elapsed:?}");
             }
             PhaseEvent::Stage {
                 phase,
@@ -32,7 +32,7 @@ impl PhaseObserver for Progress {
             } => println!("      [{phase}] {stage}: {elapsed:?}"),
             PhaseEvent::Interrupted { phase } => println!("    {phase} phase interrupted"),
             PhaseEvent::CacheHit { phase } => {
-                println!("    {phase} phase rehydrated from the artifact store")
+                println!("    {phase} phase rehydrated from the artifact store");
             }
         }
     }

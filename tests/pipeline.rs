@@ -118,8 +118,8 @@ fn pipeline_is_deterministic() {
     assert_eq!(a.csv_paths, b.csv_paths);
     assert_eq!(a.search.tries, b.search.tries);
     assert_eq!(
-        a.search.winning.as_ref().map(|w| w.len()),
-        b.search.winning.as_ref().map(|w| w.len())
+        a.search.winning.as_ref().map(std::vec::Vec::len),
+        b.search.winning.as_ref().map(std::vec::Vec::len)
     );
 }
 

@@ -382,3 +382,118 @@ fn lengthening_preserves_tails() {
         }
     }
 }
+
+/// Soundness contract of the static race pruning (the tentpole claim):
+/// enabling `static_race` must leave every bug's winning schedule
+/// *bit-identical* — pruning only removes preemption candidates that
+/// are provably no-ops (statically Solo anchors, where only thread 0
+/// exists), so the search walks an order-preserving subsequence of the
+/// same worklist. Checked three ways per bug:
+///
+/// 1. the pruned and unpruned reproductions agree on `reproduced` and
+///    on the exact winning preemption points;
+/// 2. no candidate of the *unpruned* winner would have been pruned
+///    (Solo anchors never appear in a winner: preempting them is a
+///    no-op, and any failing combination containing one implies a
+///    smaller, earlier-sorted combination without it);
+/// 3. pruning actually removed something (the warmup loops churn locks
+///    before the first spawn, so every bug has Solo candidates) — a
+///    vacuous prune would make this whole test meaningless.
+///
+/// Runs in the suite-wide memory model (`MCR_TEST_MEMMODEL=tso` drives
+/// the same check through TSO flush candidates).
+#[test]
+fn static_race_pruning_preserves_winning_schedules() {
+    use mcr_analysis::RaceAnalysis;
+    use mcr_search::CandidateKind;
+    use mcr_testsupport::{repro_options, stress_bug};
+
+    let mut pruned_something = false;
+    for bug in mcr_workloads::all_bugs() {
+        let (program, sf) = stress_bug(&bug);
+        let input = bug.default_input();
+        let reproduce = |static_race: bool| {
+            let mut options =
+                repro_options(mcr_search::Algorithm::ChessX, mcr_slice::Strategy::Temporal);
+            options.static_race = static_race;
+            mcr_core::Reproducer::new(&program, options)
+                .reproduce(&sf.dump, &input)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name))
+        };
+        let unpruned = reproduce(false);
+        let pruned = reproduce(true);
+        assert_eq!(
+            unpruned.search.reproduced, pruned.search.reproduced,
+            "{}: pruning changed reproducibility",
+            bug.name
+        );
+        let points = |r: &mcr_core::ReproReport| {
+            r.search
+                .winning
+                .as_ref()
+                .map(|w| w.iter().map(|c| c.point).collect::<Vec<_>>())
+        };
+        assert_eq!(
+            points(&unpruned),
+            points(&pruned),
+            "{}: pruning changed the winning schedule",
+            bug.name
+        );
+
+        // No unpruned winner contains a candidate pruning would drop.
+        let verdicts = RaceAnalysis::analyze(&program);
+        let verdicts = verdicts.verdicts();
+        if let Some(winning) = &unpruned.search.winning {
+            for c in winning {
+                let droppable = !matches!(
+                    c.point.kind,
+                    CandidateKind::ThreadStart | CandidateKind::AfterSpawn
+                ) && c.point.pc.is_some_and(|pc| verdicts.is_solo(pc));
+                assert!(
+                    !droppable,
+                    "{}: winning candidate {} anchors at a statically Solo pc",
+                    bug.name, c.point
+                );
+            }
+        }
+        if verdicts.solo_count() > 0 {
+            pruned_something = true;
+        }
+    }
+    assert!(
+        pruned_something,
+        "no bug had any Solo candidate — the prune never fired"
+    );
+}
+
+/// The same contract through the environment-gated suite: the TSO bugs
+/// run with pruning live (their fault plans are empty), and the
+/// fault-injection bugs prove the automatic disable — a non-empty fault
+/// plan voids the static execution model, so `static_race = true` must
+/// be a no-op there, not a wrong prune.
+#[test]
+fn static_race_pruning_preserves_env_gated_winners() {
+    use mcr_testsupport::{repro_options_env, stress_fault_bug};
+
+    for bug in mcr_workloads::fault_bugs() {
+        let (program, sf) = stress_fault_bug(&bug);
+        let reproduce = |static_race: bool| {
+            let mut options = repro_options_env(
+                mcr_search::Algorithm::ChessX,
+                mcr_slice::Strategy::Temporal,
+                &bug,
+            );
+            options.static_race = static_race;
+            mcr_core::Reproducer::new(&program, options)
+                .reproduce(&sf.dump, bug.input)
+                .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", bug.name))
+        };
+        let unpruned = reproduce(false);
+        let pruned = reproduce(true);
+        mcr_testsupport::assert_reports_equivalent(
+            &unpruned,
+            &pruned,
+            &format!("{}: static_race on vs off", bug.name),
+        );
+    }
+}
